@@ -1,0 +1,50 @@
+package dataai
+
+// One testing.B benchmark per experiment in the reproduction suite (see
+// DESIGN.md's experiment index). Each iteration regenerates the
+// experiment's full table, so ns/op measures the end-to-end cost of the
+// workload + baseline + technique; `go test -bench=. -benchmem` therefore
+// doubles as a smoke-run of every experiment. Use `cmd/benchall` to see
+// the tables themselves.
+
+import (
+	"testing"
+
+	"dataai/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if tbl.String() == "" {
+			b.Fatalf("%s produced no table", id)
+		}
+	}
+}
+
+func BenchmarkE1RAG(b *testing.B)        { benchExperiment(b, "E1") }
+func BenchmarkE2SemOp(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3Extract(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4Linking(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5Planning(b *testing.B)   { benchExperiment(b, "E5") }
+func BenchmarkE6Mixture(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7Selection(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8Cleaning(b *testing.B)   { benchExperiment(b, "E8") }
+func BenchmarkE9Checkpoint(b *testing.B) { benchExperiment(b, "E9") }
+func BenchmarkE10Parallel(b *testing.B)  { benchExperiment(b, "E10") }
+func BenchmarkE11Batching(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12Disagg(b *testing.B)    { benchExperiment(b, "E12") }
+func BenchmarkE13KVCache(b *testing.B)   { benchExperiment(b, "E13") }
+func BenchmarkE14Eviction(b *testing.B)  { benchExperiment(b, "E14") }
+func BenchmarkE15KVDecode(b *testing.B)  { benchExperiment(b, "E15") }
+func BenchmarkE16VecDB(b *testing.B)     { benchExperiment(b, "E16") }
+func BenchmarkE17Flywheel(b *testing.B)  { benchExperiment(b, "E17") }
+
+func BenchmarkE18Parallel3D(b *testing.B) { benchExperiment(b, "E18") }
+func BenchmarkE19Prompting(b *testing.B)  { benchExperiment(b, "E19") }
+func BenchmarkE20Rewrite(b *testing.B)    { benchExperiment(b, "E20") }
+func BenchmarkE21Routing(b *testing.B)    { benchExperiment(b, "E21") }

@@ -1,0 +1,52 @@
+// Command benchall regenerates every experiment table in the reproduction
+// suite (the evaluation section the tutorial paper lacks — see DESIGN.md).
+//
+// Usage:
+//
+//	benchall            # run all experiments
+//	benchall E11 E12    # run selected experiments
+//	benchall -list      # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dataai/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	failed := 0
+	for _, id := range ids {
+		fmt.Printf("=== %s: %s\n", id, experiments.Title(id))
+		tbl, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s render: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

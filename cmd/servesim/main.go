@@ -1,0 +1,78 @@
+// Command servesim runs the LLM-serving simulator on a synthetic trace and
+// prints latency/throughput/goodput for a chosen scheduler configuration.
+//
+// Usage:
+//
+//	servesim -policy continuous -n 400 -rate 50
+//	servesim -policy chunked -chunk 128
+//	servesim -policy disagg -prefill 2 -decode 2
+//	servesim -policy static -batch 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dataai/internal/metrics"
+	"dataai/internal/serving"
+	"dataai/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("servesim: ")
+	policy := flag.String("policy", "continuous", "static | continuous | chunked | disagg")
+	n := flag.Int("n", 400, "number of requests")
+	rate := flag.Float64("rate", 50, "arrival rate (req/s)")
+	seed := flag.Int64("seed", 1, "trace seed")
+	batch := flag.Int("batch", 16, "static batch size")
+	chunk := flag.Int("chunk", 128, "chunked prefill chunk tokens")
+	prefill := flag.Int("prefill", 2, "disagg: prefill GPUs")
+	decode := flag.Int("decode", 2, "disagg: decode GPUs")
+	ttftSLO := flag.Float64("slo-ttft", 1000, "TTFT SLO (ms)")
+	tbtSLO := flag.Float64("slo-tbt", 12, "TBT SLO (ms)")
+	flag.Parse()
+
+	reqs, err := workload.Generate(workload.DefaultTrace(*seed, *n, *rate))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu := serving.DefaultGPU()
+
+	var rep *serving.Report
+	switch *policy {
+	case "static":
+		rep, err = serving.RunStatic(gpu, reqs, *batch)
+	case "continuous":
+		rep, err = serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{})
+	case "chunked":
+		rep, err = serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{ChunkTokens: *chunk})
+	case "disagg":
+		rep, err = serving.RunDisaggregated(gpu, reqs, serving.DisaggOpts{
+			PrefillGPUs: *prefill, DecodeGPUs: *decode,
+			TransferMSPerToken: 0.005, OverlapTransfer: true,
+		})
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := metrics.NewTable(fmt.Sprintf("servesim: %s (%d reqs @ %.0f/s)", *policy, *n, *rate),
+		"metric", "value")
+	t.AddRowf("throughput (tok/s)", rep.Throughput())
+	t.AddRowf("makespan (ms)", rep.MakespanMS)
+	t.AddRowf("p50 TTFT (ms)", rep.TTFT.P50())
+	t.AddRowf("p95 TTFT (ms)", rep.TTFT.P95())
+	t.AddRowf("p50 TBT (ms)", rep.TBT.P50())
+	t.AddRowf("p95 TBT (ms)", rep.TBT.P95())
+	t.AddRowf(fmt.Sprintf("goodput @ (%.0f, %.0f)ms", *ttftSLO, *tbtSLO), rep.Goodput(*ttftSLO, *tbtSLO))
+	t.AddRowf("peak KV blocks", rep.PeakKVBlocks)
+	t.AddRowf("rejected", rep.Rejected)
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

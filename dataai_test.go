@@ -1,0 +1,108 @@
+package dataai
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPISmoke exercises the facade's primary user journey: corpus
+// → RAG → answer, and corpus → prep → LM. It guards the re-exports, not
+// the behaviour (which the internal packages' suites cover).
+func TestPublicAPISmoke(t *testing.T) {
+	c, err := GenerateCorpus(DefaultCorpusConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Docs) == 0 || len(c.QAs) == 0 {
+		t.Fatal("empty corpus")
+	}
+
+	model := LargeModel()
+	model.ErrRate = 0
+	model.HallucinationRate = 0
+	model.ContextWindow = 1 << 20
+	client := NewSimulatedLLM(model, 5)
+	emb := NewEmbedder(DefaultEmbedDim)
+	pipeline, err := NewRAG(client, emb, NewFlatIndex(emb.Dim()), RAGWithTopK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]Document, len(c.Docs))
+	for i, d := range c.Docs {
+		docs[i] = Document{ID: d.ID, Text: d.Text}
+	}
+	if err := pipeline.Ingest(docs); err != nil {
+		t.Fatal(err)
+	}
+	right := 0
+	for _, qa := range c.QAs[:20] {
+		a, err := pipeline.Answer(qa.Question)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Text == qa.Answer {
+			right++
+		}
+	}
+	if right < 10 {
+		t.Errorf("facade RAG answered only %d/20", right)
+	}
+
+	// Data4LLM path.
+	clean, rep := ApplyFilters(c.Texts(), DefaultHeuristicFilter())
+	if rep.Kept != len(clean) {
+		t.Error("filter report mismatch")
+	}
+	mh, err := NewMinHasher(64, 16, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deduped, _ := mh.Dedup(clean, 0.6)
+	if len(deduped) == 0 || len(deduped) > len(clean) {
+		t.Error("dedup output out of range")
+	}
+	lm := NewNGramLM()
+	lm.TrainAll(deduped)
+	ppl, err := lm.CorpusPerplexity(c.Texts()[:10])
+	if err != nil || ppl <= 0 {
+		t.Fatalf("perplexity: %v %v", ppl, err)
+	}
+
+	// Training and serving facades.
+	mem, err := MemoryPerWorker(TrainModelConfig{
+		Params: 1e9, Layers: 12, BytesPerParam: 2, GradBytesPerParam: 2, OptimBytesPerParam: 12,
+	}, StrategyZeRO3, 8)
+	if err != nil || mem <= 0 {
+		t.Fatalf("MemoryPerWorker: %v %v", mem, err)
+	}
+	trace, err := GenerateTrace(DefaultTrace(1, 50, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := RunContinuous(DefaultGPU(), trace, ContinuousOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Throughput() <= 0 {
+		t.Error("no serving throughput")
+	}
+
+	// Hub + pipeline orchestration.
+	hub := NewHub()
+	if err := hub.Register("default", client, true); err != nil {
+		t.Fatal(err)
+	}
+	out, reports, err := NewCorePipeline(Stage{
+		Name: "upper",
+		Fn: func(in []string) ([]string, error) {
+			up := make([]string, len(in))
+			for i, s := range in {
+				up[i] = strings.ToUpper(s)
+			}
+			return up, nil
+		},
+	}).Run([]string{"a"})
+	if err != nil || len(out) != 1 || len(reports) != 1 {
+		t.Fatalf("core pipeline: %v %v %v", out, reports, err)
+	}
+}

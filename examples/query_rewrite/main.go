@@ -1,0 +1,65 @@
+// Query rewriting with verification: the §2.2.1 principle in action — an
+// unreliable (simulated) LLM proposes rewrites, and execution-based
+// equivalence checking against a witness database decides which to trust.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dataai/internal/relation"
+	"dataai/internal/rewrite"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Witness database with rows on predicate boundaries: the verifier
+	// is only as good as the witness's ability to discriminate.
+	tbl, err := relation.NewTable("orders", relation.Schema{
+		{Name: "id", Type: relation.Int},
+		{Name: "amount", Type: relation.Float},
+		{Name: "region", Type: relation.String},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		region := "east"
+		if i%2 == 0 {
+			region = "west"
+		}
+		tbl.MustInsert(relation.Row{int64(i), float64(i * 10), region})
+	}
+	witness := relation.Catalog{"orders": tbl}
+
+	r := &rewrite.Rewriter{
+		// UnsoundRate 1: the "LLM" always also proposes a subtly wrong
+		// bound relaxation, which the verifier must catch.
+		Proposer: rewrite.SimulatedLLMProposer{UnsoundRate: 1, Seed: 7},
+		Witness:  witness,
+	}
+
+	queries := []string{
+		"SELECT id FROM orders WHERE amount > 100 AND amount > 50",
+		"SELECT count(*) AS n FROM orders WHERE region = 'east' ORDER BY n",
+		"SELECT id FROM orders WHERE amount >= 100",
+		"SELECT id FROM orders WHERE region = 'east' AND region = 'east'",
+	}
+	for _, q := range queries {
+		res, err := r.Rewrite(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("original: %s\n", q)
+		if res.Applied != "" {
+			fmt.Printf("  rewritten via %s:\n  %s\n", res.Applied, res.SQL)
+		} else {
+			fmt.Println("  kept as-is")
+		}
+		for _, rej := range res.Rejected {
+			fmt.Printf("  rejected: %s\n", rej)
+		}
+		fmt.Println()
+	}
+}

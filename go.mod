@@ -1,0 +1,3 @@
+module dataai
+
+go 1.22

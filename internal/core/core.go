@@ -1,0 +1,158 @@
+// Package core is the Figure 1 orchestration layer — the paper's actual
+// contribution: an architecture in which LLM4Data techniques (RAG,
+// semantic operators, lake planning) and Data4LLM techniques (preparation,
+// training, serving) compose around a shared model hub.
+//
+// Three pieces live here:
+//
+//   - Hub: the "LLM Hub" box — a registry of model clients with routing
+//     and per-model response caching.
+//   - Pipeline: named data-processing stages composed over document
+//     collections, with per-stage accounting — the unified
+//     "LLM-in-the-loop data preparation" the paper's open challenges call
+//     for (§2.4), assembled from package dataprep's primitives.
+//   - Flywheel: the §2.4 "data flywheel" — serve, collect feedback,
+//     fold feedback back into the data, measurably improving the served
+//     model (experiment E17).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dataai/internal/llm"
+)
+
+// Errors callers branch on.
+var (
+	// ErrUnknownModel indicates a Hub lookup for an unregistered name.
+	ErrUnknownModel = errors.New("core: unknown model")
+	// ErrNoStages indicates an empty pipeline.
+	ErrNoStages = errors.New("core: pipeline has no stages")
+)
+
+// Hub routes completion calls to registered model clients.
+type Hub struct {
+	clients map[string]llm.Client
+	caches  map[string]*llm.Cache
+	def     string
+	order   []string
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{clients: make(map[string]llm.Client), caches: make(map[string]*llm.Cache)}
+}
+
+// Register adds a client under name. withCache wraps it in a shared
+// response cache (the §2.2.1 cost-efficiency principle). The first
+// registered model becomes the default.
+func (h *Hub) Register(name string, c llm.Client, withCache bool) error {
+	if name == "" || c == nil {
+		return fmt.Errorf("core: register needs a name and client")
+	}
+	if _, dup := h.clients[name]; dup {
+		return fmt.Errorf("core: model %q already registered", name)
+	}
+	if withCache {
+		cache := llm.NewCache(c)
+		h.caches[name] = cache
+		c = cache
+	}
+	h.clients[name] = c
+	h.order = append(h.order, name)
+	if h.def == "" {
+		h.def = name
+	}
+	return nil
+}
+
+// SetDefault picks the model used by Default.
+func (h *Hub) SetDefault(name string) error {
+	if _, ok := h.clients[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	h.def = name
+	return nil
+}
+
+// Client returns the named client.
+func (h *Hub) Client(name string) (llm.Client, error) {
+	c, ok := h.clients[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return c, nil
+}
+
+// Default returns the default client, or nil when none is registered.
+func (h *Hub) Default() llm.Client {
+	if h.def == "" {
+		return nil
+	}
+	return h.clients[h.def]
+}
+
+// Models lists registered names in registration order.
+func (h *Hub) Models() []string { return append([]string(nil), h.order...) }
+
+// CacheStats sums hits and misses across cached models.
+func (h *Hub) CacheStats() (hits, misses int64) {
+	names := make([]string, 0, len(h.caches))
+	for n := range h.caches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		hi, mi := h.caches[n].Stats()
+		hits += hi
+		misses += mi
+	}
+	return hits, misses
+}
+
+// Stage is one pipeline step over a document collection.
+type Stage struct {
+	Name string
+	// Fn transforms the collection. Returning an error aborts the run.
+	Fn func(docs []string) ([]string, error)
+}
+
+// StageReport records one executed stage.
+type StageReport struct {
+	Name    string
+	In, Out int
+}
+
+// Pipeline composes stages.
+type Pipeline struct {
+	stages []Stage
+}
+
+// NewPipeline builds a pipeline from stages.
+func NewPipeline(stages ...Stage) *Pipeline { return &Pipeline{stages: stages} }
+
+// Append adds a stage and returns the pipeline for chaining.
+func (p *Pipeline) Append(s Stage) *Pipeline {
+	p.stages = append(p.stages, s)
+	return p
+}
+
+// Run executes the stages in order.
+func (p *Pipeline) Run(docs []string) ([]string, []StageReport, error) {
+	if len(p.stages) == 0 {
+		return nil, nil, ErrNoStages
+	}
+	reports := make([]StageReport, 0, len(p.stages))
+	cur := docs
+	for i, s := range p.stages {
+		out, err := s.Fn(cur)
+		if err != nil {
+			return nil, reports, fmt.Errorf("core: stage %d (%s): %w", i, s.Name, err)
+		}
+		reports = append(reports, StageReport{Name: s.Name, In: len(cur), Out: len(out)})
+		cur = out
+	}
+	return cur, reports, nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+
+	"dataai/internal/corpus"
+	"dataai/internal/docstore"
+	"dataai/internal/rag"
+)
+
+// Flywheel implements §2.4's "self-reinforcing cycle where data
+// collection, analysis, and application continuously enhance model
+// accuracy and serving quality, while in turn driving further data
+// generation": a RAG-served QA system whose wrong or refused answers
+// trigger user feedback; accepted feedback is converted into new
+// documents (the data-preparation step) and ingested, so later traffic
+// over the same question distribution is answered better.
+type Flywheel struct {
+	pipeline *rag.Pipeline
+	// FeedbackRate is the probability a user corrects a wrong answer.
+	FeedbackRate float64
+	rng          *rand.Rand
+	ingested     int
+	seen         map[string]bool
+	// byQuestion maps a corrected question to its feedback document id,
+	// so later retractions (a user withdrawing or fixing feedback) can
+	// remove exactly that knowledge.
+	byQuestion map[string]string
+}
+
+// NewFlywheel wraps a RAG pipeline. feedbackRate in [0,1].
+func NewFlywheel(p *rag.Pipeline, feedbackRate float64, seed int64) (*Flywheel, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: flywheel needs a pipeline")
+	}
+	if feedbackRate < 0 || feedbackRate > 1 {
+		return nil, fmt.Errorf("core: feedback rate %v out of range", feedbackRate)
+	}
+	return &Flywheel{
+		pipeline:     p,
+		FeedbackRate: feedbackRate,
+		rng:          rand.New(rand.NewSource(seed)),
+		seen:         make(map[string]bool),
+		byQuestion:   make(map[string]string),
+	}, nil
+}
+
+// IterationReport summarizes one flywheel turn.
+type IterationReport struct {
+	Served    int
+	Correct   int
+	Feedback  int
+	NewDocs   int
+	TotalDocs int
+}
+
+// Accuracy is Correct/Served.
+func (r IterationReport) Accuracy() float64 {
+	if r.Served == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Served)
+}
+
+var flywheelQuestionRe = regexp.MustCompile(`^What is the (.+) of (.+)\?$`)
+
+// Iterate serves the batch of QA traffic, collects feedback on failures,
+// and ingests the corrected knowledge.
+func (f *Flywheel) Iterate(batch []corpus.QA) (IterationReport, error) {
+	var rep IterationReport
+	type correction struct {
+		question, answer string
+	}
+	var pending []correction
+	for _, qa := range batch {
+		ans, err := f.pipeline.Answer(qa.Question)
+		if err != nil {
+			return rep, fmt.Errorf("core: flywheel serve: %w", err)
+		}
+		rep.Served++
+		if ans.Text == qa.Answer {
+			rep.Correct++
+			continue
+		}
+		// Wrong or refused: the user supplies the correction with
+		// probability FeedbackRate (§2.4's feedback loop).
+		if f.rng.Float64() < f.FeedbackRate {
+			pending = append(pending, correction{qa.Question, qa.Answer})
+			rep.Feedback++
+		}
+	}
+	// Data preparation: convert corrections into knowledge documents and
+	// ingest ones not already folded in.
+	for _, c := range pending {
+		doc := correctionDoc(c.question, c.answer)
+		if doc == "" || f.seen[doc] {
+			continue
+		}
+		f.seen[doc] = true
+		f.ingested++
+		id := fmt.Sprintf("feedback-%05d", f.ingested)
+		if err := f.pipeline.Ingest([]docstore.Document{{ID: id, Text: doc}}); err != nil {
+			return rep, fmt.Errorf("core: flywheel ingest: %w", err)
+		}
+		f.byQuestion[c.question] = id
+		rep.NewDocs++
+	}
+	rep.TotalDocs = f.pipeline.ChunkCount()
+	return rep, nil
+}
+
+// Retract withdraws previously ingested feedback for a question — the
+// flywheel's data-quality escape hatch: user corrections are themselves
+// data that can be wrong, and a loop that can only add knowledge
+// compounds errors as readily as facts.
+func (f *Flywheel) Retract(question string) error {
+	id, ok := f.byQuestion[question]
+	if !ok {
+		return fmt.Errorf("core: no feedback recorded for %q", question)
+	}
+	if err := f.pipeline.Remove(id); err != nil {
+		return fmt.Errorf("core: retract: %w", err)
+	}
+	delete(f.byQuestion, question)
+	// Allow the same correction to be re-learned later.
+	for doc := range f.seen {
+		if docMatchesQuestion(doc, question) {
+			delete(f.seen, doc)
+		}
+	}
+	return nil
+}
+
+func docMatchesQuestion(doc, question string) bool {
+	m := flywheelQuestionRe.FindStringSubmatch(question)
+	if m == nil {
+		return false
+	}
+	prefix := fmt.Sprintf("The %s of %s is ", m[1], m[2])
+	return len(doc) >= len(prefix) && doc[:len(prefix)] == prefix
+}
+
+// correctionDoc restates a corrected QA pair as a fact document the
+// retrieval layer (and the grounded model) can use.
+func correctionDoc(question, answer string) string {
+	m := flywheelQuestionRe.FindStringSubmatch(question)
+	if m == nil {
+		return ""
+	}
+	return fmt.Sprintf("The %s of %s is %s.", m[1], m[2], answer)
+}

@@ -1,0 +1,505 @@
+// Package corpus generates synthetic text corpora with known ground truth.
+//
+// The paper's experiments need web-scale corpora (The Pile, C4) and
+// production document collections; neither is available offline, and more
+// importantly neither carries the *labels* needed to score data-preparation
+// or analytics quality. This generator substitutes corpora where everything
+// is known by construction:
+//
+//   - Facts: (subject, relation, object) triples per domain, rendered into
+//     natural sentences. They are the retrieval ground truth for RAG (E1)
+//     and the knowledge base of the simulated LLM.
+//   - QA pairs: single-hop and multi-hop questions whose answers and
+//     supporting documents are recorded.
+//   - Quality labels: documents are clean, noisy (gibberish-heavy),
+//     boilerplate, or toxic (containing lexicon markers), so filtering
+//     precision/recall is measurable (E8).
+//   - Duplicates: exact and near duplicates with provenance, so dedup
+//     recall is measurable (E8).
+//   - Domains: every document belongs to a domain, so mixture optimization
+//     has a target to hit (E6).
+//
+// Generation is fully deterministic for a given Config.Seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Kind labels the quality class of a generated document.
+type Kind int
+
+// Document quality classes.
+const (
+	Clean Kind = iota
+	Noisy
+	Boilerplate
+	Toxic
+	Duplicate
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Clean:
+		return "clean"
+	case Noisy:
+		return "noisy"
+	case Boilerplate:
+		return "boilerplate"
+	case Toxic:
+		return "toxic"
+	case Duplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fact is a (subject, relation, object) triple attached to a domain.
+type Fact struct {
+	Subject  string
+	Relation string
+	Object   string
+	Domain   string
+}
+
+// Sentence renders the fact as a natural-language sentence.
+func (f Fact) Sentence() string {
+	return fmt.Sprintf("The %s of %s is %s.", f.Relation, f.Subject, f.Object)
+}
+
+// Doc is one generated document.
+type Doc struct {
+	ID     string
+	Domain string
+	Text   string
+	Kind   Kind
+	// DupOf holds the original document's ID when Kind == Duplicate.
+	DupOf string
+	// Facts lists the triples stated inside this document.
+	Facts []Fact
+}
+
+// QA is a question with its gold answer and supporting documents.
+type QA struct {
+	Question string
+	Answer   string
+	// Hops is 1 for direct lookups, 2 for chained questions.
+	Hops int
+	// SupportDocs lists IDs of documents that state the needed facts.
+	SupportDocs []string
+	Domain      string
+}
+
+// Corpus is the full generated collection.
+type Corpus struct {
+	Docs  []Doc
+	Facts []Fact
+	QAs   []QA
+	// ToxicLexicon lists the marker tokens injected into Toxic docs;
+	// cleaning filters receive it as domain knowledge.
+	ToxicLexicon []string
+	// Domains lists the domain names used, in generation order.
+	Domains []string
+}
+
+// Config controls corpus generation. The zero value is not useful;
+// call DefaultConfig and adjust.
+type Config struct {
+	Seed int64
+	// Domains to generate, with relative document weights.
+	Domains []DomainConfig
+	// EntitiesPerDomain is the number of distinct subjects per domain.
+	EntitiesPerDomain int
+	// DocsPerDomainWeight scales total documents: a domain with weight w
+	// gets round(w * DocsPerDomainWeight) documents.
+	DocsPerDomainWeight int
+	// DuplicateFraction of documents are near/exact duplicates of
+	// earlier documents (0..1).
+	DuplicateFraction float64
+	// NoisyFraction of documents are gibberish-heavy (0..1).
+	NoisyFraction float64
+	// ToxicFraction of documents contain toxic markers (0..1).
+	ToxicFraction float64
+	// BoilerplateFraction of documents are repeated boilerplate (0..1).
+	BoilerplateFraction float64
+	// SentencesPerDoc is the mean document length in sentences.
+	SentencesPerDoc int
+	// QACount is the number of single-hop QA pairs to emit.
+	QACount int
+	// MultiHopQACount is the number of 2-hop QA pairs to emit.
+	MultiHopQACount int
+}
+
+// DomainConfig names a domain and weights its share of the corpus.
+type DomainConfig struct {
+	Name   string
+	Weight int
+}
+
+// DefaultConfig returns a moderate four-domain configuration suitable for
+// unit tests and examples.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed: seed,
+		Domains: []DomainConfig{
+			{Name: "finance", Weight: 4},
+			{Name: "medicine", Weight: 3},
+			{Name: "technology", Weight: 2},
+			{Name: "sports", Weight: 1},
+		},
+		EntitiesPerDomain:   40,
+		DocsPerDomainWeight: 60,
+		DuplicateFraction:   0.1,
+		NoisyFraction:       0.05,
+		ToxicFraction:       0.05,
+		BoilerplateFraction: 0.05,
+		SentencesPerDoc:     6,
+		QACount:             80,
+		MultiHopQACount:     20,
+	}
+}
+
+// relations available per domain; objects are synthesized values.
+var domainRelations = map[string][]string{
+	"finance":    {"ceo", "revenue", "headquarters", "founder", "ticker", "sector"},
+	"medicine":   {"treatment", "dosage", "symptom", "discoverer", "pathogen", "vaccine"},
+	"technology": {"inventor", "language", "release year", "maintainer", "license", "platform"},
+	"sports":     {"coach", "stadium", "captain", "league", "record", "mascot"},
+}
+
+var genericRelations = []string{"origin", "category", "owner", "location", "status", "rank"}
+
+// Background filler vocabulary per domain, used for distractor sentences.
+var domainFiller = map[string][]string{
+	"finance":    {"market", "shares", "dividend", "quarter", "earnings", "portfolio", "merger", "capital", "asset", "equity", "bond", "analyst"},
+	"medicine":   {"clinical", "trial", "patient", "diagnosis", "therapy", "chronic", "acute", "protein", "cell", "immune", "receptor", "gene"},
+	"technology": {"compiler", "kernel", "protocol", "latency", "throughput", "cluster", "cache", "runtime", "module", "framework", "sensor", "network"},
+	"sports":     {"season", "championship", "tournament", "transfer", "training", "defense", "offense", "score", "referee", "stadium", "playoff", "medal"},
+}
+
+var genericFiller = []string{"report", "study", "analysis", "review", "summary", "update", "overview", "context", "detail", "note", "trend", "signal"}
+
+var toxicLexicon = []string{"grubflark", "snarkvile", "mudgehex", "vranklot", "pestroil", "quagspit"}
+
+var boilerplateText = "subscribe to our newsletter for the latest updates . all rights reserved . terms and conditions apply . click here to read more . follow us on social media ."
+
+// syllables used to synthesize entity names deterministically.
+var nameSyllables = []string{"zor", "vex", "lum", "tar", "quin", "bel", "dra", "fen", "gal", "hax", "mir", "nol", "pex", "rav", "syl", "tob", "ul", "wix", "yor", "kel"}
+
+var valueSyllables = []string{"an", "or", "el", "im", "os", "ur", "et", "ax", "on", "ir"}
+
+// Generator produces corpora from a Config.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGenerator validates cfg and returns a Generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if len(cfg.Domains) == 0 {
+		return nil, fmt.Errorf("corpus: config needs at least one domain")
+	}
+	if cfg.EntitiesPerDomain < 1 {
+		return nil, fmt.Errorf("corpus: EntitiesPerDomain must be >= 1, got %d", cfg.EntitiesPerDomain)
+	}
+	if cfg.DocsPerDomainWeight < 1 {
+		return nil, fmt.Errorf("corpus: DocsPerDomainWeight must be >= 1, got %d", cfg.DocsPerDomainWeight)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"DuplicateFraction", cfg.DuplicateFraction},
+		{"NoisyFraction", cfg.NoisyFraction},
+		{"ToxicFraction", cfg.ToxicFraction},
+		{"BoilerplateFraction", cfg.BoilerplateFraction},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return nil, fmt.Errorf("corpus: %s out of range: %v", f.name, f.v)
+		}
+	}
+	if cfg.SentencesPerDoc < 1 {
+		cfg.SentencesPerDoc = 1
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Generate builds the corpus.
+func (g *Generator) Generate() *Corpus {
+	c := &Corpus{ToxicLexicon: append([]string(nil), toxicLexicon...)}
+	factsByDomain := make(map[string][]Fact)
+	factDoc := make(map[Fact]string) // fact -> first doc stating it
+
+	for _, d := range g.cfg.Domains {
+		c.Domains = append(c.Domains, d.Name)
+		facts := g.genFacts(d.Name)
+		factsByDomain[d.Name] = facts
+		c.Facts = append(c.Facts, facts...)
+	}
+
+	docID := 0
+	nextID := func() string {
+		id := fmt.Sprintf("doc-%05d", docID)
+		docID++
+		return id
+	}
+
+	for _, d := range g.cfg.Domains {
+		nDocs := d.Weight * g.cfg.DocsPerDomainWeight
+		facts := factsByDomain[d.Name]
+		var domainDocs []Doc // originals generated for this domain so far
+		for i := 0; i < nDocs; i++ {
+			roll := g.rng.Float64()
+			var doc Doc
+			switch {
+			case roll < g.cfg.DuplicateFraction && len(domainDocs) > 0:
+				orig := domainDocs[g.rng.Intn(len(domainDocs))]
+				doc = g.duplicateOf(orig, nextID())
+			case roll < g.cfg.DuplicateFraction+g.cfg.NoisyFraction:
+				doc = g.noisyDoc(d.Name, nextID())
+			case roll < g.cfg.DuplicateFraction+g.cfg.NoisyFraction+g.cfg.ToxicFraction:
+				doc = g.toxicDoc(d.Name, facts, nextID())
+			case roll < g.cfg.DuplicateFraction+g.cfg.NoisyFraction+g.cfg.ToxicFraction+g.cfg.BoilerplateFraction:
+				doc = Doc{ID: nextID(), Domain: d.Name, Text: boilerplateText, Kind: Boilerplate}
+			default:
+				doc = g.cleanDoc(d.Name, facts, nextID())
+			}
+			for _, f := range doc.Facts {
+				if _, ok := factDoc[f]; !ok {
+					factDoc[f] = doc.ID
+				}
+			}
+			if doc.Kind != Duplicate {
+				domainDocs = append(domainDocs, doc)
+			}
+			c.Docs = append(c.Docs, doc)
+		}
+	}
+
+	g.genQAs(c, factDoc)
+	return c
+}
+
+// genFacts creates EntitiesPerDomain subjects, each with 2-4 facts.
+func (g *Generator) genFacts(domain string) []Fact {
+	rels := domainRelations[domain]
+	if rels == nil {
+		rels = genericRelations
+	}
+	var facts []Fact
+	for e := 0; e < g.cfg.EntitiesPerDomain; e++ {
+		subject := g.entityName(domain, e)
+		nf := 2 + g.rng.Intn(3)
+		perm := g.rng.Perm(len(rels))
+		for r := 0; r < nf && r < len(rels); r++ {
+			facts = append(facts, Fact{
+				Subject:  subject,
+				Relation: rels[perm[r]],
+				Object:   g.valueName(),
+				Domain:   domain,
+			})
+		}
+	}
+	return facts
+}
+
+func (g *Generator) entityName(domain string, idx int) string {
+	// Deterministic per (domain, idx): seed a local generator so names
+	// are stable regardless of rng consumption order.
+	local := rand.New(rand.NewSource(g.cfg.Seed ^ int64(idx)<<8 ^ int64(len(domain))))
+	n := 2 + local.Intn(2)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(nameSyllables[local.Intn(len(nameSyllables))])
+	}
+	return strings.Title(b.String()) + " " + strings.Title(domain[:1]) + domain[1:2] //nolint:staticcheck // ASCII domains only
+}
+
+func (g *Generator) valueName() string {
+	n := 2 + g.rng.Intn(3)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(valueSyllables[g.rng.Intn(len(valueSyllables))])
+	}
+	return b.String()
+}
+
+func (g *Generator) fillerSentence(domain string) string {
+	words := domainFiller[domain]
+	if words == nil {
+		words = genericFiller
+	}
+	n := 5 + g.rng.Intn(6)
+	parts := make([]string, n)
+	for i := range parts {
+		if g.rng.Float64() < 0.3 {
+			parts[i] = genericFiller[g.rng.Intn(len(genericFiller))]
+		} else {
+			parts[i] = words[g.rng.Intn(len(words))]
+		}
+	}
+	return strings.Join(parts, " ") + " ."
+}
+
+// cleanDoc states 1-3 facts surrounded by domain filler.
+func (g *Generator) cleanDoc(domain string, facts []Fact, id string) Doc {
+	nf := 1 + g.rng.Intn(3)
+	var stated []Fact
+	var sentences []string
+	for i := 0; i < nf && len(facts) > 0; i++ {
+		f := facts[g.rng.Intn(len(facts))]
+		stated = append(stated, f)
+		sentences = append(sentences, f.Sentence())
+	}
+	for len(sentences) < g.cfg.SentencesPerDoc {
+		sentences = append(sentences, g.fillerSentence(domain))
+	}
+	g.shuffleStrings(sentences)
+	return Doc{ID: id, Domain: domain, Text: strings.Join(sentences, " "), Kind: Clean, Facts: stated}
+}
+
+func (g *Generator) noisyDoc(domain, id string) Doc {
+	n := g.cfg.SentencesPerDoc * 8
+	parts := make([]string, n)
+	for i := range parts {
+		// Gibberish: random consonant strings that no filter vocabulary
+		// contains, with high repetition.
+		parts[i] = fmt.Sprintf("zzq%c%c", 'a'+byte(g.rng.Intn(26)), 'a'+byte(g.rng.Intn(26)))
+	}
+	return Doc{ID: id, Domain: domain, Text: strings.Join(parts, " "), Kind: Noisy}
+}
+
+func (g *Generator) toxicDoc(domain string, facts []Fact, id string) Doc {
+	base := g.cleanDoc(domain, facts, id)
+	toks := strings.Fields(base.Text)
+	nToxic := 1 + g.rng.Intn(3)
+	for i := 0; i < nToxic; i++ {
+		w := toxicLexicon[g.rng.Intn(len(toxicLexicon))]
+		pos := g.rng.Intn(len(toks) + 1)
+		toks = append(toks[:pos], append([]string{w}, toks[pos:]...)...)
+	}
+	return Doc{ID: id, Domain: domain, Text: strings.Join(toks, " "), Kind: Toxic, Facts: base.Facts}
+}
+
+// duplicateOf produces an exact copy or a near-duplicate (a few token
+// substitutions) of orig.
+func (g *Generator) duplicateOf(orig Doc, id string) Doc {
+	text := orig.Text
+	if g.rng.Float64() < 0.5 { // near duplicate: perturb ~3% of tokens
+		toks := strings.Fields(text)
+		n := len(toks)/33 + 1
+		for i := 0; i < n && len(toks) > 0; i++ {
+			toks[g.rng.Intn(len(toks))] = genericFiller[g.rng.Intn(len(genericFiller))]
+		}
+		text = strings.Join(toks, " ")
+	}
+	src := orig.ID
+	if orig.Kind == Duplicate && orig.DupOf != "" {
+		src = orig.DupOf // chain duplicates back to the root
+	}
+	return Doc{ID: id, Domain: orig.Domain, Text: text, Kind: Duplicate, DupOf: src, Facts: orig.Facts}
+}
+
+func (g *Generator) shuffleStrings(s []string) {
+	g.rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// genQAs emits single-hop and two-hop QA pairs for facts that appear in
+// at least one document.
+func (g *Generator) genQAs(c *Corpus, factDoc map[Fact]string) {
+	var answerable []Fact
+	for _, f := range c.Facts {
+		if _, ok := factDoc[f]; ok {
+			answerable = append(answerable, f)
+		}
+	}
+	if len(answerable) == 0 {
+		return
+	}
+	for i := 0; i < g.cfg.QACount; i++ {
+		f := answerable[g.rng.Intn(len(answerable))]
+		c.QAs = append(c.QAs, QA{
+			Question:    fmt.Sprintf("What is the %s of %s?", f.Relation, f.Subject),
+			Answer:      f.Object,
+			Hops:        1,
+			SupportDocs: []string{factDoc[f]},
+			Domain:      f.Domain,
+		})
+	}
+	// Two-hop: find pairs f1=(s, r1, mid) and f2 whose subject contains
+	// mid is unlikely with synthesized values, so instead chain through
+	// shared subjects: "What is the r2 of the entity whose r1 is x?"
+	bySubject := make(map[string][]Fact)
+	for _, f := range answerable {
+		bySubject[f.Subject] = append(bySubject[f.Subject], f)
+	}
+	var subjects []string
+	for s, fs := range bySubject {
+		if len(fs) >= 2 {
+			subjects = append(subjects, s)
+		}
+	}
+	sort.Strings(subjects) // map iteration order must not leak into output
+	for i := 0; i < g.cfg.MultiHopQACount && len(subjects) > 0; i++ {
+		s := subjects[g.rng.Intn(len(subjects))]
+		fs := bySubject[s]
+		f1 := fs[g.rng.Intn(len(fs))]
+		f2 := fs[g.rng.Intn(len(fs))]
+		if f1 == f2 {
+			continue
+		}
+		c.QAs = append(c.QAs, QA{
+			Question:    fmt.Sprintf("What is the %s of the entity whose %s is %s?", f2.Relation, f1.Relation, f1.Object),
+			Answer:      f2.Object,
+			Hops:        2,
+			SupportDocs: []string{factDoc[f1], factDoc[f2]},
+			Domain:      f1.Domain,
+		})
+	}
+}
+
+// DocByID returns the document with the given id.
+func (c *Corpus) DocByID(id string) (Doc, bool) {
+	for _, d := range c.Docs {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Doc{}, false
+}
+
+// CountKind returns the number of documents of kind k.
+func (c *Corpus) CountKind(k Kind) int {
+	n := 0
+	for _, d := range c.Docs {
+		if d.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// DomainDocs returns the documents belonging to domain.
+func (c *Corpus) DomainDocs(domain string) []Doc {
+	var out []Doc
+	for _, d := range c.Docs {
+		if d.Domain == domain {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Texts returns all document texts in order.
+func (c *Corpus) Texts() []string {
+	out := make([]string, len(c.Docs))
+	for i, d := range c.Docs {
+		out[i] = d.Text
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustGen(t *testing.T, cfg Config) *Corpus {
+	t.Helper()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Generate()
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(42)
+	a := mustGen(t, cfg)
+	b := mustGen(t, cfg)
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatalf("doc counts differ: %d vs %d", len(a.Docs), len(b.Docs))
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Text != b.Docs[i].Text || a.Docs[i].ID != b.Docs[i].ID {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+	if len(a.QAs) != len(b.QAs) {
+		t.Fatal("QA counts differ")
+	}
+}
+
+func TestSeedChangesCorpus(t *testing.T) {
+	a := mustGen(t, DefaultConfig(1))
+	b := mustGen(t, DefaultConfig(2))
+	same := 0
+	for i := range a.Docs {
+		if i < len(b.Docs) && a.Docs[i].Text == b.Docs[i].Text {
+			same++
+		}
+	}
+	if same > len(a.Docs)/2 {
+		t.Errorf("seeds 1 and 2 produced %d/%d identical docs", same, len(a.Docs))
+	}
+}
+
+func TestDocCountsMatchWeights(t *testing.T) {
+	cfg := DefaultConfig(7)
+	c := mustGen(t, cfg)
+	total := 0
+	for _, d := range cfg.Domains {
+		n := len(c.DomainDocs(d.Name))
+		want := d.Weight * cfg.DocsPerDomainWeight
+		if n != want {
+			t.Errorf("domain %s has %d docs, want %d", d.Name, n, want)
+		}
+		total += n
+	}
+	if total != len(c.Docs) {
+		t.Errorf("domain docs sum %d != total %d", total, len(c.Docs))
+	}
+}
+
+func TestKindFractionsApproximate(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.DocsPerDomainWeight = 200 // larger sample for stable fractions
+	c := mustGen(t, cfg)
+	n := float64(len(c.Docs))
+	dup := float64(c.CountKind(Duplicate)) / n
+	if dup < 0.05 || dup > 0.2 {
+		t.Errorf("duplicate fraction %v far from configured 0.1", dup)
+	}
+	tox := float64(c.CountKind(Toxic)) / n
+	if tox < 0.02 || tox > 0.1 {
+		t.Errorf("toxic fraction %v far from configured 0.05", tox)
+	}
+	if c.CountKind(Clean) == 0 {
+		t.Error("no clean docs")
+	}
+}
+
+func TestDuplicatesHaveValidProvenance(t *testing.T) {
+	c := mustGen(t, DefaultConfig(13))
+	ids := make(map[string]Kind, len(c.Docs))
+	for _, d := range c.Docs {
+		ids[d.ID] = d.Kind
+	}
+	for _, d := range c.Docs {
+		if d.Kind != Duplicate {
+			continue
+		}
+		if d.DupOf == "" {
+			t.Fatalf("duplicate %s missing DupOf", d.ID)
+		}
+		k, ok := ids[d.DupOf]
+		if !ok {
+			t.Fatalf("duplicate %s points at unknown doc %s", d.ID, d.DupOf)
+		}
+		if k == Duplicate {
+			t.Errorf("duplicate %s chains to another duplicate %s", d.ID, d.DupOf)
+		}
+	}
+}
+
+func TestToxicDocsContainLexicon(t *testing.T) {
+	c := mustGen(t, DefaultConfig(17))
+	for _, d := range c.Docs {
+		if d.Kind != Toxic {
+			continue
+		}
+		found := false
+		for _, w := range c.ToxicLexicon {
+			if strings.Contains(d.Text, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("toxic doc %s contains no lexicon marker", d.ID)
+		}
+	}
+}
+
+func TestQAsAreAnswerable(t *testing.T) {
+	c := mustGen(t, DefaultConfig(19))
+	if len(c.QAs) == 0 {
+		t.Fatal("no QAs generated")
+	}
+	multiHop := 0
+	for _, qa := range c.QAs {
+		if qa.Answer == "" || qa.Question == "" {
+			t.Fatal("empty QA fields")
+		}
+		if len(qa.SupportDocs) < qa.Hops {
+			t.Errorf("QA %q: %d support docs for %d hops", qa.Question, len(qa.SupportDocs), qa.Hops)
+		}
+		for _, id := range qa.SupportDocs {
+			doc, ok := c.DocByID(id)
+			if !ok {
+				t.Fatalf("support doc %s missing", id)
+			}
+			// The supporting document must mention the relevant text.
+			if qa.Hops == 1 && !strings.Contains(doc.Text, qa.Answer) {
+				t.Errorf("support doc %s does not contain answer %q", id, qa.Answer)
+			}
+		}
+		if qa.Hops == 2 {
+			multiHop++
+		}
+	}
+	if multiHop == 0 {
+		t.Error("no multi-hop QAs generated")
+	}
+}
+
+func TestFactSentenceStatedInSupportDoc(t *testing.T) {
+	c := mustGen(t, DefaultConfig(23))
+	for _, d := range c.Docs {
+		for _, f := range d.Facts {
+			if d.Kind == Duplicate || d.Kind == Toxic {
+				continue // near-duplicates and toxic docs may perturb wording
+			}
+			if !strings.Contains(d.Text, f.Object) {
+				t.Errorf("doc %s missing fact object %q", d.ID, f.Object)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Domains: []DomainConfig{{"x", 1}}, EntitiesPerDomain: 0, DocsPerDomainWeight: 1},
+		{Domains: []DomainConfig{{"x", 1}}, EntitiesPerDomain: 1, DocsPerDomainWeight: 0},
+		func() Config { c := DefaultConfig(1); c.ToxicFraction = 1.5; return c }(),
+		func() Config { c := DefaultConfig(1); c.DuplicateFraction = -0.1; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("config %d should have failed validation", i)
+		}
+	}
+}
+
+func TestDocByID(t *testing.T) {
+	c := mustGen(t, DefaultConfig(29))
+	d, ok := c.DocByID(c.Docs[3].ID)
+	if !ok || d.ID != c.Docs[3].ID {
+		t.Error("DocByID failed for existing doc")
+	}
+	if _, ok := c.DocByID("nope"); ok {
+		t.Error("DocByID found nonexistent doc")
+	}
+}
+
+func TestTexts(t *testing.T) {
+	c := mustGen(t, DefaultConfig(31))
+	texts := c.Texts()
+	if len(texts) != len(c.Docs) {
+		t.Fatal("Texts length mismatch")
+	}
+	if texts[0] != c.Docs[0].Text {
+		t.Error("Texts order mismatch")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Clean: "clean", Noisy: "noisy", Boilerplate: "boilerplate",
+		Toxic: "toxic", Duplicate: "duplicate", Kind(99): "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestGenerateRecords(t *testing.T) {
+	attrs := []string{"name", "owner", "status"}
+	rs, err := GenerateRecords(5, 100, attrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) != 100 {
+		t.Fatalf("got %d records", len(rs.Records))
+	}
+	formats := map[int]int{}
+	for _, r := range rs.Records {
+		formats[r.Format]++
+		if len(r.Gold) != len(attrs) {
+			t.Fatalf("record %s gold has %d attrs", r.ID, len(r.Gold))
+		}
+		// With zero noise, every gold value must appear in the text.
+		for a, v := range r.Gold {
+			if !strings.Contains(r.Text, v) {
+				t.Errorf("record %s (fmt %d) missing %s value %q", r.ID, r.Format, a, v)
+			}
+		}
+	}
+	if len(formats) != NumRecordFormats {
+		t.Errorf("only %d formats used", len(formats))
+	}
+}
+
+func TestGenerateRecordsNoise(t *testing.T) {
+	attrs := []string{"alpha", "beta"}
+	rs, err := GenerateRecords(9, 200, attrs, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, r := range rs.Records {
+		for _, v := range r.Gold {
+			if !strings.Contains(r.Text, v) {
+				corrupted++
+				break
+			}
+		}
+	}
+	if corrupted < 20 || corrupted > 120 {
+		t.Errorf("corrupted count %d far from expected ~60", corrupted)
+	}
+}
+
+func TestGenerateRecordsValidation(t *testing.T) {
+	if _, err := GenerateRecords(1, 0, []string{"a"}, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := GenerateRecords(1, 5, nil, 0); err == nil {
+		t.Error("no attrs should fail")
+	}
+	if _, err := GenerateRecords(1, 5, []string{"a"}, 2); err == nil {
+		t.Error("bad noise rate should fail")
+	}
+}
+
+func TestGenerateRecordsDeterministic(t *testing.T) {
+	attrs := []string{"x", "y"}
+	a, _ := GenerateRecords(3, 50, attrs, 0.1)
+	b, _ := GenerateRecords(3, 50, attrs, 0.1)
+	for i := range a.Records {
+		if a.Records[i].Text != b.Records[i].Text {
+			t.Fatal("records not deterministic")
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := DefaultConfig(1)
+	for i := 0; i < b.N; i++ {
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Generate()
+	}
+}

@@ -1,0 +1,110 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Record is a semi-structured document describing one entity, paired with
+// its gold attribute map. It is the workload for the schema-extraction
+// experiment (E3, Evaporate): extractors must recover Gold from Text.
+type Record struct {
+	ID   string
+	Text string
+	// Gold maps attribute name -> true value.
+	Gold map[string]string
+	// Format identifies which of the rendering templates was used,
+	// so tests can assert per-format extraction behaviour.
+	Format int
+}
+
+// RecordSet is a collection of records sharing one schema.
+type RecordSet struct {
+	Attributes []string
+	Records    []Record
+}
+
+// NumRecordFormats is how many distinct textual renderings GenerateRecords
+// uses. Evaporate's premise is that a handful of layout conventions cover
+// a semi-structured collection; rule-based extractors synthesized from a
+// sample then generalize.
+const NumRecordFormats = 3
+
+// GenerateRecords produces n semi-structured records over the given
+// attributes. Each record renders its attributes in one of three formats:
+//
+//	0: "attr: value" lines
+//	1: "attr = value" lines with surrounding chatter
+//	2: prose sentences "the attr is value"
+//
+// A noiseRate fraction of records get one attribute value corrupted
+// relative to the gold (simulating dirty sources), which caps achievable
+// extraction accuracy and exercises weak-supervision vote combination.
+func GenerateRecords(seed int64, n int, attributes []string, noiseRate float64) (*RecordSet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("corpus: record count must be >= 1, got %d", n)
+	}
+	if len(attributes) == 0 {
+		return nil, fmt.Errorf("corpus: need at least one attribute")
+	}
+	if noiseRate < 0 || noiseRate > 1 {
+		return nil, fmt.Errorf("corpus: noiseRate out of range: %v", noiseRate)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rs := &RecordSet{Attributes: append([]string(nil), attributes...)}
+	for i := 0; i < n; i++ {
+		gold := make(map[string]string, len(attributes))
+		for _, a := range attributes {
+			gold[a] = recordValue(rng)
+		}
+		format := rng.Intn(NumRecordFormats)
+		text := renderRecord(rng, attributes, gold, format)
+		if rng.Float64() < noiseRate {
+			// Corrupt one attribute in the *text* only: gold stays the
+			// truth, so extraction of this record's attribute is wrong
+			// no matter the method.
+			a := attributes[rng.Intn(len(attributes))]
+			text = strings.Replace(text, gold[a], recordValue(rng), 1)
+		}
+		rs.Records = append(rs.Records, Record{
+			ID:     fmt.Sprintf("rec-%05d", i),
+			Text:   text,
+			Gold:   gold,
+			Format: format,
+		})
+	}
+	return rs, nil
+}
+
+func recordValue(rng *rand.Rand) string {
+	n := 2 + rng.Intn(3)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(valueSyllables[rng.Intn(len(valueSyllables))])
+	}
+	return b.String()
+}
+
+func renderRecord(rng *rand.Rand, attrs []string, gold map[string]string, format int) string {
+	var b strings.Builder
+	switch format {
+	case 0:
+		for _, a := range attrs {
+			fmt.Fprintf(&b, "%s: %s\n", a, gold[a])
+		}
+	case 1:
+		b.WriteString("record metadata follows\n")
+		for _, a := range attrs {
+			fmt.Fprintf(&b, "%s = %s\n", a, gold[a])
+		}
+		b.WriteString("end of record\n")
+	default:
+		for _, a := range attrs {
+			fmt.Fprintf(&b, "The %s is %s. ", a, gold[a])
+		}
+		// Extra distractor sentence.
+		fmt.Fprintf(&b, "This entry was reviewed %d times.", rng.Intn(10))
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package dataprep
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"dataai/internal/embed"
+	"dataai/internal/token"
+	"dataai/internal/vecdb"
+)
+
+// This file implements the data-augmentation techniques of §2.3.2:
+// "synonym replacement, data linking, etc." — transformations that grow
+// training-set diversity without new collection.
+
+// SynonymAugment produces one augmented copy per document, replacing each
+// token found in synonyms with probability rate.
+func SynonymAugment(docs []string, synonyms map[string]string, rate float64, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, len(docs))
+	for _, d := range docs {
+		toks := token.Tokenize(d)
+		for i, t := range toks {
+			if rep, ok := synonyms[t]; ok && rng.Float64() < rate {
+				toks[i] = rep
+			}
+		}
+		out = append(out, token.Detokenize(toks))
+	}
+	return out
+}
+
+// LinkAugment implements data-linking augmentation: each document is
+// extended with its nearest neighbor's text, exposing the model to
+// related contexts jointly. A singleton corpus passes through unchanged.
+func LinkAugment(docs []string, e embed.Embedder) ([]string, error) {
+	if len(docs) == 0 {
+		return nil, ErrNoDocs
+	}
+	if len(docs) == 1 {
+		return append([]string(nil), docs...), nil
+	}
+	idx := vecdb.NewFlat(e.Dim())
+	for i, d := range docs {
+		if err := idx.Add(strconv.Itoa(i), e.Embed(d)); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		res, err := idx.Search(e.Embed(d), 2)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+		for _, r := range res {
+			if r.ID != strconv.Itoa(i) {
+				j, err := strconv.Atoi(r.ID)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = d + " " + docs[j]
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// BuildSynonymMap derives a crude synonym table from the corpus itself:
+// tokens observed between identical (previous, next) token contexts are
+// treated as interchangeable — a distributional-similarity heuristic. It
+// returns at most maxPairs replacements, deterministically.
+func BuildSynonymMap(docs []string, maxPairs int) map[string]string {
+	ctx := make(map[string][]string) // context key -> tokens in that slot
+	for _, d := range docs {
+		toks := token.Tokenize(d)
+		for i := 1; i+1 < len(toks); i++ {
+			key := toks[i-1] + "\x00" + toks[i+1]
+			ctx[key] = append(ctx[key], toks[i])
+		}
+	}
+	keys := make([]string, 0, len(ctx))
+	for k := range ctx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // map order must not leak into the output
+	out := make(map[string]string)
+	for _, k := range keys {
+		if len(out) >= maxPairs {
+			break
+		}
+		words := ctx[k]
+		if len(words) < 2 {
+			continue
+		}
+		sort.Strings(words)
+		a, b := words[0], words[len(words)-1]
+		if a == b {
+			continue
+		}
+		if _, dup := out[a]; dup {
+			continue
+		}
+		out[a] = b
+	}
+	return out
+}

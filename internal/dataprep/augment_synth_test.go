@@ -1,0 +1,205 @@
+package dataprep
+
+import (
+	"dataai/internal/corpus"
+	"strings"
+	"testing"
+
+	"dataai/internal/embed"
+)
+
+func TestSynonymAugment(t *testing.T) {
+	docs := []string{"the market rose sharply today"}
+	syn := map[string]string{"market": "exchange", "rose": "climbed"}
+	out := SynonymAugment(docs, syn, 1.0, 1)
+	if len(out) != 1 {
+		t.Fatalf("got %d docs", len(out))
+	}
+	if !strings.Contains(out[0], "exchange") || !strings.Contains(out[0], "climbed") {
+		t.Errorf("replacements missing: %q", out[0])
+	}
+	// Rate 0: nothing changes.
+	out = SynonymAugment(docs, syn, 0, 1)
+	if out[0] != "the market rose sharply today" {
+		t.Errorf("rate 0 changed text: %q", out[0])
+	}
+}
+
+func TestSynonymAugmentDeterministic(t *testing.T) {
+	docs := []string{"alpha beta gamma delta epsilon"}
+	syn := map[string]string{"alpha": "a", "beta": "b", "gamma": "c"}
+	a := SynonymAugment(docs, syn, 0.5, 7)
+	b := SynonymAugment(docs, syn, 0.5, 7)
+	if a[0] != b[0] {
+		t.Error("augmentation not deterministic for same seed")
+	}
+}
+
+func TestLinkAugment(t *testing.T) {
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	docs := []string{
+		"the market rallied after strong earnings reports",
+		"earnings season lifted the market to new highs",
+		"penguins huddle through the antarctic winter",
+	}
+	out, err := LinkAugment(docs, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d docs", len(out))
+	}
+	// The two market docs must be linked to each other, not the penguin.
+	if !strings.Contains(out[0], "earnings season") {
+		t.Errorf("doc 0 linked wrongly: %q", out[0])
+	}
+	for _, o := range out {
+		if len(o) == 0 {
+			t.Error("empty augmented doc")
+		}
+	}
+}
+
+func TestLinkAugmentEdgeCases(t *testing.T) {
+	e := embed.NewHashEmbedder(32)
+	if _, err := LinkAugment(nil, e); err == nil {
+		t.Error("empty docs accepted")
+	}
+	out, err := LinkAugment([]string{"lonely document"}, e)
+	if err != nil || len(out) != 1 || out[0] != "lonely document" {
+		t.Errorf("singleton handling: %v %v", out, err)
+	}
+}
+
+func TestBuildSynonymMap(t *testing.T) {
+	docs := []string{
+		"the cat sat on the mat",
+		"the dog sat on the rug",
+		"the cat ran on the mat",
+	}
+	syn := BuildSynonymMap(docs, 10)
+	// "cat" and "dog" share context (the _ sat); "sat" and "ran" share
+	// (cat _ on). At least one such pair must be found.
+	if len(syn) == 0 {
+		t.Fatal("no synonyms derived")
+	}
+	for a, b := range syn {
+		if a == b {
+			t.Errorf("self synonym %q", a)
+		}
+	}
+}
+
+func TestBuildSynonymMapCap(t *testing.T) {
+	var docs []string
+	for i := 0; i < 50; i++ {
+		docs = append(docs, "prefix word"+string(rune('a'+i%26))+" suffix")
+	}
+	syn := BuildSynonymMap(docs, 3)
+	if len(syn) > 3 {
+		t.Errorf("cap exceeded: %d", len(syn))
+	}
+}
+
+func TestMarkovSynthesize(t *testing.T) {
+	c := testCorpus(t, 79)
+	var clean []string
+	for _, d := range c.Docs {
+		if d.Kind == corpus.Clean {
+			clean = append(clean, d.Text)
+		}
+	}
+	synth, err := MarkovSynthesize(clean, 20, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(synth) != 20 {
+		t.Fatalf("got %d synthetic docs", len(synth))
+	}
+	for _, s := range synth {
+		if s == "" {
+			t.Error("empty synthetic doc")
+		}
+	}
+	// Determinism.
+	again, err := MarkovSynthesize(clean, 20, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range synth {
+		if synth[i] != again[i] {
+			t.Fatal("synthesis not deterministic")
+		}
+	}
+}
+
+func TestMarkovSynthesizeValidation(t *testing.T) {
+	if _, err := MarkovSynthesize(nil, 5, 10, 1); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := MarkovSynthesize([]string{"a b"}, 0, 10, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSyntheticQualityCloseToReal(t *testing.T) {
+	c := testCorpus(t, 83)
+	var clean []string
+	for _, d := range c.Docs {
+		if d.Kind == corpus.Clean {
+			clean = append(clean, d.Text)
+		}
+	}
+	synth, err := MarkovSynthesize(clean, 50, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realPPL, synthPPL, err := SyntheticQuality(clean, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Markov samples from the learned distribution, so they should score
+	// within a small factor of real held-out text — and far below what
+	// unrelated text would score.
+	if synthPPL > realPPL*3 {
+		t.Errorf("synthetic ppl %v more than 3x real %v", synthPPL, realPPL)
+	}
+}
+
+func TestTemplateSynthesize(t *testing.T) {
+	templates := []string{"the $attr of $name is high", "$name has low $attr"}
+	slots := map[string][]string{
+		"attr": {"revenue", "growth"},
+		"name": {"acme", "bolt"},
+	}
+	out, err := TemplateSynthesize(templates, slots, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("got %d docs", len(out))
+	}
+	for _, o := range out {
+		if strings.Contains(o, "$") {
+			t.Errorf("unfilled slot: %q", o)
+		}
+	}
+	again, _ := TemplateSynthesize(templates, slots, 10, 3)
+	for i := range out {
+		if out[i] != again[i] {
+			t.Fatal("template synthesis not deterministic")
+		}
+	}
+}
+
+func TestTemplateSynthesizeValidation(t *testing.T) {
+	if _, err := TemplateSynthesize(nil, nil, 5, 1); err == nil {
+		t.Error("no templates accepted")
+	}
+	if _, err := TemplateSynthesize([]string{"x"}, nil, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := TemplateSynthesize([]string{"$a"}, map[string][]string{"a": {}}, 1, 1); err == nil {
+		t.Error("empty slot accepted")
+	}
+}

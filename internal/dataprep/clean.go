@@ -1,0 +1,201 @@
+// Package dataprep implements the Data Preparation stage of Data4LLM
+// (§2.3.2): discovery (domain mixture), selection (coresets, perplexity),
+// cleaning (quality filtering, toxicity filtering, deduplication),
+// augmentation, labeling (weak supervision, active learning), and
+// synthesis. Each sub-area follows the specific techniques the paper
+// cites; see the per-file comments.
+package dataprep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dataai/internal/llm/ngram"
+	"dataai/internal/token"
+)
+
+// ErrNoDocs indicates an operation over an empty document list.
+var ErrNoDocs = errors.New("dataprep: no documents")
+
+// Filter decides whether a document is kept.
+type Filter interface {
+	// Keep reports whether text passes the filter. Reason describes a
+	// rejection (empty when kept).
+	Keep(text string) (keep bool, reason string)
+	// Name identifies the filter in reports.
+	Name() string
+}
+
+// HeuristicFilter applies the rule-based quality checks production
+// pipelines use ([41, 46]): length bounds, repetition ratio, and a
+// minimum fraction of "common" words drawn from a reference vocabulary.
+type HeuristicFilter struct {
+	// MinTokens and MaxTokens bound document length (0 = unbounded max).
+	MinTokens int
+	MaxTokens int
+	// MaxRepetitionRatio caps the frequency share of the single most
+	// common token (gibberish and boilerplate repeat heavily).
+	MaxRepetitionRatio float64
+	// MinDistinctRatio requires distinct/total tokens above a floor.
+	MinDistinctRatio float64
+	// RequireSentencePunct demands at least one sentence terminator —
+	// the C4 rule [46] that drops non-prose text (gibberish streams,
+	// menus, code dumps rarely end sentences).
+	RequireSentencePunct bool
+}
+
+// DefaultHeuristicFilter returns the configuration used by the E8
+// experiment.
+func DefaultHeuristicFilter() HeuristicFilter {
+	return HeuristicFilter{
+		MinTokens:            8,
+		MaxTokens:            100000,
+		MaxRepetitionRatio:   0.25,
+		MinDistinctRatio:     0.3,
+		RequireSentencePunct: true,
+	}
+}
+
+// Name implements Filter.
+func (h HeuristicFilter) Name() string { return "heuristic" }
+
+// Keep implements Filter.
+func (h HeuristicFilter) Keep(text string) (bool, string) {
+	toks := token.Tokenize(text)
+	n := len(toks)
+	if n < h.MinTokens {
+		return false, fmt.Sprintf("too short: %d < %d tokens", n, h.MinTokens)
+	}
+	if h.MaxTokens > 0 && n > h.MaxTokens {
+		return false, fmt.Sprintf("too long: %d > %d tokens", n, h.MaxTokens)
+	}
+	freq := token.Frequencies(toks)
+	maxCount := 0
+	for _, c := range freq {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if h.MaxRepetitionRatio > 0 && float64(maxCount)/float64(n) > h.MaxRepetitionRatio {
+		return false, "excessive repetition"
+	}
+	if h.MinDistinctRatio > 0 && float64(len(freq))/float64(n) < h.MinDistinctRatio {
+		return false, "low vocabulary diversity"
+	}
+	if h.RequireSentencePunct && !strings.ContainsAny(text, ".!?") {
+		return false, "no sentence punctuation"
+	}
+	return true, ""
+}
+
+// ToxicityFilter rejects documents containing lexicon terms — the
+// heuristic rule-based toxic filtering of [30, 46].
+type ToxicityFilter struct {
+	Lexicon []string
+}
+
+// Name implements Filter.
+func (t ToxicityFilter) Name() string { return "toxicity" }
+
+// Keep implements Filter.
+func (t ToxicityFilter) Keep(text string) (bool, string) {
+	lower := strings.ToLower(text)
+	for _, w := range t.Lexicon {
+		if strings.Contains(lower, strings.ToLower(w)) {
+			return false, "toxic term: " + w
+		}
+	}
+	return true, ""
+}
+
+// PerplexityFilter rejects documents whose perplexity under a reference
+// language model exceeds a threshold — the metric-based filtering of [39]:
+// text unlike known-good text scores high and is dropped.
+type PerplexityFilter struct {
+	Reference *ngram.Model
+	Threshold float64
+}
+
+// NewPerplexityFilter trains a reference model on seed documents assumed
+// clean and sets the rejection threshold to scale times the mean
+// perplexity of a held-out portion of the seed. Calibrating on held-out
+// seed (not in-sample) matters: a model scores its own training text far
+// below unseen clean text, and an in-sample threshold would reject most
+// clean documents.
+func NewPerplexityFilter(seed []string, scale float64) (*PerplexityFilter, error) {
+	if len(seed) < 2 {
+		return nil, fmt.Errorf("dataprep: perplexity filter needs >= 2 seed docs: %w", ErrNoDocs)
+	}
+	calib := len(seed) / 5
+	if calib < 1 {
+		calib = 1
+	}
+	train, holdout := seed[calib:], seed[:calib]
+	m := ngram.New()
+	m.TrainAll(train)
+	var sum float64
+	n := 0
+	for _, s := range holdout {
+		pp, err := m.Perplexity(s)
+		if err != nil {
+			continue
+		}
+		sum += pp
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("dataprep: seed documents all empty")
+	}
+	if scale <= 0 {
+		scale = 3
+	}
+	// Fold the held-out docs into the final reference model so no seed
+	// data is wasted at filter time.
+	m.TrainAll(holdout)
+	return &PerplexityFilter{Reference: m, Threshold: scale * sum / float64(n)}, nil
+}
+
+// Name implements Filter.
+func (p *PerplexityFilter) Name() string { return "perplexity" }
+
+// Keep implements Filter.
+func (p *PerplexityFilter) Keep(text string) (bool, string) {
+	pp, err := p.Reference.Perplexity(text)
+	if err != nil {
+		return false, "empty document"
+	}
+	if pp > p.Threshold {
+		return false, fmt.Sprintf("perplexity %.1f > %.1f", pp, p.Threshold)
+	}
+	return true, ""
+}
+
+// FilterReport tallies one cleaning pass.
+type FilterReport struct {
+	Kept    int
+	Dropped int
+	// ByReason counts rejections per "<filter>: <reason>" string prefix
+	// (filter name only, to keep cardinality bounded).
+	ByFilter map[string]int
+}
+
+// ApplyFilters runs docs through filters in order (cheap rules first by
+// convention) and returns the surviving texts with a report.
+func ApplyFilters(docs []string, filters ...Filter) ([]string, FilterReport) {
+	rep := FilterReport{ByFilter: make(map[string]int)}
+	var kept []string
+outer:
+	for _, d := range docs {
+		for _, f := range filters {
+			if ok, _ := f.Keep(d); !ok {
+				rep.Dropped++
+				rep.ByFilter[f.Name()]++
+				continue outer
+			}
+		}
+		kept = append(kept, d)
+		rep.Kept++
+	}
+	return kept, rep
+}

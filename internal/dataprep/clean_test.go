@@ -1,0 +1,151 @@
+package dataprep
+
+import (
+	"strings"
+	"testing"
+
+	"dataai/internal/corpus"
+)
+
+func testCorpus(t *testing.T, seed int64) *corpus.Corpus {
+	t.Helper()
+	gen, err := corpus.NewGenerator(corpus.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Generate()
+}
+
+func TestHeuristicFilterRules(t *testing.T) {
+	f := DefaultHeuristicFilter()
+	cases := []struct {
+		text string
+		keep bool
+	}{
+		{"short", false}, // too few tokens
+		{"a perfectly normal sentence with enough distinct words to pass all checks.", true},
+		{strings.Repeat("spam ", 50), false},                                 // repetition
+		{"zzqab zzqcd zzqef zzqgh zzqij zzqkl zzqmn zzqop zzqqr", false},     // gibberish: no sentence punctuation
+		{"one two three four five six seven eight nine ten and done.", true}, // diverse, punctuated
+	}
+	for _, c := range cases {
+		keep, reason := f.Keep(c.text)
+		if keep != c.keep {
+			t.Errorf("Keep(%.30q) = %v (%s), want %v", c.text, keep, reason, c.keep)
+		}
+	}
+}
+
+func TestHeuristicFilterMaxTokens(t *testing.T) {
+	f := HeuristicFilter{MinTokens: 1, MaxTokens: 5}
+	if keep, _ := f.Keep("one two three four five six"); keep {
+		t.Error("over-long doc kept")
+	}
+}
+
+func TestToxicityFilter(t *testing.T) {
+	f := ToxicityFilter{Lexicon: []string{"grubflark"}}
+	if keep, _ := f.Keep("contains the word Grubflark here"); keep {
+		t.Error("toxic doc kept (case-insensitive match expected)")
+	}
+	if keep, _ := f.Keep("perfectly fine text"); !keep {
+		t.Error("clean doc dropped")
+	}
+}
+
+func TestPerplexityFilterSeparatesGibberish(t *testing.T) {
+	c := testCorpus(t, 41)
+	var clean, noisy []string
+	for _, d := range c.Docs {
+		switch d.Kind {
+		case corpus.Clean:
+			clean = append(clean, d.Text)
+		case corpus.Noisy:
+			noisy = append(noisy, d.Text)
+		}
+	}
+	f, err := NewPerplexityFilter(clean[:100], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keptClean := 0
+	for _, d := range clean[100:150] {
+		if ok, _ := f.Keep(d); ok {
+			keptClean++
+		}
+	}
+	droppedNoisy := 0
+	for _, d := range noisy {
+		if ok, _ := f.Keep(d); !ok {
+			droppedNoisy++
+		}
+	}
+	if frac := float64(keptClean) / 50; frac < 0.8 {
+		t.Errorf("perplexity filter kept only %v of clean docs", frac)
+	}
+	if len(noisy) > 0 && float64(droppedNoisy)/float64(len(noisy)) < 0.8 {
+		t.Errorf("perplexity filter dropped only %d/%d noisy docs", droppedNoisy, len(noisy))
+	}
+}
+
+func TestNewPerplexityFilterValidation(t *testing.T) {
+	if _, err := NewPerplexityFilter(nil, 3); err == nil {
+		t.Error("empty seed accepted")
+	}
+	if _, err := NewPerplexityFilter([]string{""}, 3); err == nil {
+		t.Error("all-empty seed accepted")
+	}
+}
+
+func TestApplyFiltersReport(t *testing.T) {
+	c := testCorpus(t, 43)
+	docs := c.Texts()
+	kept, rep := ApplyFilters(docs,
+		DefaultHeuristicFilter(),
+		ToxicityFilter{Lexicon: c.ToxicLexicon},
+	)
+	if rep.Kept+rep.Dropped != len(docs) {
+		t.Errorf("report counts %d+%d != %d", rep.Kept, rep.Dropped, len(docs))
+	}
+	if len(kept) != rep.Kept {
+		t.Errorf("kept mismatch %d vs %d", len(kept), rep.Kept)
+	}
+	// Every toxic doc must be gone.
+	for _, d := range kept {
+		for _, w := range c.ToxicLexicon {
+			if strings.Contains(d, w) {
+				t.Fatalf("toxic doc survived filtering")
+			}
+		}
+	}
+	if rep.ByFilter["toxicity"] == 0 {
+		t.Error("toxicity filter fired zero times on a corpus with toxic docs")
+	}
+	if rep.ByFilter["heuristic"] == 0 {
+		t.Error("heuristic filter fired zero times on a corpus with noisy docs")
+	}
+}
+
+func TestFilteringImprovesModelQuality(t *testing.T) {
+	// The E8 claim in miniature: training on filtered data yields lower
+	// held-out perplexity per training token than training on raw data.
+	c := testCorpus(t, 47)
+	var heldOut []string
+	var raw []string
+	cleanSeen := 0
+	for _, d := range c.Docs {
+		if d.Kind == corpus.Clean && cleanSeen < 60 {
+			heldOut = append(heldOut, d.Text)
+			cleanSeen++
+			continue
+		}
+		raw = append(raw, d.Text)
+	}
+	filtered, _ := ApplyFilters(raw, DefaultHeuristicFilter(), ToxicityFilter{Lexicon: c.ToxicLexicon})
+
+	ppRaw := trainAndScore(t, raw, heldOut)
+	ppFiltered := trainAndScore(t, filtered, heldOut)
+	if ppFiltered >= ppRaw {
+		t.Errorf("filtered ppl %v >= raw %v", ppFiltered, ppRaw)
+	}
+}

@@ -1,0 +1,293 @@
+package dataprep
+
+import (
+	"fmt"
+
+	"dataai/internal/token"
+)
+
+// This file implements the deduplication techniques of §2.3.2 Data
+// Cleaning: exact hashing at line and document level [24, 52], and
+// MinHash with LSH banding plus SimHash for near-duplicates [29, 46].
+
+// ExactDedup removes documents whose full token stream hashes equal an
+// earlier document's. First occurrence wins; order is preserved.
+func ExactDedup(docs []string) []string {
+	seen := make(map[uint64]bool, len(docs))
+	var out []string
+	for _, d := range docs {
+		h := token.Hash64(normalizeForHash(d))
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// normalizeForHash canonicalizes whitespace/case so trivially reformatted
+// copies hash equal.
+func normalizeForHash(d string) string {
+	return token.Detokenize(token.Tokenize(d))
+}
+
+// LineDedup removes repeated lines across the corpus (the line-level
+// dedup of LLaMA's pipeline [52]): any line previously seen in an earlier
+// document is dropped from later ones. Documents reduced to nothing are
+// removed entirely.
+func LineDedup(docs []string) []string {
+	seen := make(map[uint64]bool)
+	out := make([]string, 0, len(docs))
+	for _, d := range docs {
+		var keptLines []string
+		for _, line := range splitLines(d) {
+			h := token.Hash64(normalizeForHash(line))
+			if seen[h] {
+				continue
+			}
+			seen[h] = true
+			keptLines = append(keptLines, line)
+		}
+		if len(keptLines) > 0 {
+			out = append(out, joinLines(keptLines))
+		}
+	}
+	return out
+}
+
+func splitLines(d string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(d); i++ {
+		if d[i] == '\n' {
+			if s := d[start:i]; s != "" {
+				out = append(out, s)
+			}
+			start = i + 1
+		}
+	}
+	if s := d[start:]; s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n"
+		}
+		out += l
+	}
+	return out
+}
+
+// MinHasher computes MinHash signatures over token shingles and groups
+// near-duplicates with LSH banding.
+type MinHasher struct {
+	// NumHashes is the signature length (bands * rowsPerBand).
+	NumHashes int
+	// Bands for LSH; candidates collide when any band matches exactly.
+	Bands int
+	// ShingleSize is the n-gram width hashed into the signature.
+	ShingleSize int
+	seed        uint64
+}
+
+// NewMinHasher validates the configuration. numHashes must be divisible
+// by bands.
+func NewMinHasher(numHashes, bands, shingleSize int, seed uint64) (*MinHasher, error) {
+	if numHashes <= 0 || bands <= 0 || shingleSize <= 0 {
+		return nil, fmt.Errorf("dataprep: invalid minhash config %d/%d/%d", numHashes, bands, shingleSize)
+	}
+	if numHashes%bands != 0 {
+		return nil, fmt.Errorf("dataprep: numHashes %d not divisible by bands %d", numHashes, bands)
+	}
+	return &MinHasher{NumHashes: numHashes, Bands: bands, ShingleSize: shingleSize, seed: seed}, nil
+}
+
+// Signature computes the document's MinHash signature. Documents shorter
+// than the shingle size fall back to unigram shingles.
+func (m *MinHasher) Signature(text string) []uint64 {
+	toks := token.Tokenize(text)
+	n := m.ShingleSize
+	if len(toks) < n {
+		n = 1
+	}
+	shingles := token.HashNGrams(toks, n)
+	sig := make([]uint64, m.NumHashes)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, sh := range shingles {
+		for i := 0; i < m.NumHashes; i++ {
+			// Universal-ish hash family: mix shingle hash with per-
+			// function constant derived from the seed.
+			h := mix(sh ^ (m.seed + uint64(i)*0x9e3779b97f4a7c15))
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// EstimateJaccard estimates the Jaccard similarity of two documents from
+// their signatures (the fraction of agreeing hash positions).
+func (m *MinHasher) EstimateJaccard(a, b []uint64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	agree := 0
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(a))
+}
+
+// Dedup removes near-duplicate documents: LSH banding proposes candidate
+// pairs, and candidates whose estimated Jaccard exceeds threshold are
+// clustered; only each cluster's first document survives. Returns the
+// kept documents and the indices of removed ones.
+func (m *MinHasher) Dedup(docs []string, threshold float64) (kept []string, removed []int) {
+	sigs := make([][]uint64, len(docs))
+	for i, d := range docs {
+		sigs[i] = m.Signature(d)
+	}
+	rows := m.NumHashes / m.Bands
+	parent := make([]int, len(docs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	buckets := make(map[uint64][]int)
+	for band := 0; band < m.Bands; band++ {
+		for k := range buckets {
+			delete(buckets, k)
+		}
+		for i, sig := range sigs {
+			h := token.Hash64Seed(fmt.Sprint(sig[band*rows:(band+1)*rows]), uint64(band))
+			buckets[h] = append(buckets[h], i)
+		}
+		for _, group := range buckets {
+			for j := 1; j < len(group); j++ {
+				a, b := group[0], group[j]
+				if m.EstimateJaccard(sigs[a], sigs[b]) >= threshold {
+					union(a, b)
+				}
+			}
+		}
+	}
+	first := make(map[int]int) // cluster root -> first doc index
+	for i := range docs {
+		r := find(i)
+		if f, ok := first[r]; !ok || i < f {
+			if !ok {
+				first[r] = i
+			}
+		}
+	}
+	for i, d := range docs {
+		if first[find(i)] == i {
+			kept = append(kept, d)
+		} else {
+			removed = append(removed, i)
+		}
+	}
+	return kept, removed
+}
+
+// SimHash computes a 64-bit locality-sensitive fingerprint over token
+// n-grams; near-duplicate documents differ in few bits.
+func SimHash(text string, shingleSize int) uint64 {
+	toks := token.Tokenize(text)
+	n := shingleSize
+	if n <= 0 {
+		n = 3
+	}
+	if len(toks) < n {
+		n = 1
+	}
+	var counts [64]int
+	for _, h := range token.HashNGrams(toks, n) {
+		h = mix(h)
+		for b := 0; b < 64; b++ {
+			if h>>uint(b)&1 == 1 {
+				counts[b]++
+			} else {
+				counts[b]--
+			}
+		}
+	}
+	var out uint64
+	for b := 0; b < 64; b++ {
+		if counts[b] > 0 {
+			out |= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// HammingDistance counts differing bits between two SimHash fingerprints.
+func HammingDistance(a, b uint64) int {
+	x := a ^ b
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// SimHashDedup removes documents within maxDistance Hamming bits of an
+// earlier document. O(n²) comparison — suitable for the corpus sizes the
+// experiments use; MinHash LSH is the scalable path.
+func SimHashDedup(docs []string, shingleSize, maxDistance int) []string {
+	var keptHashes []uint64
+	var out []string
+	for _, d := range docs {
+		h := SimHash(d, shingleSize)
+		dup := false
+		for _, kh := range keptHashes {
+			if HammingDistance(h, kh) <= maxDistance {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keptHashes = append(keptHashes, h)
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DedupReport compares document counts before/after for experiment
+// tables.
+type DedupReport struct {
+	Before, After int
+}
+
+// Removed reports how many documents were eliminated.
+func (r DedupReport) Removed() int { return r.Before - r.After }

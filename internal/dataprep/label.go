@@ -1,0 +1,254 @@
+package dataprep
+
+import (
+	"fmt"
+	"sort"
+
+	"dataai/internal/embed"
+	"dataai/internal/llm"
+)
+
+// This file implements the data-labeling techniques of §2.3.2:
+// "crowdsourced labelling, weak supervision, model-based labelling,
+// transfer learning, active learning". Weak supervision combines noisy
+// labeling functions; active learning spends an oracle budget on the
+// most uncertain examples; model-based labeling delegates to the LLM.
+
+// Abstain is the labeling-function output meaning "no opinion".
+const Abstain = ""
+
+// LabelingFunc is one weak-supervision source: a cheap heuristic that
+// labels some documents and abstains on the rest.
+type LabelingFunc struct {
+	Name string
+	Fn   func(text string) string
+}
+
+// MajorityVote labels each document by the most common non-abstain LF
+// output; ties break lexicographically, all-abstain yields Abstain.
+func MajorityVote(fns []LabelingFunc, docs []string) []string {
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		votes := map[string]float64{}
+		for _, f := range fns {
+			if l := f.Fn(d); l != Abstain {
+				votes[l]++
+			}
+		}
+		out[i] = argmaxLabel(votes)
+	}
+	return out
+}
+
+func argmaxLabel(votes map[string]float64) string {
+	labels := make([]string, 0, len(votes))
+	for l := range votes {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	best, bestW := Abstain, 0.0
+	for _, l := range labels {
+		if votes[l] > bestW {
+			best, bestW = l, votes[l]
+		}
+	}
+	return best
+}
+
+// LabelModel estimates per-LF reliability from inter-function agreement
+// (one round of the classic weak-supervision EM: initial majority vote,
+// then weight each LF by its agreement with the vote) and labels by
+// weighted vote. This is the "weak supervision" combiner Evaporate-style
+// systems use.
+type LabelModel struct {
+	Weights map[string]float64
+}
+
+// FitLabelModel learns LF weights on the given documents.
+func FitLabelModel(fns []LabelingFunc, docs []string) (*LabelModel, error) {
+	if len(docs) == 0 {
+		return nil, ErrNoDocs
+	}
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("dataprep: no labeling functions")
+	}
+	initial := MajorityVote(fns, docs)
+	m := &LabelModel{Weights: make(map[string]float64, len(fns))}
+	for _, f := range fns {
+		agree, fired := 0, 0
+		for i, d := range docs {
+			l := f.Fn(d)
+			if l == Abstain || initial[i] == Abstain {
+				continue
+			}
+			fired++
+			if l == initial[i] {
+				agree++
+			}
+		}
+		w := 0.5 // uninformative prior for never-firing functions
+		if fired > 0 {
+			w = float64(agree) / float64(fired)
+		}
+		m.Weights[f.Name] = w
+	}
+	return m, nil
+}
+
+// Label applies the weighted vote.
+func (m *LabelModel) Label(fns []LabelingFunc, docs []string) []string {
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		votes := map[string]float64{}
+		for _, f := range fns {
+			if l := f.Fn(d); l != Abstain {
+				votes[l] += m.Weights[f.Name]
+			}
+		}
+		out[i] = argmaxLabel(votes)
+	}
+	return out
+}
+
+// ModelLabel is model-based labeling: the LLM classifies each document
+// into one of labels. It returns the predicted labels and the total cost.
+func ModelLabel(client llm.Client, labels []string, docs []string) ([]string, float64, error) {
+	out := make([]string, len(docs))
+	var cost float64
+	for i, d := range docs {
+		resp, err := client.Complete(llm.Request{Prompt: llm.ClassifyPrompt(labels, d)})
+		if err != nil {
+			return nil, cost, fmt.Errorf("dataprep: model label %d: %w", i, err)
+		}
+		out[i] = resp.Text
+		cost += resp.CostUSD
+	}
+	return out, cost, nil
+}
+
+// ActiveLearner labels a corpus with a limited oracle budget: a
+// nearest-centroid classifier over embeddings is retrained as labels
+// arrive, and each round queries the oracle on the document the current
+// classifier is least certain about (smallest margin between the two
+// nearest centroids) — uncertainty sampling.
+type ActiveLearner struct {
+	Embedder embed.Embedder
+	// Oracle returns the true label of document i (a human annotator in
+	// the paper's framing; ground truth in the experiments).
+	Oracle func(i int) string
+}
+
+// Run queries the oracle budget times and returns predicted labels for
+// every document plus the indices that were queried.
+func (a ActiveLearner) Run(docs []string, budget int) (labels []string, queried []int, err error) {
+	if len(docs) == 0 {
+		return nil, nil, ErrNoDocs
+	}
+	if a.Embedder == nil || a.Oracle == nil {
+		return nil, nil, fmt.Errorf("dataprep: active learner needs embedder and oracle")
+	}
+	if budget > len(docs) {
+		budget = len(docs)
+	}
+	vecs := make([][]float32, len(docs))
+	for i, d := range docs {
+		vecs[i] = a.Embedder.Embed(d)
+	}
+	known := make(map[int]string)
+	// Seed with the first document (no classifier exists yet).
+	if budget > 0 {
+		known[0] = a.Oracle(0)
+		queried = append(queried, 0)
+	}
+	for len(known) < budget {
+		cents := centroids(vecs, known)
+		// Most uncertain unlabeled doc: smallest margin.
+		best, bestMargin := -1, float32(2)
+		for i := range docs {
+			if _, ok := known[i]; ok {
+				continue
+			}
+			m := margin(vecs[i], cents)
+			if m < bestMargin {
+				best, bestMargin = i, m
+			}
+		}
+		if best < 0 {
+			break
+		}
+		known[best] = a.Oracle(best)
+		queried = append(queried, best)
+	}
+	cents := centroids(vecs, known)
+	labels = make([]string, len(docs))
+	for i := range docs {
+		if l, ok := known[i]; ok {
+			labels[i] = l
+			continue
+		}
+		labels[i] = nearest(vecs[i], cents)
+	}
+	return labels, queried, nil
+}
+
+func centroids(vecs [][]float32, known map[int]string) map[string][]float32 {
+	groups := map[string][][]float32{}
+	for i, l := range known {
+		groups[l] = append(groups[l], vecs[i])
+	}
+	out := map[string][]float32{}
+	for l, vs := range groups {
+		out[l] = embed.Mean(vs)
+	}
+	return out
+}
+
+// margin returns best-similarity minus second-best; with < 2 centroids
+// everything is maximally uncertain (margin 0).
+func margin(v []float32, cents map[string][]float32) float32 {
+	if len(cents) < 2 {
+		return 0
+	}
+	best, second := float32(-2), float32(-2)
+	for _, c := range cents {
+		s := embed.Cosine(v, c)
+		if s > best {
+			second = best
+			best = s
+		} else if s > second {
+			second = s
+		}
+	}
+	return best - second
+}
+
+func nearest(v []float32, cents map[string][]float32) string {
+	labels := make([]string, 0, len(cents))
+	for l := range cents {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	best, bestSim := Abstain, float32(-2)
+	for _, l := range labels {
+		if s := embed.Cosine(v, cents[l]); s > bestSim {
+			best, bestSim = l, s
+		}
+	}
+	return best
+}
+
+// LabelAccuracy scores predictions against gold labels, ignoring
+// Abstain predictions in neither numerator nor denominator (they count
+// as wrong).
+func LabelAccuracy(pred, gold []string) float64 {
+	if len(pred) == 0 || len(pred) != len(gold) {
+		return 0
+	}
+	right := 0
+	for i := range pred {
+		if pred[i] == gold[i] {
+			right++
+		}
+	}
+	return float64(right) / float64(len(pred))
+}

@@ -1,0 +1,167 @@
+package dataprep
+
+import (
+	"strings"
+	"testing"
+
+	"dataai/internal/corpus"
+	"dataai/internal/embed"
+	"dataai/internal/llm"
+)
+
+// labeledDocs returns clean corpus docs with their gold domain labels.
+func labeledDocs(t *testing.T, n int) (docs, gold []string) {
+	t.Helper()
+	c := testCorpus(t, 73)
+	for _, d := range c.Docs {
+		if d.Kind != corpus.Clean {
+			continue
+		}
+		docs = append(docs, d.Text)
+		gold = append(gold, d.Domain)
+		if len(docs) == n {
+			break
+		}
+	}
+	if len(docs) < n {
+		t.Fatalf("only %d clean docs", len(docs))
+	}
+	return docs, gold
+}
+
+// keywordLF labels docs containing any keyword; abstains otherwise.
+func keywordLF(name, label string, keywords ...string) LabelingFunc {
+	return LabelingFunc{Name: name, Fn: func(text string) string {
+		for _, k := range keywords {
+			if strings.Contains(text, k) {
+				return label
+			}
+		}
+		return Abstain
+	}}
+}
+
+func domainLFs() []LabelingFunc {
+	return []LabelingFunc{
+		keywordLF("fin1", "finance", "market", "dividend"),
+		keywordLF("fin2", "finance", "portfolio", "merger", "equity"),
+		keywordLF("med1", "medicine", "clinical", "patient", "immune"),
+		keywordLF("med2", "medicine", "therapy", "diagnosis"),
+		keywordLF("tech1", "technology", "compiler", "kernel", "protocol"),
+		keywordLF("tech2", "technology", "latency", "framework"),
+		keywordLF("sport1", "sports", "championship", "playoff", "referee"),
+		keywordLF("sport2", "sports", "stadium", "tournament"),
+		// A deliberately bad function: labels everything finance.
+		{Name: "noisy", Fn: func(string) string { return "finance" }},
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	docs, gold := labeledDocs(t, 120)
+	pred := MajorityVote(domainLFs(), docs)
+	acc := LabelAccuracy(pred, gold)
+	if acc < 0.5 {
+		t.Errorf("majority vote accuracy %v too low", acc)
+	}
+}
+
+func TestLabelModelBeatsMajorityVote(t *testing.T) {
+	docs, gold := labeledDocs(t, 200)
+	fns := domainLFs()
+	mv := MajorityVote(fns, docs)
+	model, err := FitLabelModel(fns, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv := model.Label(fns, docs)
+	accMV := LabelAccuracy(mv, gold)
+	accWV := LabelAccuracy(wv, gold)
+	if accWV < accMV {
+		t.Errorf("label model %v worse than majority vote %v", accWV, accMV)
+	}
+	// The always-finance function must get a low weight.
+	if model.Weights["noisy"] >= model.Weights["med1"] {
+		t.Errorf("noisy LF weight %v not below good LF %v",
+			model.Weights["noisy"], model.Weights["med1"])
+	}
+}
+
+func TestFitLabelModelValidation(t *testing.T) {
+	if _, err := FitLabelModel(domainLFs(), nil); err == nil {
+		t.Error("empty docs accepted")
+	}
+	if _, err := FitLabelModel(nil, []string{"x"}); err == nil {
+		t.Error("no LFs accepted")
+	}
+}
+
+func TestModelLabel(t *testing.T) {
+	docs, gold := labeledDocs(t, 60)
+	m := llm.LargeModel()
+	m.ErrRate = 0
+	client := llm.NewSimulator(m, 5)
+	client.RegisterLabel("finance", []string{"market", "dividend", "portfolio", "merger", "equity", "shares"})
+	client.RegisterLabel("medicine", []string{"clinical", "patient", "therapy", "immune", "diagnosis"})
+	client.RegisterLabel("technology", []string{"compiler", "kernel", "protocol", "latency", "framework"})
+	client.RegisterLabel("sports", []string{"championship", "playoff", "referee", "stadium", "tournament"})
+	labels := []string{"finance", "medicine", "technology", "sports"}
+	pred, cost, err := ModelLabel(client, labels, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Error("cost not accounted")
+	}
+	if acc := LabelAccuracy(pred, gold); acc < 0.7 {
+		t.Errorf("model labeling accuracy %v", acc)
+	}
+}
+
+func TestActiveLearningBeatsRandomBudget(t *testing.T) {
+	docs, gold := labeledDocs(t, 150)
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	al := ActiveLearner{
+		Embedder: e,
+		Oracle:   func(i int) string { return gold[i] },
+	}
+	const budget = 20
+	pred, queried, err := al.Run(docs, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queried) > budget {
+		t.Errorf("queried %d > budget %d", len(queried), budget)
+	}
+	acc := LabelAccuracy(pred, gold)
+	if acc < 0.6 {
+		t.Errorf("active learning accuracy %v with budget %d", acc, budget)
+	}
+	// Queried examples must carry their oracle label exactly.
+	for _, q := range queried {
+		if pred[q] != gold[q] {
+			t.Errorf("queried doc %d mislabeled", q)
+		}
+	}
+}
+
+func TestActiveLearnerValidation(t *testing.T) {
+	e := embed.NewHashEmbedder(32)
+	if _, _, err := (ActiveLearner{Embedder: e, Oracle: func(int) string { return "" }}).Run(nil, 3); err == nil {
+		t.Error("empty docs accepted")
+	}
+	if _, _, err := (ActiveLearner{}).Run([]string{"x"}, 1); err == nil {
+		t.Error("missing embedder/oracle accepted")
+	}
+}
+
+func TestLabelAccuracyEdgeCases(t *testing.T) {
+	if LabelAccuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if LabelAccuracy([]string{"a"}, []string{"a", "b"}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if got := LabelAccuracy([]string{"a", "b"}, []string{"a", "c"}); got != 0.5 {
+		t.Errorf("accuracy = %v", got)
+	}
+}

@@ -1,0 +1,241 @@
+package dataprep
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dataai/internal/llm/ngram"
+)
+
+// This file implements the data-discovery techniques of §2.3.2:
+// "establishing an appropriate domain mixture ratio is crucial for
+// effective pretraining" — heuristic ratios [16, 20], importance
+// resampling (DSIR [64]), and gradient-style domain reweighting
+// (DoGE [18]).
+
+// DomainPool holds candidate documents per domain.
+type DomainPool map[string][]string
+
+// domains returns pool names sorted for determinism.
+func (p DomainPool) domains() []string {
+	out := make([]string, 0, len(p))
+	for d := range p {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// total counts all pooled documents.
+func (p DomainPool) total() int {
+	n := 0
+	for _, docs := range p {
+		n += len(docs)
+	}
+	return n
+}
+
+// Mixture assigns a sampling weight to each domain; weights sum to 1.
+type Mixture map[string]float64
+
+// Sample draws budget documents according to the mixture (without
+// replacement within each domain; a domain exhausting its pool yields
+// what it has and the remainder spills into other domains by weight).
+func (p DomainPool) Sample(mix Mixture, budget int, seed int64) ([]string, error) {
+	if p.total() == 0 {
+		return nil, ErrNoDocs
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("dataprep: budget must be >= 1, got %d", budget)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	domains := p.domains()
+
+	// Initial per-domain quotas.
+	quota := make(map[string]int, len(domains))
+	assigned := 0
+	for _, d := range domains {
+		q := int(math.Floor(mix[d] * float64(budget)))
+		if q > len(p[d]) {
+			q = len(p[d])
+		}
+		quota[d] = q
+		assigned += q
+	}
+	// Spill remaining budget round-robin into domains with spare docs.
+	for assigned < budget {
+		progressed := false
+		for _, d := range domains {
+			if assigned >= budget {
+				break
+			}
+			if quota[d] < len(p[d]) {
+				quota[d]++
+				assigned++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // every pool exhausted
+		}
+	}
+
+	var out []string
+	for _, d := range domains {
+		perm := rng.Perm(len(p[d]))
+		for i := 0; i < quota[d]; i++ {
+			out = append(out, p[d][perm[i]])
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// UniformMixture weights every domain equally.
+func UniformMixture(p DomainPool) Mixture {
+	m := Mixture{}
+	domains := p.domains()
+	for _, d := range domains {
+		m[d] = 1 / float64(len(domains))
+	}
+	return m
+}
+
+// ProportionalMixture weights domains by pool size — the "experimental
+// heuristics and intuitions" baseline [16, 20]: big sources dominate.
+func ProportionalMixture(p DomainPool) Mixture {
+	m := Mixture{}
+	total := float64(p.total())
+	for _, d := range p.domains() {
+		m[d] = float64(len(p[d])) / total
+	}
+	return m
+}
+
+// ImportanceMixture implements DSIR-style importance resampling [64]:
+// two n-gram models estimate the target and the general (pooled)
+// distributions; each domain's weight is the average importance
+// exp(log p_target - log p_general) of its documents, normalized.
+func ImportanceMixture(p DomainPool, target []string) (Mixture, error) {
+	if p.total() == 0 {
+		return nil, ErrNoDocs
+	}
+	if len(target) == 0 {
+		return nil, fmt.Errorf("dataprep: importance mixture needs a target set")
+	}
+	tm := ngram.New()
+	tm.TrainAll(target)
+	gm := ngram.New()
+	for _, d := range p.domains() {
+		gm.TrainAll(p[d])
+	}
+	m := Mixture{}
+	var sum float64
+	for _, d := range p.domains() {
+		var imp float64
+		n := 0
+		for _, doc := range p[d] {
+			ht, err1 := tm.CrossEntropy(doc)
+			hg, err2 := gm.CrossEntropy(doc)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			// log2 importance per token; clamp to avoid one outlier
+			// dominating the average.
+			li := hg - ht
+			if li > 10 {
+				li = 10
+			}
+			if li < -10 {
+				li = -10
+			}
+			imp += math.Exp2(li)
+			n++
+		}
+		if n > 0 {
+			m[d] = imp / float64(n)
+		}
+		sum += m[d]
+	}
+	if sum == 0 {
+		return UniformMixture(p), nil
+	}
+	for d := range m {
+		m[d] /= sum
+	}
+	return m, nil
+}
+
+// GradientMixture implements DoGE-style reweighting [18]: it trains a
+// probe model per domain, measures each domain's generalization to the
+// target (held-out perplexity), and softmax-weights domains by how much
+// they help. Temperature controls sharpness (default 1 bit).
+func GradientMixture(p DomainPool, target []string, temperature float64) (Mixture, error) {
+	if p.total() == 0 {
+		return nil, ErrNoDocs
+	}
+	if len(target) == 0 {
+		return nil, fmt.Errorf("dataprep: gradient mixture needs a target set")
+	}
+	if temperature <= 0 {
+		temperature = 1
+	}
+	// Per-domain probe: cross-entropy of the target under a model
+	// trained on that domain alone — the (negated) "contribution
+	// gradient" of adding that domain's data.
+	ce := map[string]float64{}
+	for _, d := range p.domains() {
+		probe := ngram.New()
+		probe.TrainAll(p[d])
+		var bits float64
+		n := 0
+		for _, t := range target {
+			h, err := probe.CrossEntropy(t)
+			if err != nil {
+				continue
+			}
+			bits += h
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		ce[d] = bits / float64(n)
+	}
+	if len(ce) == 0 {
+		return UniformMixture(p), nil
+	}
+	// Softmax over negative cross-entropy: lower target CE -> higher
+	// weight.
+	minCE := math.Inf(1)
+	for _, v := range ce {
+		if v < minCE {
+			minCE = v
+		}
+	}
+	m := Mixture{}
+	var sum float64
+	for d, v := range ce {
+		w := math.Exp2(-(v - minCE) / temperature)
+		m[d] = w
+		sum += w
+	}
+	for d := range m {
+		m[d] /= sum
+	}
+	return m, nil
+}
+
+// EvaluateMixture trains an n-gram model on a mixture-sampled budget and
+// reports held-out target perplexity — the E6 experiment's measurement.
+func EvaluateMixture(p DomainPool, mix Mixture, target []string, budget int, seed int64) (float64, error) {
+	sample, err := p.Sample(mix, budget, seed)
+	if err != nil {
+		return 0, err
+	}
+	m := ngram.New()
+	m.TrainAll(sample)
+	return m.CorpusPerplexity(target)
+}

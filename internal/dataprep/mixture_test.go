@@ -1,0 +1,203 @@
+package dataprep
+
+import (
+	"math"
+	"testing"
+
+	"dataai/internal/corpus"
+)
+
+// mixtureFixture builds per-domain pools and a finance target/held-out.
+func mixtureFixture(t *testing.T) (DomainPool, []string, []string) {
+	t.Helper()
+	c := testCorpus(t, 71)
+	pool := DomainPool{}
+	var target, heldOut []string
+	finSeen := 0
+	for _, d := range c.Docs {
+		if d.Kind != corpus.Clean {
+			continue
+		}
+		if d.Domain == "finance" && finSeen < 40 {
+			if finSeen < 15 {
+				target = append(target, d.Text)
+			} else {
+				heldOut = append(heldOut, d.Text)
+			}
+			finSeen++
+			continue
+		}
+		pool[d.Domain] = append(pool[d.Domain], d.Text)
+	}
+	return pool, target, heldOut
+}
+
+func mixSums(t *testing.T, m Mixture) {
+	t.Helper()
+	var sum float64
+	for _, w := range m {
+		if w < 0 {
+			t.Fatalf("negative weight in %v", m)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("mixture sums to %v: %v", sum, m)
+	}
+}
+
+func TestUniformAndProportionalMixtures(t *testing.T) {
+	pool := DomainPool{"a": {"x", "y", "z"}, "b": {"w"}}
+	u := UniformMixture(pool)
+	mixSums(t, u)
+	if u["a"] != 0.5 {
+		t.Errorf("uniform a = %v", u["a"])
+	}
+	p := ProportionalMixture(pool)
+	mixSums(t, p)
+	if p["a"] != 0.75 || p["b"] != 0.25 {
+		t.Errorf("proportional = %v", p)
+	}
+}
+
+func TestSampleRespectsWeights(t *testing.T) {
+	pool := DomainPool{}
+	for i := 0; i < 100; i++ {
+		pool["a"] = append(pool["a"], "doc a")
+		pool["b"] = append(pool["b"], "doc b")
+	}
+	mix := Mixture{"a": 0.8, "b": 0.2}
+	sample, err := pool.Sample(mix, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 50 {
+		t.Fatalf("sample size = %d", len(sample))
+	}
+	na := 0
+	for _, d := range sample {
+		if d == "doc a" {
+			na++
+		}
+	}
+	if na < 35 || na > 45 {
+		t.Errorf("domain a docs = %d, want ~40", na)
+	}
+}
+
+func TestSampleSpillsWhenPoolExhausted(t *testing.T) {
+	pool := DomainPool{"a": {"1", "2"}, "b": {"3", "4", "5", "6"}}
+	mix := Mixture{"a": 0.9, "b": 0.1}
+	sample, err := pool.Sample(mix, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 5 {
+		t.Errorf("sample size = %d, want 5 (spill)", len(sample))
+	}
+	// Budget beyond total pool returns everything.
+	sample, err = pool.Sample(mix, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 6 {
+		t.Errorf("exhausted sample = %d, want 6", len(sample))
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	if _, err := (DomainPool{}).Sample(Mixture{}, 5, 1); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := (DomainPool{"a": {"x"}}).Sample(Mixture{"a": 1}, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestImportanceMixtureFavorsTargetDomain(t *testing.T) {
+	pool, target, _ := mixtureFixture(t)
+	// Add a finance pool so importance weighting has the right domain
+	// available (fixture routed extra finance docs into the pool).
+	mix, err := ImportanceMixture(pool, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixSums(t, mix)
+	// finance docs remaining in pool should get the top weight.
+	best, bestW := "", -1.0
+	for d, w := range mix {
+		if w > bestW {
+			best, bestW = d, w
+		}
+	}
+	if best != "finance" {
+		t.Errorf("importance mixture favors %q (%v), want finance", best, mix)
+	}
+}
+
+func TestGradientMixtureFavorsTargetDomain(t *testing.T) {
+	pool, target, _ := mixtureFixture(t)
+	mix, err := GradientMixture(pool, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixSums(t, mix)
+	best, bestW := "", -1.0
+	for d, w := range mix {
+		if w > bestW {
+			best, bestW = d, w
+		}
+	}
+	if best != "finance" {
+		t.Errorf("gradient mixture favors %q (%v), want finance", best, mix)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := ImportanceMixture(DomainPool{}, []string{"t"}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := ImportanceMixture(DomainPool{"a": {"x"}}, nil); err == nil {
+		t.Error("no target accepted")
+	}
+	if _, err := GradientMixture(DomainPool{}, []string{"t"}, 1); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := GradientMixture(DomainPool{"a": {"x"}}, nil, 1); err == nil {
+		t.Error("no target accepted")
+	}
+}
+
+func TestOptimizedMixturesBeatUniform(t *testing.T) {
+	// E6's claim: the mixture ratio matters, and target-aware ratios beat
+	// target-blind ones on target-domain perplexity.
+	pool, target, heldOut := mixtureFixture(t)
+	const budget = 80
+
+	ppUniform, err := EvaluateMixture(pool, UniformMixture(pool), heldOut, budget, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impMix, err := ImportanceMixture(pool, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppImportance, err := EvaluateMixture(pool, impMix, heldOut, budget, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradMix, err := GradientMixture(pool, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppGradient, err := EvaluateMixture(pool, gradMix, heldOut, budget, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppImportance >= ppUniform {
+		t.Errorf("importance mixture ppl %v >= uniform %v", ppImportance, ppUniform)
+	}
+	if ppGradient >= ppUniform {
+		t.Errorf("gradient mixture ppl %v >= uniform %v", ppGradient, ppUniform)
+	}
+}

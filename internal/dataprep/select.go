@@ -1,0 +1,217 @@
+package dataprep
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dataai/internal/embed"
+	"dataai/internal/llm/ngram"
+)
+
+// This file implements the data-selection techniques of §2.3.2: random
+// baseline, perplexity-based importance scoring [14], cluster-based
+// coreset selection [12, 57], and an influence-function proxy [63].
+// Every selector returns indices into the input slice so callers keep
+// provenance.
+
+// Selector picks a budget-sized subset of documents for training.
+type Selector interface {
+	// Select returns the indices of the chosen documents, in ascending
+	// order. budget is clamped to len(docs).
+	Select(docs []string, budget int) ([]int, error)
+	// Name identifies the selector in experiment tables.
+	Name() string
+}
+
+func clampBudget(n, budget int) (int, error) {
+	if n == 0 {
+		return 0, ErrNoDocs
+	}
+	if budget < 1 {
+		return 0, fmt.Errorf("dataprep: budget must be >= 1, got %d", budget)
+	}
+	if budget > n {
+		budget = n
+	}
+	return budget, nil
+}
+
+// RandomSelector is the baseline: a uniform sample without replacement.
+type RandomSelector struct {
+	Seed int64
+}
+
+// Name implements Selector.
+func (r RandomSelector) Name() string { return "random" }
+
+// Select implements Selector.
+func (r RandomSelector) Select(docs []string, budget int) ([]int, error) {
+	budget, err := clampBudget(len(docs), budget)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	perm := rng.Perm(len(docs))[:budget]
+	sort.Ints(perm)
+	return perm, nil
+}
+
+// PerplexitySelector keeps the documents most like a target distribution:
+// it trains a reference n-gram model on Target and selects the documents
+// with the lowest reference perplexity — "data selection techniques often
+// rely on specific importance metrics, such as perplexity" [14].
+type PerplexitySelector struct {
+	Target []string
+}
+
+// Name implements Selector.
+func (p PerplexitySelector) Name() string { return "perplexity" }
+
+// Select implements Selector.
+func (p PerplexitySelector) Select(docs []string, budget int) ([]int, error) {
+	budget, err := clampBudget(len(docs), budget)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Target) == 0 {
+		return nil, fmt.Errorf("dataprep: perplexity selector needs a target set")
+	}
+	ref := ngram.New()
+	ref.TrainAll(p.Target)
+	type scored struct {
+		idx int
+		pp  float64
+	}
+	all := make([]scored, 0, len(docs))
+	for i, d := range docs {
+		pp, err := ref.Perplexity(d)
+		if err != nil {
+			pp = math.Inf(1)
+		}
+		all = append(all, scored{i, pp})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pp != all[j].pp {
+			return all[i].pp < all[j].pp
+		}
+		return all[i].idx < all[j].idx
+	})
+	out := make([]int, budget)
+	for i := 0; i < budget; i++ {
+		out[i] = all[i].idx
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// CoresetSelector picks a diverse representative subset by greedy
+// k-center (farthest-point traversal) over document embeddings — the
+// cluster-based coreset construction of [12, 57]: each new pick is the
+// document farthest from all previous picks, maximizing coverage of the
+// embedding space.
+type CoresetSelector struct {
+	Embedder embed.Embedder
+	Seed     int64
+}
+
+// Name implements Selector.
+func (c CoresetSelector) Name() string { return "coreset" }
+
+// Select implements Selector.
+func (c CoresetSelector) Select(docs []string, budget int) ([]int, error) {
+	budget, err := clampBudget(len(docs), budget)
+	if err != nil {
+		return nil, err
+	}
+	if c.Embedder == nil {
+		return nil, fmt.Errorf("dataprep: coreset selector needs an embedder")
+	}
+	vecs := make([][]float32, len(docs))
+	for i, d := range docs {
+		vecs[i] = c.Embedder.Embed(d)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	chosen := make([]int, 0, budget)
+	start := rng.Intn(len(docs))
+	chosen = append(chosen, start)
+	// minDist[i] tracks distance from doc i to its nearest chosen center.
+	minDist := make([]float32, len(docs))
+	for i := range minDist {
+		minDist[i] = embed.EuclideanSq(vecs[i], vecs[start])
+	}
+	for len(chosen) < budget {
+		far, farDist := -1, float32(-1)
+		for i, d := range minDist {
+			if d > farDist {
+				far, farDist = i, d
+			}
+		}
+		chosen = append(chosen, far)
+		for i := range minDist {
+			if d := embed.EuclideanSq(vecs[i], vecs[far]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen, nil
+}
+
+// InfluenceSelector approximates influence-based selection [63]: each
+// document is scored by the cosine similarity of its embedding to the
+// centroid of the target set — a first-order proxy for "training on this
+// document moves the model toward the target distribution".
+type InfluenceSelector struct {
+	Embedder embed.Embedder
+	Target   []string
+}
+
+// Name implements Selector.
+func (s InfluenceSelector) Name() string { return "influence" }
+
+// Select implements Selector.
+func (s InfluenceSelector) Select(docs []string, budget int) ([]int, error) {
+	budget, err := clampBudget(len(docs), budget)
+	if err != nil {
+		return nil, err
+	}
+	if s.Embedder == nil || len(s.Target) == 0 {
+		return nil, fmt.Errorf("dataprep: influence selector needs an embedder and target set")
+	}
+	targets := make([][]float32, len(s.Target))
+	for i, t := range s.Target {
+		targets[i] = s.Embedder.Embed(t)
+	}
+	centroid := embed.Mean(targets)
+	type scored struct {
+		idx int
+		sim float32
+	}
+	all := make([]scored, len(docs))
+	for i, d := range docs {
+		all[i] = scored{i, embed.Cosine(s.Embedder.Embed(d), centroid)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sim != all[j].sim {
+			return all[i].sim > all[j].sim
+		}
+		return all[i].idx < all[j].idx
+	})
+	out := make([]int, budget)
+	for i := 0; i < budget; i++ {
+		out[i] = all[i].idx
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Pick materializes selected indices into documents.
+func Pick(docs []string, idx []int) []string {
+	out := make([]string, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, docs[i])
+	}
+	return out
+}

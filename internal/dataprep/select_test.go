@@ -1,0 +1,162 @@
+package dataprep
+
+import (
+	"errors"
+	"testing"
+
+	"dataai/internal/corpus"
+	"dataai/internal/embed"
+)
+
+// selectionFixture returns a mixed-domain pool, a finance target set, and
+// a finance held-out set.
+func selectionFixture(t *testing.T) (pool, target, heldOut []string) {
+	t.Helper()
+	c := testCorpus(t, 61)
+	var finance []string
+	for _, d := range c.Docs {
+		if d.Kind != corpus.Clean {
+			continue
+		}
+		if d.Domain == "finance" {
+			finance = append(finance, d.Text)
+		} else {
+			pool = append(pool, d.Text)
+		}
+	}
+	if len(finance) < 60 {
+		t.Fatal("not enough finance docs")
+	}
+	target = finance[:20]
+	heldOut = finance[20:50]
+	pool = append(pool, finance[50:]...)
+	return pool, target, heldOut
+}
+
+func TestSelectorsValidation(t *testing.T) {
+	e := embed.NewHashEmbedder(64)
+	sels := []Selector{
+		RandomSelector{Seed: 1},
+		PerplexitySelector{Target: []string{"x y z"}},
+		CoresetSelector{Embedder: e, Seed: 1},
+		InfluenceSelector{Embedder: e, Target: []string{"x y z"}},
+	}
+	for _, s := range sels {
+		if _, err := s.Select(nil, 5); !errors.Is(err, ErrNoDocs) {
+			t.Errorf("%s: empty docs err = %v", s.Name(), err)
+		}
+		if _, err := s.Select([]string{"a b c"}, 0); err == nil {
+			t.Errorf("%s: zero budget accepted", s.Name())
+		}
+	}
+	if _, err := (PerplexitySelector{}).Select([]string{"a"}, 1); err == nil {
+		t.Error("perplexity selector without target accepted")
+	}
+	if _, err := (CoresetSelector{}).Select([]string{"a"}, 1); err == nil {
+		t.Error("coreset selector without embedder accepted")
+	}
+	if _, err := (InfluenceSelector{}).Select([]string{"a"}, 1); err == nil {
+		t.Error("influence selector without embedder/target accepted")
+	}
+}
+
+func TestSelectorsReturnSortedUniqueWithinBudget(t *testing.T) {
+	pool, target, _ := selectionFixture(t)
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	sels := []Selector{
+		RandomSelector{Seed: 2},
+		PerplexitySelector{Target: target},
+		CoresetSelector{Embedder: e, Seed: 2},
+		InfluenceSelector{Embedder: e, Target: target},
+	}
+	for _, s := range sels {
+		idx, err := s.Select(pool, 30)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(idx) != 30 {
+			t.Errorf("%s: got %d indices", s.Name(), len(idx))
+		}
+		seen := map[int]bool{}
+		for i, v := range idx {
+			if v < 0 || v >= len(pool) {
+				t.Fatalf("%s: index %d out of range", s.Name(), v)
+			}
+			if seen[v] {
+				t.Fatalf("%s: duplicate index %d", s.Name(), v)
+			}
+			seen[v] = true
+			if i > 0 && idx[i-1] >= v {
+				t.Fatalf("%s: indices not ascending", s.Name())
+			}
+		}
+	}
+}
+
+func TestBudgetClamped(t *testing.T) {
+	idx, err := (RandomSelector{Seed: 3}).Select([]string{"a b", "c d"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Errorf("got %d indices, want 2", len(idx))
+	}
+}
+
+func TestTargetedSelectorsBeatRandom(t *testing.T) {
+	// E7's claim: selecting target-like data trains a better model for
+	// the target than random selection at the same budget.
+	pool, target, heldOut := selectionFixture(t)
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	const budget = 60
+
+	score := func(s Selector) float64 {
+		idx, err := s.Select(pool, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trainAndScore(t, Pick(pool, idx), heldOut)
+	}
+	ppRandom := score(RandomSelector{Seed: 4})
+	ppPerplexity := score(PerplexitySelector{Target: target})
+	ppInfluence := score(InfluenceSelector{Embedder: e, Target: target})
+
+	if ppPerplexity >= ppRandom {
+		t.Errorf("perplexity selection %v >= random %v", ppPerplexity, ppRandom)
+	}
+	if ppInfluence >= ppRandom {
+		t.Errorf("influence selection %v >= random %v", ppInfluence, ppRandom)
+	}
+}
+
+func TestCoresetSpreadsAcrossDomains(t *testing.T) {
+	c := testCorpus(t, 67)
+	var docs []string
+	var domains []string
+	for _, d := range c.Docs {
+		if d.Kind == corpus.Clean {
+			docs = append(docs, d.Text)
+			domains = append(domains, d.Domain)
+		}
+	}
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	idx, err := (CoresetSelector{Embedder: e, Seed: 5}).Select(docs, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := map[string]bool{}
+	for _, i := range idx {
+		hit[domains[i]] = true
+	}
+	if len(hit) < 4 {
+		t.Errorf("coreset covered only %d domains: %v", len(hit), hit)
+	}
+}
+
+func TestPick(t *testing.T) {
+	docs := []string{"a", "b", "c"}
+	got := Pick(docs, []int{0, 2})
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("Pick = %v", got)
+	}
+}

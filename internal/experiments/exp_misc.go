@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dataai/internal/core"
+	"dataai/internal/corpus"
+	"dataai/internal/docstore"
+	"dataai/internal/embed"
+	"dataai/internal/metrics"
+	"dataai/internal/rag"
+	"dataai/internal/vecdb"
+)
+
+func init() {
+	register("E16", "Vector index recall/throughput trade-off (§2.2.1 RAG challenges)", runE16)
+	register("E17", "Data flywheel (§2.4)", runE17)
+}
+
+func runE16() (*metrics.Table, error) {
+	const dim, n, queries, k = 64, 20000, 50, 10
+	rng := rand.New(rand.NewSource(1601))
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		embed.Normalize(v)
+		vecs[i] = v
+	}
+	qs := make([][]float32, queries)
+	for i := range qs {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		embed.Normalize(v)
+		qs[i] = v
+	}
+	fill := func(idx vecdb.Index) error {
+		for i, v := range vecs {
+			if err := idx.Add(fmt.Sprintf("v%06d", i), v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	flat := vecdb.NewFlat(dim)
+	if err := fill(flat); err != nil {
+		return nil, err
+	}
+	exact := make([][]vecdb.Result, queries)
+	for i, q := range qs {
+		r, err := flat.Search(q, k)
+		if err != nil {
+			return nil, err
+		}
+		exact[i] = r
+	}
+	// Wall time is measured here (outside any simulator) purely to rank
+	// index throughput; recall numbers are deterministic.
+	measure := func(idx vecdb.Index) (recall float64, qps float64, err error) {
+		start := time.Now()
+		var sum float64
+		const rounds = 5
+		for round := 0; round < rounds; round++ {
+			for i, q := range qs {
+				got, err := idx.Search(q, k)
+				if err != nil {
+					return 0, 0, err
+				}
+				if round == 0 {
+					sum += vecdb.Recall(got, exact[i])
+				}
+				_ = i
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		return sum / queries, float64(rounds*queries) / elapsed, nil
+	}
+	t := metrics.NewTable("E16: vector indexes (20k vectors, recall@10)",
+		"index", "recall@10", "QPS")
+	r, q, err := measure(flat)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("flat (exact)", r, q)
+	for _, nprobe := range []int{1, 4, 16} {
+		ivf := vecdb.NewIVF(dim, 64, nprobe, 16)
+		if err := fill(ivf); err != nil {
+			return nil, err
+		}
+		if err := ivf.Train(8); err != nil {
+			return nil, err
+		}
+		r, q, err := measure(ivf)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(fmt.Sprintf("IVF nprobe=%d", nprobe), r, q)
+	}
+	for _, ef := range []int{16, 64, 128} {
+		h := vecdb.NewHNSW(dim, 16, 128, 16)
+		if err := fill(h); err != nil {
+			return nil, err
+		}
+		h.SetEFSearch(ef)
+		r, q, err := measure(h)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(fmt.Sprintf("HNSW ef=%d", ef), r, q)
+	}
+	return t, nil
+}
+
+func runE17() (*metrics.Table, error) {
+	c, err := experimentCorpus(1017)
+	if err != nil {
+		return nil, err
+	}
+	client := groundingClient(17)
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	p, err := rag.New(client, e, vecdb.NewFlat(e.Dim()))
+	if err != nil {
+		return nil, err
+	}
+	var seed []docstore.Document
+	for _, d := range c.Docs[:len(c.Docs)/20] {
+		seed = append(seed, docstore.Document{ID: d.ID, Text: d.Text})
+	}
+	if err := p.Ingest(seed); err != nil {
+		return nil, err
+	}
+	fw, err := core.NewFlywheel(p, 0.7, 170)
+	if err != nil {
+		return nil, err
+	}
+	var qas []corpus.QA
+	for _, qa := range c.QAs {
+		if qa.Hops == 1 {
+			qas = append(qas, qa)
+		}
+	}
+	rng := rand.New(rand.NewSource(171))
+	t := metrics.NewTable("E17: data flywheel (feedback rate 0.7, 40 queries/iteration)",
+		"iteration", "accuracy", "feedback", "new docs", "index chunks")
+	for iter := 0; iter < 6; iter++ {
+		batch := make([]corpus.QA, 40)
+		for i := range batch {
+			batch[i] = qas[rng.Intn(len(qas))]
+		}
+		rep, err := fw.Iterate(batch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(iter, rep.Accuracy(), rep.Feedback, rep.NewDocs, rep.TotalDocs)
+	}
+	return t, nil
+}

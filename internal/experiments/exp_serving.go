@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dataai/internal/metrics"
+	"dataai/internal/serving"
+	"dataai/internal/workload"
+)
+
+func init() {
+	register("E11", "Static vs continuous vs chunked-prefill batching (§2.3.2)", runE11)
+	register("E12", "Prefill/decode disaggregation goodput (DistServe, §2.3.2)", runE12)
+	register("E13", "Paged KV cache and prefix sharing (vLLM/Prompt Cache, §2.3.2)", runE13)
+	register("E14", "KV store eviction policies and hierarchy (AttentionStore, §2.3.2)", runE14)
+	register("E15", "KV cache vs per-step recomputation (§2.3.2)", runE15)
+	register("E21", "KV-cache-aware request routing (Mooncake, §2.3.2)", runE21)
+}
+
+func runE11() (*metrics.Table, error) {
+	gpu := serving.DefaultGPU()
+	reqs, err := workload.Generate(workload.DefaultTrace(1101, 400, 40))
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("E11: batching policies (400 reqs @ 40/s)",
+		"policy", "throughput (tok/s)", "p50 TTFT (ms)", "p95 TTFT", "p50 TBT", "p95 TBT")
+	addRow := func(name string, rep *serving.Report) {
+		t.AddRowf(name, rep.Throughput(), rep.TTFT.P50(), rep.TTFT.P95(), rep.TBT.P50(), rep.TBT.P95())
+	}
+	static, err := serving.RunStatic(gpu, reqs, 16)
+	if err != nil {
+		return nil, err
+	}
+	addRow("static (batch=16)", static)
+	cont, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{})
+	if err != nil {
+		return nil, err
+	}
+	addRow("continuous (Orca)", cont)
+	for _, chunk := range []int{64, 128, 256} {
+		rep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{ChunkTokens: chunk})
+		if err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("chunked prefill (%d tok)", chunk), rep)
+	}
+	return t, nil
+}
+
+func runE12() (*metrics.Table, error) {
+	gpu := serving.DefaultGPU()
+	reqs, err := workload.Generate(workload.DefaultTrace(1102, 400, 100))
+	if err != nil {
+		return nil, err
+	}
+	const ttftSLO, tbtSLO = 1000, 12
+	t := metrics.NewTable(
+		fmt.Sprintf("E12: 4-GPU budget, goodput @ SLO(TTFT<=%.0fms, TBT<=%.0fms), 100 req/s", float64(ttftSLO), float64(tbtSLO)),
+		"architecture", "p95 TTFT", "p95 TBT", "goodput")
+	colo, err := serving.RunColocated(gpu, reqs, 4, serving.ContinuousOpts{})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("colocated 4x", colo.TTFT.P95(), colo.TBT.P95(), colo.Goodput(ttftSLO, tbtSLO))
+	for _, split := range [][2]int{{1, 3}, {2, 2}, {3, 1}} {
+		rep, err := serving.RunDisaggregated(gpu, reqs, serving.DisaggOpts{
+			PrefillGPUs: split[0], DecodeGPUs: split[1],
+			TransferMSPerToken: 0.005, OverlapTransfer: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(fmt.Sprintf("disaggregated %dP+%dD", split[0], split[1]),
+			rep.TTFT.P95(), rep.TBT.P95(), rep.Goodput(ttftSLO, tbtSLO))
+	}
+	return t, nil
+}
+
+func runE13() (*metrics.Table, error) {
+	gpu := serving.DefaultGPU()
+	gpu.KVBlocks = 512
+	t := metrics.NewTable("E13: KV allocation and prefix reuse",
+		"configuration", "max concurrent (256p+64o)", "makespan (ms)", "mean TTFT", "prefill tokens")
+
+	cfg := workload.DefaultTrace(1103, 250, 50)
+	cfg.SharedPrefixes = 2
+	cfg.SharedPrefixTokens = 512
+	cfg.SharedPrefixProb = 0.7
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	contigRep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{KV: serving.NewContiguousKV(gpu)})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("contiguous prealloc",
+		serving.MaxConcurrent(serving.NewContiguousKV(gpu), 256, 64),
+		contigRep.MakespanMS, contigRep.TTFT.Mean(), contigRep.PrefillTokens)
+	pagedRep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{KV: serving.NewPagedKV(gpu)})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("paged (vLLM)",
+		serving.MaxConcurrent(serving.NewPagedKV(gpu), 256, 64),
+		pagedRep.MakespanMS, pagedRep.TTFT.Mean(), pagedRep.PrefillTokens)
+	onDemandRep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{
+		KV: serving.NewPagedKV(gpu), OnDemand: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf(fmt.Sprintf("paged on-demand (%d preemptions)", onDemandRep.Preemptions),
+		serving.MaxConcurrent(serving.NewPagedKV(gpu), 256, 64),
+		onDemandRep.MakespanMS, onDemandRep.TTFT.Mean(), onDemandRep.PrefillTokens)
+	prefixRep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{
+		KV: serving.NewPagedKV(gpu), Prefix: serving.NewPrefixCache(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("paged + prefix cache",
+		serving.MaxConcurrent(serving.NewPagedKV(gpu), 256, 64),
+		prefixRep.MakespanMS, prefixRep.TTFT.Mean(), prefixRep.PrefillTokens)
+	return t, nil
+}
+
+func runE14() (*metrics.Table, error) {
+	gpu := serving.DefaultGPU()
+	reqs, err := workload.GenerateConversations(workload.DefaultConversations(1104))
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("E14: conversation KV store (multi-turn trace)",
+		"store", "hit rate", "saved tokens", "mean TTFT (ms)")
+	plain, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRowf("none (re-prefill history)", 0.0, 0, plain.TTFT.Mean())
+
+	type armSpec struct {
+		name string
+		cfg  serving.SessionStoreConfig
+	}
+	arms := []armSpec{
+		{"GPU-only LRU (2k tok)", serving.SessionStoreConfig{GPUCapacityTokens: 2000, Policy: serving.LRU}},
+		{"GPU-only LFU (2k tok)", serving.SessionStoreConfig{GPUCapacityTokens: 2000, Policy: serving.LFU}},
+		{"GPU-only TreeLRU (2k tok)", serving.SessionStoreConfig{GPUCapacityTokens: 2000, Policy: serving.TreeLRU}},
+		{"hierarchical LRU, blocking xfer", serving.SessionStoreConfig{
+			GPUCapacityTokens: 2000, CPUCapacityTokens: 1 << 20,
+			Policy: serving.LRU, TransferMSPerToken: 0.02}},
+		{"hierarchical LRU, overlapped xfer", serving.SessionStoreConfig{
+			GPUCapacityTokens: 2000, CPUCapacityTokens: 1 << 20,
+			Policy: serving.LRU, TransferMSPerToken: 0.02, OverlapTransfer: true}},
+	}
+	for _, a := range arms {
+		a.cfg.PrefillTokensPerMS = gpu.PrefillTokensPerMS
+		store, err := serving.NewSessionStore(a.cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{SessionCache: store})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(a.name, store.HitRate(), store.SavedTokens, rep.TTFT.Mean())
+	}
+	return t, nil
+}
+
+func runE15() (*metrics.Table, error) {
+	m := serving.DefaultDecodeCost()
+	t := metrics.NewTable("E15: KV cache vs recomputing K/V each step (256-token prompt)",
+		"output tokens", "with KV cache (ms)", "without (ms)", "speedup")
+	for _, out := range []int{16, 64, 256, 1024} {
+		with, err := m.GenerateLatencyMS(256, out, true)
+		if err != nil {
+			return nil, err
+		}
+		without, err := m.GenerateLatencyMS(256, out, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(out, with, without, metrics.Ratio(without, with))
+	}
+	return t, nil
+}
+
+func runE21() (*metrics.Table, error) {
+	gpu := serving.DefaultGPU()
+	cfg := workload.DefaultTrace(1121, 400, 60)
+	cfg.SharedPrefixes = 8
+	cfg.SharedPrefixTokens = 512
+	cfg.SharedPrefixProb = 0.8
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("E21: multi-instance routing (4 instances, 8 shared prefixes)",
+		"router", "prefix hit rate", "prefill tokens", "mean TTFT (ms)", "p95 TTFT")
+	for _, pol := range []serving.RouterPolicy{serving.RoundRobin, serving.CacheAware} {
+		rep, err := serving.RunRouted(gpu, reqs, 4, pol, serving.ContinuousOpts{})
+		if err != nil {
+			return nil, err
+		}
+		hitRate := 0.0
+		if rep.PrefixHits+rep.PrefixMisses > 0 {
+			hitRate = float64(rep.PrefixHits) / float64(rep.PrefixHits+rep.PrefixMisses)
+		}
+		t.AddRowf(pol.String(), hitRate, rep.PrefillTokens, rep.TTFT.Mean(), rep.TTFT.P95())
+	}
+	return t, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dataai/internal/metrics"
+	"dataai/internal/training"
+)
+
+func init() {
+	register("E9", "Checkpointing engines and recovery (§2.3.2 Checkpointing)", runE9)
+	register("E10", "Data-parallel memory strategies (ZeRO/FSDP, §2.3.2)", runE10)
+}
+
+func runE9() (*metrics.Table, error) {
+	m := training.GPT13B()
+	c := training.DefaultCluster()
+	rc := training.RunConfig{
+		Steps:            64,
+		BatchTokens:      1 << 21,
+		CheckpointEvery:  8,
+		FailAtExecSteps:  []int{30},
+		RestartOverheadS: 30,
+	}
+	t := metrics.NewTable("E9: checkpointing engines (64 steps, failure at step 30)",
+		"engine", "total (s)", "stall (s)", "recompute (s)", "recovery (s)", "persisted (GB)")
+	policies := []training.Policy{
+		training.SyncPolicy{},
+		training.AsyncPolicy{},
+		&training.DiffPolicy{FullEvery: 4, ChangedFraction: 0.2},
+		training.QuantPolicy{},
+	}
+	for _, p := range policies {
+		cfg := rc
+		cfg.Policy = p
+		rep, err := training.SimulateRun(m, c, training.ZeRO2, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E9 %s: %w", p.Name(), err)
+		}
+		t.AddRowf(p.Name(), rep.TotalS, rep.StallS, rep.RecomputeS, rep.RecoveryS,
+			float64(rep.BytesPersisted)/(1<<30))
+	}
+	// CheckFreq-style interval tuning row: Young/Daly optimum.
+	stepS, err := training.StepTime(m, c, training.ZeRO2, rc.BatchTokens)
+	if err != nil {
+		return nil, err
+	}
+	ckptCost := float64(training.CheckpointBytes(m)) / c.StorageBW
+	mtbf := 64 * stepS // one failure per run
+	optS := training.OptimalIntervalS(ckptCost, mtbf)
+	t.AddRow("young-daly optimal interval", fmt.Sprintf("%.1f s (~%.0f steps)", optS, optS/stepS))
+	return t, nil
+}
+
+func runE10() (*metrics.Table, error) {
+	m := training.GPT13B()
+	c := training.DefaultCluster()
+	t := metrics.NewTable("E10: data-parallel strategies (1.3B params, 8 workers)",
+		"strategy", "mem/worker (GB)", "comm/step (GB)", "step time (s)", "fits 8GB device")
+	for _, s := range []training.Strategy{training.DP, training.ZeRO1, training.ZeRO2, training.ZeRO3, training.FSDP} {
+		mem, err := training.MemoryPerWorker(m, s, c.Workers)
+		if err != nil {
+			return nil, err
+		}
+		comm, err := training.CommBytesPerStep(m, s, c.Workers)
+		if err != nil {
+			return nil, err
+		}
+		step, err := training.StepTime(m, c, s, 1<<21)
+		if err != nil {
+			return nil, err
+		}
+		small := c
+		small.DeviceMemory = 8 << 30
+		fits := "yes"
+		if err := training.FitsMemory(m, small, s); err != nil {
+			fits = "no"
+		}
+		t.AddRowf(s.String(), float64(mem)/(1<<30), comm/(1<<30), step, fits)
+	}
+	return t, nil
+}

@@ -1,0 +1,65 @@
+// Package experiments implements the reproduction suite: one runnable
+// experiment per quantitative claim the tutorial makes in prose (the
+// paper has no evaluation section of its own — see DESIGN.md). Each
+// experiment builds its workload, runs the baseline and the surveyed
+// technique, and renders a table. `cmd/benchall` prints every table;
+// bench_test.go wraps each one in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dataai/internal/metrics"
+)
+
+// Runner produces one experiment's table.
+type Runner func() (*metrics.Table, error)
+
+// registry maps experiment IDs to runners; populated by init functions
+// in the per-area files.
+var registry = map[string]entry{}
+
+type entry struct {
+	runner Runner
+	title  string
+}
+
+func register(id, title string, r Runner) {
+	registry[id] = entry{runner: r, title: title}
+}
+
+// IDs lists registered experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric ordering: E2 before E10.
+		return expNum(out[i]) < expNum(out[j])
+	})
+	return out
+}
+
+func expNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// Title returns the experiment's one-line description.
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment.
+func Run(id string) (*metrics.Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q", id)
+	}
+	return e.runner()
+}

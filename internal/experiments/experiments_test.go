@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsRun executes every registered experiment once and
+// verifies it produces a non-empty table. Individual claims are verified
+// by the owning packages' tests; this guards the harness wiring.
+func TestAllExperimentsRun(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 21 {
+		t.Fatalf("registered experiments = %d, want 21: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if Title(id) == "" {
+				t.Error("missing title")
+			}
+			tbl, err := Run(id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if tbl == nil || tbl.String() == "" {
+				t.Fatalf("%s produced no table", id)
+			}
+			t.Logf("\n%s", tbl.String())
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E999"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if expNum(ids[i-1]) >= expNum(ids[i]) {
+			t.Fatalf("ids not ordered: %v", ids)
+		}
+	}
+}

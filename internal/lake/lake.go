@@ -1,0 +1,241 @@
+// Package lake implements data-lake analytics over hybrid multi-modal
+// collections (§2.2.2 "Data Lake Analytics"): structured tables,
+// semi-structured key-value documents, and unstructured text describing
+// overlapping entities.
+//
+// Two surveyed techniques are reproduced:
+//
+//   - Schema linking (AOP [59]): every modality has a literal description
+//     — structured data its schema and values, semi-structured data its
+//     key paths, text its content. Converting those descriptions into one
+//     embedding space lets similarity search link records about the same
+//     entity across modalities (experiment E4, vs. a lexical baseline).
+//   - Planning (SYMPHONY [15] / CAESURA [53] / iDataLake [60]): natural-
+//     language queries are decomposed into typed sub-query pipelines over
+//     tools (retrieve, NL2SQL+SQL, iterative RAG) executed by the agent
+//     machinery (experiment E5, vs. a single-shot LLM answer).
+package lake
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dataai/internal/corpus"
+	"dataai/internal/relation"
+)
+
+// Modality labels an item's data type.
+type Modality int
+
+// The three lake modalities.
+const (
+	Structured Modality = iota
+	SemiStructured
+	Unstructured
+)
+
+// String names the modality.
+func (m Modality) String() string {
+	switch m {
+	case Structured:
+		return "structured"
+	case SemiStructured:
+		return "semi-structured"
+	case Unstructured:
+		return "unstructured"
+	default:
+		return fmt.Sprintf("modality(%d)", int(m))
+	}
+}
+
+// ErrEmptyLake indicates an operation over a lake with no items.
+var ErrEmptyLake = errors.New("lake: empty lake")
+
+// Item is one lake object. Exactly one of the modality payloads is set.
+type Item struct {
+	ID       string
+	Modality Modality
+	// Entity is the gold entity this item describes — used only by
+	// evaluation, never by linking or planning.
+	Entity string
+	Domain string
+
+	// Structured payload: a row in Table.
+	Table string
+	Row   map[string]string
+	// Semi-structured payload: flattened key paths.
+	KV map[string]string
+	// Unstructured payload.
+	Text string
+}
+
+// Description renders the item's literal description — the AOP observation
+// that "all data types possess literal descriptions in varying formats".
+// This single string is what gets embedded for linking.
+func (it Item) Description() string {
+	switch it.Modality {
+	case Structured:
+		keys := sortedKeys(it.Row)
+		var b strings.Builder
+		fmt.Fprintf(&b, "table %s row:", it.Table)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s %s;", k, it.Row[k])
+		}
+		return b.String()
+	case SemiStructured:
+		keys := sortedKeys(it.KV)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s: %s\n", k, it.KV[k])
+		}
+		return b.String()
+	default:
+		return it.Text
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lake is the collection plus its structured catalog.
+type Lake struct {
+	Items  []Item
+	Tables relation.Catalog
+	byID   map[string]int
+}
+
+// ItemByID returns the item with the given id.
+func (l *Lake) ItemByID(id string) (Item, bool) {
+	idx, ok := l.byID[id]
+	if !ok {
+		return Item{}, false
+	}
+	return l.Items[idx], true
+}
+
+// SanitizeColumn converts a relation name to a SQL-safe column name.
+func SanitizeColumn(rel string) string {
+	return strings.ReplaceAll(strings.ToLower(rel), " ", "_")
+}
+
+// surfaceVariant renders a value in a different inflected surface form
+// (shared stem, different ending) — distinct as a token, close in
+// subword space.
+func surfaceVariant(v string) string {
+	return v + "um"
+}
+
+// BuildFromCorpus constructs a lake where every corpus entity appears in
+// all three modalities: a row in its domain's table, a key-value document,
+// and a text document. The shared underlying facts are what make
+// cross-modality linking well defined.
+func BuildFromCorpus(c *corpus.Corpus) (*Lake, error) {
+	if len(c.Facts) == 0 {
+		return nil, fmt.Errorf("lake: corpus has no facts")
+	}
+	// Group facts: domain -> subject -> relation -> object.
+	type entityKey struct{ domain, subject string }
+	attrs := make(map[entityKey]map[string]string)
+	domainRels := make(map[string]map[string]bool)
+	var order []entityKey
+	for _, f := range c.Facts {
+		k := entityKey{f.Domain, f.Subject}
+		if attrs[k] == nil {
+			attrs[k] = make(map[string]string)
+			order = append(order, k)
+		}
+		attrs[k][SanitizeColumn(f.Relation)] = f.Object
+		if domainRels[f.Domain] == nil {
+			domainRels[f.Domain] = make(map[string]bool)
+		}
+		domainRels[f.Domain][SanitizeColumn(f.Relation)] = true
+	}
+
+	l := &Lake{Tables: relation.Catalog{}, byID: make(map[string]int)}
+
+	// One table per domain: subject column plus a column per relation.
+	domainCols := make(map[string][]string)
+	for domain, rels := range domainRels {
+		cols := make([]string, 0, len(rels))
+		for r := range rels {
+			cols = append(cols, r)
+		}
+		sort.Strings(cols)
+		domainCols[domain] = cols
+		schema := relation.Schema{{Name: "subject", Type: relation.String}}
+		for _, r := range cols {
+			schema = append(schema, relation.Column{Name: r, Type: relation.String})
+		}
+		t, err := relation.NewTable(domain, schema)
+		if err != nil {
+			return nil, fmt.Errorf("lake: table %s: %w", domain, err)
+		}
+		l.Tables[domain] = t
+	}
+
+	add := func(it Item) {
+		l.byID[it.ID] = len(l.Items)
+		l.Items = append(l.Items, it)
+	}
+
+	for i, k := range order {
+		ea := attrs[k]
+		// Structured: table row.
+		row := relation.Row{k.subject}
+		rowMap := map[string]string{"subject": k.subject}
+		for _, col := range domainCols[k.domain] {
+			if v, ok := ea[col]; ok {
+				row = append(row, v)
+				rowMap[col] = v
+			} else {
+				row = append(row, nil)
+			}
+		}
+		if err := l.Tables[k.domain].Insert(row); err != nil {
+			return nil, fmt.Errorf("lake: insert %s: %w", k.subject, err)
+		}
+		add(Item{
+			ID: fmt.Sprintf("s-%04d", i), Modality: Structured,
+			Entity: k.subject, Domain: k.domain, Table: k.domain, Row: rowMap,
+		})
+
+		// Semi-structured: key paths. Values carry a morphological surface
+		// variant (a different inflection of the same underlying string):
+		// real lakes rarely spell an entity's attributes identically
+		// across sources, which is exactly why AOP links through a
+		// semantic embedding space instead of exact token overlap.
+		kv := map[string]string{
+			// Identifier-style subject ("ZorvexFi"), as JSON sources
+			// typically key entities — not the natural-language name.
+			"record.subject": strings.ReplaceAll(k.subject, " ", ""),
+			"record.domain":  k.domain,
+		}
+		for col, v := range ea {
+			kv["record.attrs."+col] = surfaceVariant(v)
+		}
+		add(Item{
+			ID: fmt.Sprintf("j-%04d", i), Modality: SemiStructured,
+			Entity: k.subject, Domain: k.domain, KV: kv,
+		})
+
+		// Unstructured: fact sentences.
+		var sentences []string
+		for _, col := range sortedKeys(ea) {
+			rel := strings.ReplaceAll(col, "_", " ")
+			sentences = append(sentences, corpus.Fact{Subject: k.subject, Relation: rel, Object: ea[col]}.Sentence())
+		}
+		add(Item{
+			ID: fmt.Sprintf("u-%04d", i), Modality: Unstructured,
+			Entity: k.subject, Domain: k.domain, Text: strings.Join(sentences, " "),
+		})
+	}
+	return l, nil
+}

@@ -1,0 +1,298 @@
+package lake
+
+import (
+	"strings"
+	"testing"
+
+	"dataai/internal/corpus"
+	"dataai/internal/embed"
+	"dataai/internal/llm"
+)
+
+func testCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	cfg := corpus.DefaultConfig(31)
+	cfg.EntitiesPerDomain = 15
+	cfg.DocsPerDomainWeight = 20
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Generate()
+}
+
+func testLake(t *testing.T) (*Lake, *corpus.Corpus) {
+	t.Helper()
+	c := testCorpus(t)
+	l, err := BuildFromCorpus(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, c
+}
+
+func perfectClient(seed uint64) *llm.Simulator {
+	m := llm.LargeModel()
+	m.ErrRate = 0
+	m.HallucinationRate = 0
+	m.ContextWindow = 1 << 20
+	return llm.NewSimulator(m, seed)
+}
+
+func TestBuildFromCorpusShape(t *testing.T) {
+	l, c := testLake(t)
+	if len(l.Items)%3 != 0 {
+		t.Errorf("items = %d, want a multiple of 3", len(l.Items))
+	}
+	counts := map[Modality]int{}
+	for _, it := range l.Items {
+		counts[it.Modality]++
+		if it.Entity == "" || it.Domain == "" {
+			t.Fatalf("item %s missing entity/domain", it.ID)
+		}
+	}
+	if counts[Structured] != counts[SemiStructured] || counts[Structured] != counts[Unstructured] {
+		t.Errorf("modality counts unbalanced: %v", counts)
+	}
+	if len(l.Tables) != len(c.Domains) {
+		t.Errorf("tables = %d, want %d", len(l.Tables), len(c.Domains))
+	}
+	for d, tbl := range l.Tables {
+		if tbl.Len() == 0 {
+			t.Errorf("domain table %s empty", d)
+		}
+	}
+}
+
+func TestItemDescriptions(t *testing.T) {
+	l, _ := testLake(t)
+	for _, it := range l.Items[:9] {
+		d := it.Description()
+		if d == "" {
+			t.Fatalf("item %s has empty description", it.ID)
+		}
+		// Semi-structured sources key entities in identifier form
+		// (spaces stripped); the other modalities use the natural name.
+		want := it.Entity
+		if it.Modality == SemiStructured {
+			want = strings.ReplaceAll(it.Entity, " ", "")
+		}
+		if !strings.Contains(d, want) {
+			t.Errorf("%s description lacks entity %q: %q", it.ID, want, d)
+		}
+	}
+}
+
+func TestItemByID(t *testing.T) {
+	l, _ := testLake(t)
+	it, ok := l.ItemByID(l.Items[5].ID)
+	if !ok || it.ID != l.Items[5].ID {
+		t.Error("ItemByID failed")
+	}
+	if _, ok := l.ItemByID("nope"); ok {
+		t.Error("found nonexistent item")
+	}
+}
+
+func TestEmbeddingLinkingBeatsLexical(t *testing.T) {
+	l, _ := testLake(t)
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	embLinks, err := l.LinkEmbedding(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lexLinks, err := l.LinkLexical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embP, embR := l.LinkingQuality(embLinks)
+	lexP, lexR := l.LinkingQuality(lexLinks)
+	t.Logf("embedding P=%.3f R=%.3f; lexical P=%.3f R=%.3f", embP, embR, lexP, lexR)
+	if embP < 0.6 {
+		t.Errorf("embedding linking precision %v too low", embP)
+	}
+	if embR < 0.6 {
+		t.Errorf("embedding linking recall %v too low", embR)
+	}
+	// Embedding linking should not be materially worse than lexical
+	// (it is usually better on cross-format descriptions).
+	if embP+0.05 < lexP && embR+0.05 < lexR {
+		t.Errorf("embedding (%v/%v) worse than lexical (%v/%v)", embP, embR, lexP, lexR)
+	}
+}
+
+func TestLinkingEmptyLake(t *testing.T) {
+	l := &Lake{}
+	e := embed.NewHashEmbedder(32)
+	if _, err := l.LinkEmbedding(e, 2); err == nil {
+		t.Error("empty lake linking should fail")
+	}
+	if _, err := l.LinkLexical(2); err == nil {
+		t.Error("empty lake lexical linking should fail")
+	}
+}
+
+func TestPlannerClassify(t *testing.T) {
+	l, _ := testLake(t)
+	p, err := NewPlanner(perfectClient(1), l, embed.NewHashEmbedder(embed.DefaultDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]QueryKind{
+		"What is the ceo of Zorvex Fi?":                        KindLookup,
+		"What is the revenue of the entity whose ceo is anor?": KindTwoHop,
+		"How many finance entities have sector anet?":          KindCount,
+	}
+	for q, want := range cases {
+		got, err := p.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Classify(%q) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestNL2SQL(t *testing.T) {
+	l, _ := testLake(t)
+	p, err := NewPlanner(perfectClient(2), l, embed.NewHashEmbedder(embed.DefaultDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := p.nl2sql("How many finance entities have release year anet?")
+	if err == nil {
+		// finance has no release_year column; execution would fail, but
+		// translation may still succeed syntactically. Accept either.
+		_ = sql
+	}
+	sql, err = p.nl2sql("How many finance entities have ceo anet?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT count(*) FROM finance WHERE ceo = 'anet'"
+	if sql != want {
+		t.Errorf("sql = %q, want %q", sql, want)
+	}
+	if _, err := p.nl2sql("not a count question"); err == nil {
+		t.Error("unparseable question accepted")
+	}
+	if _, err := p.nl2sql("How many nowhere entities have x y?"); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}
+
+func TestPlannerAnswersAllKinds(t *testing.T) {
+	l, c := testLake(t)
+	p, err := NewPlanner(perfectClient(3), l, embed.NewHashEmbedder(embed.DefaultDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := GenerateQueries(l, c, 10, 7)
+	byKind := map[QueryKind][2]int{} // correct, total
+	for _, q := range queries {
+		got, _, err := p.Answer(q.Text)
+		cur := byKind[q.Kind]
+		cur[1]++
+		if err == nil && got == q.Gold {
+			cur[0]++
+		}
+		byKind[q.Kind] = cur
+	}
+	for kind, ct := range byKind {
+		if ct[1] == 0 {
+			t.Errorf("no %s queries generated", kind)
+			continue
+		}
+		frac := float64(ct[0]) / float64(ct[1])
+		t.Logf("%s: %d/%d", kind, ct[0], ct[1])
+		min := 0.6
+		if kind == KindCount {
+			min = 0.9 // SQL path is exact once planned correctly
+		}
+		if frac < min {
+			t.Errorf("%s accuracy %v below %v", kind, frac, min)
+		}
+	}
+}
+
+func TestPlannerBeatsSingleShotOnCounts(t *testing.T) {
+	l, c := testLake(t)
+	p, err := NewPlanner(perfectClient(4), l, embed.NewHashEmbedder(embed.DefaultDim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := GenerateQueries(l, c, 12, 8)
+	planner, single, total := 0, 0, 0
+	for _, q := range queries {
+		if q.Kind != KindCount {
+			continue
+		}
+		total++
+		if got, _, err := p.Answer(q.Text); err == nil && got == q.Gold {
+			planner++
+		}
+		if got, err := p.SingleShot(q.Text); err == nil && got == q.Gold {
+			single++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no count queries")
+	}
+	if planner <= single {
+		t.Errorf("planner %d/%d not better than single-shot %d/%d", planner, total, single, total)
+	}
+}
+
+func TestGenerateQueriesGoldCounts(t *testing.T) {
+	l, c := testLake(t)
+	queries := GenerateQueries(l, c, 20, 3)
+	n := 0
+	for _, q := range queries {
+		if q.Kind != KindCount {
+			continue
+		}
+		n++
+		if q.Gold == "0" {
+			t.Errorf("count query %q has zero gold", q.Text)
+		}
+	}
+	if n == 0 {
+		t.Error("no count queries generated")
+	}
+}
+
+func TestSanitizeColumn(t *testing.T) {
+	if got := SanitizeColumn("release year"); got != "release_year" {
+		t.Errorf("SanitizeColumn = %q", got)
+	}
+	if got := displayRel("release_year"); got != "release year" {
+		t.Errorf("displayRel = %q", got)
+	}
+}
+
+func BenchmarkPlannerAnswer(b *testing.B) {
+	cfg := corpus.DefaultConfig(31)
+	cfg.EntitiesPerDomain = 15
+	cfg.DocsPerDomainWeight = 20
+	gen, _ := corpus.NewGenerator(cfg)
+	c := gen.Generate()
+	l, err := BuildFromCorpus(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := llm.LargeModel()
+	m.ContextWindow = 1 << 20
+	p, err := NewPlanner(llm.NewSimulator(m, 1), l, embed.NewHashEmbedder(embed.DefaultDim))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := GenerateQueries(l, c, 10, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, _, err := p.Answer(q.Text); err != nil && err.Error() == "" {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package lake
+
+import (
+	"fmt"
+
+	"dataai/internal/embed"
+	"dataai/internal/token"
+	"dataai/internal/vecdb"
+)
+
+// Links maps item ID -> ranked related item IDs (self excluded).
+type Links map[string][]string
+
+// LinkEmbedding links items by similarity of their unified description
+// embeddings (the AOP method): each item's description is embedded, and
+// for every other modality the item's nearest perModality neighbors in
+// that modality become its links. Restricting candidates to *other*
+// modalities is the point of cross-modal schema linking — within one
+// modality, records of different entities share format vocabulary
+// (column names, key paths) and would swamp the entity signal.
+func (l *Lake) LinkEmbedding(e embed.Embedder, perModality int) (Links, error) {
+	if len(l.Items) == 0 {
+		return nil, ErrEmptyLake
+	}
+	idx := vecdb.NewFlat(e.Dim())
+	modality := make(map[string]Modality, len(l.Items))
+	for _, it := range l.Items {
+		if err := idx.Add(it.ID, e.Embed(it.Description())); err != nil {
+			return nil, fmt.Errorf("lake: link index: %w", err)
+		}
+		modality[it.ID] = it.Modality
+	}
+	out := make(Links, len(l.Items))
+	for _, it := range l.Items {
+		vec := e.Embed(it.Description())
+		var ids []string
+		for _, m := range []Modality{Structured, SemiStructured, Unstructured} {
+			if m == it.Modality {
+				continue
+			}
+			m := m
+			res, err := idx.SearchFilter(vec, perModality, func(id string) bool {
+				return modality[id] == m
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lake: link search: %w", err)
+			}
+			for _, r := range res {
+				ids = append(ids, r.ID)
+			}
+		}
+		out[it.ID] = ids
+	}
+	return out, nil
+}
+
+// LinkLexical is the baseline: Jaccard similarity of description token
+// sets, with the same cross-modality candidate restriction as
+// LinkEmbedding. It represents pre-embedding linking — textual overlap
+// without semantic weighting.
+func (l *Lake) LinkLexical(perModality int) (Links, error) {
+	if len(l.Items) == 0 {
+		return nil, ErrEmptyLake
+	}
+	sets := make([]map[string]bool, len(l.Items))
+	for i, it := range l.Items {
+		set := make(map[string]bool)
+		for _, t := range token.Tokenize(it.Description()) {
+			set[t] = true
+		}
+		sets[i] = set
+	}
+	out := make(Links, len(l.Items))
+	for i, it := range l.Items {
+		var ids []string
+		for _, m := range []Modality{Structured, SemiStructured, Unstructured} {
+			if m == it.Modality {
+				continue
+			}
+			type cand struct {
+				id  string
+				sim float64
+			}
+			var cands []cand
+			for j, other := range l.Items {
+				if i == j || other.Modality != m {
+					continue
+				}
+				cands = append(cands, cand{other.ID, jaccard(sets[i], sets[j])})
+			}
+			// Partial selection of the top perModality, ties by ID.
+			for a := 0; a < perModality && a < len(cands); a++ {
+				best := a
+				for b := a + 1; b < len(cands); b++ {
+					if cands[b].sim > cands[best].sim ||
+						(cands[b].sim == cands[best].sim && cands[b].id < cands[best].id) {
+						best = b
+					}
+				}
+				cands[a], cands[best] = cands[best], cands[a]
+			}
+			n := perModality
+			if n > len(cands) {
+				n = len(cands)
+			}
+			for a := 0; a < n; a++ {
+				ids = append(ids, cands[a].id)
+			}
+		}
+		out[it.ID] = ids
+	}
+	return out, nil
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	inter := 0
+	for t := range small {
+		if large[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// LinkingQuality scores links against the gold entity grouping: for each
+// item, the relevant set is the other items describing the same entity.
+// Returns micro-averaged precision and recall over all items.
+func (l *Lake) LinkingQuality(links Links) (precision, recall float64) {
+	byEntity := make(map[string][]string)
+	for _, it := range l.Items {
+		byEntity[it.Entity] = append(byEntity[it.Entity], it.ID)
+	}
+	var tp, fp, fn int
+	for _, it := range l.Items {
+		relevant := make(map[string]bool)
+		for _, id := range byEntity[it.Entity] {
+			if id != it.ID {
+				relevant[id] = true
+			}
+		}
+		got := links[it.ID]
+		hit := 0
+		for _, id := range got {
+			if relevant[id] {
+				hit++
+			}
+		}
+		tp += hit
+		fp += len(got) - hit
+		fn += len(relevant) - hit
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}

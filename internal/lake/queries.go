@@ -1,0 +1,86 @@
+package lake
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dataai/internal/corpus"
+)
+
+// Query is one lake analytics question with its gold answer.
+type Query struct {
+	Text string
+	Gold string
+	Kind QueryKind
+}
+
+// GenerateQueries builds the E5 evaluation set: lookups and two-hop
+// questions reuse the corpus QA pairs (their facts exist in the lake by
+// construction), and counting questions are derived from the structured
+// tables with gold counts computed directly.
+func GenerateQueries(l *Lake, c *corpus.Corpus, countQueries int, seed int64) []Query {
+	var out []Query
+	for _, qa := range c.QAs {
+		kind := KindLookup
+		if qa.Hops == 2 {
+			kind = KindTwoHop
+		}
+		out = append(out, Query{Text: qa.Question, Gold: qa.Answer, Kind: kind})
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	domains := make([]string, 0, len(l.Tables))
+	for d := range l.Tables {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for i := 0; i < countQueries && len(domains) > 0; i++ {
+		domain := domains[rng.Intn(len(domains))]
+		t := l.Tables[domain]
+		if t.Len() == 0 || len(t.Schema) < 2 {
+			continue
+		}
+		// Pick a non-subject column and a non-null value from it.
+		col := t.Schema[1+rng.Intn(len(t.Schema)-1)].Name
+		idx, err := t.Schema.Index(col)
+		if err != nil {
+			continue
+		}
+		var values []string
+		for _, r := range t.Rows {
+			if s, ok := r[idx].(string); ok {
+				values = append(values, s)
+			}
+		}
+		if len(values) == 0 {
+			continue
+		}
+		v := values[rng.Intn(len(values))]
+		gold := 0
+		for _, r := range t.Rows {
+			if s, ok := r[idx].(string); ok && s == v {
+				gold++
+			}
+		}
+		out = append(out, Query{
+			Text: fmt.Sprintf("How many %s entities have %s %s?", domain, displayRel(col), v),
+			Gold: fmt.Sprintf("%d", gold),
+			Kind: KindCount,
+		})
+	}
+	return out
+}
+
+// displayRel converts a sanitized column name back to its NL form.
+func displayRel(col string) string {
+	out := make([]byte, len(col))
+	for i := 0; i < len(col); i++ {
+		if col[i] == '_' {
+			out[i] = ' '
+		} else {
+			out[i] = col[i]
+		}
+	}
+	return string(out)
+}

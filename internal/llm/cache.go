@@ -1,0 +1,126 @@
+package llm
+
+import (
+	"sync"
+
+	"dataai/internal/token"
+)
+
+// Cache wraps a Client with an exact-prompt response cache — the paper's
+// §2.2.1 cost-efficiency principle ("this can be achieved through caching
+// and reducing unnecessary model invocations"). A hit returns the stored
+// response with zero marginal token cost and a fixed small lookup latency.
+//
+// Caching is sound here because the simulator is deterministic per prompt;
+// for real LLMs the same design trades freshness for cost identically.
+type Cache struct {
+	inner Client
+
+	mu     sync.Mutex
+	m      map[uint64]Response
+	hits   int64
+	misses int64
+
+	meter usageMeter
+}
+
+// CacheLookupLatencyMS is the simulated latency of serving a hit.
+const CacheLookupLatencyMS = 0.01
+
+// NewCache wraps inner with a response cache.
+func NewCache(inner Client) *Cache {
+	return &Cache{inner: inner, m: make(map[uint64]Response)}
+}
+
+// Complete implements Client.
+func (c *Cache) Complete(req Request) (Response, error) {
+	key := token.Hash64Seed(req.Prompt, uint64(req.MaxTokens)+1)
+	c.mu.Lock()
+	if r, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		r.Cached = true
+		r.CostUSD = 0
+		r.LatencyMS = CacheLookupLatencyMS
+		c.meter.record(r)
+		return r, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	r, err := c.inner.Complete(req)
+	if err != nil {
+		return r, err
+	}
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+	c.meter.record(r)
+	return r, nil
+}
+
+// Stats reports cache hits and misses.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Usage returns the tally of responses served through the cache,
+// including zero-cost hits.
+func (c *Cache) Usage() Usage { return c.meter.snapshot() }
+
+// Cascade routes calls through a cheap model first and escalates to an
+// expensive model when the cheap model's confidence falls below Threshold —
+// the model-cascade optimization LOTUS/PALIMPZEST-style systems apply to
+// semantic operators (experiment E2).
+type Cascade struct {
+	Cheap     Client
+	Expensive Client
+	// Threshold in [0,1]: cheap responses with Confidence below it are
+	// escalated. 0 never escalates; 1 always escalates.
+	Threshold float64
+
+	mu        sync.Mutex
+	escalated int64
+	total     int64
+}
+
+// NewCascade builds a cascade router.
+func NewCascade(cheap, expensive Client, threshold float64) *Cascade {
+	return &Cascade{Cheap: cheap, Expensive: expensive, Threshold: threshold}
+}
+
+// Complete implements Client. The returned response carries the combined
+// cost and latency of every model consulted.
+func (c *Cascade) Complete(req Request) (Response, error) {
+	r1, err := c.Cheap.Complete(req)
+	if err != nil {
+		return r1, err
+	}
+	c.mu.Lock()
+	c.total++
+	c.mu.Unlock()
+	if r1.Confidence >= c.Threshold {
+		return r1, nil
+	}
+	c.mu.Lock()
+	c.escalated++
+	c.mu.Unlock()
+	r2, err := c.Expensive.Complete(req)
+	if err != nil {
+		return r2, err
+	}
+	r2.CostUSD += r1.CostUSD
+	r2.LatencyMS += r1.LatencyMS
+	r2.PromptTokens += r1.PromptTokens
+	r2.CompletionTokens += r1.CompletionTokens
+	return r2, nil
+}
+
+// Stats reports how many calls were escalated out of the total.
+func (c *Cascade) Stats() (escalated, total int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.escalated, c.total
+}

@@ -1,0 +1,252 @@
+// Package ngram implements an interpolated n-gram language model with true
+// perplexity evaluation.
+//
+// The Data4LLM experiments (E6 mixture, E7 selection, E8 cleaning) all make
+// claims of the form "preparing the data this way yields a better model per
+// token of training data". Testing those claims needs a model whose quality
+// responds to training-data quality. Training a neural LM is out of scope
+// (and unnecessary — the claims are about data, not architecture), so this
+// package provides a genuine statistical language model: a Jelinek-Mercer
+// interpolated trigram model. Its perplexity on held-out text moves in the
+// same direction as a neural LM's loss would when the training data gains
+// duplicates, noise, or domain mismatch — which is the property the
+// experiments measure.
+//
+// It also doubles as the perplexity scorer used by perplexity-based data
+// selection (§2.3.2 Data Selection, [14]) and as a Markov text generator
+// for data synthesis (§2.3.2 Data Synthesis).
+package ngram
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dataai/internal/token"
+)
+
+// Model is an interpolated trigram language model. The zero value is not
+// usable; construct with New. Train and score phases may interleave, but
+// the model is not safe for concurrent mutation.
+type Model struct {
+	vocab *token.Vocabulary
+
+	// Counts at each order. Context keys pack predecessor token ids.
+	uni      map[int]int
+	bi       map[uint64]map[int]int
+	tri      map[uint64]map[int]int
+	biTotal  map[uint64]int
+	triTotal map[uint64]int
+	tokens   int // total unigram mass
+
+	// Interpolation weights for trigram, bigram, unigram, uniform.
+	l3, l2, l1, l0 float64
+}
+
+// New returns an empty model with conventional interpolation weights.
+func New() *Model {
+	return &Model{
+		vocab:    token.NewVocabulary(),
+		uni:      make(map[int]int),
+		bi:       make(map[uint64]map[int]int),
+		tri:      make(map[uint64]map[int]int),
+		biTotal:  make(map[uint64]int),
+		triTotal: make(map[uint64]int),
+		l3:       0.5, l2: 0.3, l1: 0.19, l0: 0.01,
+	}
+}
+
+// SetWeights overrides the interpolation weights; they must be positive
+// and sum to 1 within 1e-6.
+func (m *Model) SetWeights(l3, l2, l1, l0 float64) error {
+	sum := l3 + l2 + l1 + l0
+	if math.Abs(sum-1) > 1e-6 || l3 < 0 || l2 < 0 || l1 < 0 || l0 <= 0 {
+		return fmt.Errorf("ngram: invalid weights %v %v %v %v (sum %v)", l3, l2, l1, l0, sum)
+	}
+	m.l3, m.l2, m.l1, m.l0 = l3, l2, l1, l0
+	return nil
+}
+
+func biKey(a int) uint64     { return uint64(a) }
+func triKey(a, b int) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// Train ingests one document. Documents are independent: each is framed
+// with <bos> and <eos> so cross-document transitions are not learned.
+func (m *Model) Train(text string) {
+	ids := m.frame(text, false)
+	for i := 2; i < len(ids); i++ {
+		w, b1, b2 := ids[i], ids[i-1], ids[i-2]
+		m.uni[w]++
+		m.tokens++
+		bk := biKey(b1)
+		if m.bi[bk] == nil {
+			m.bi[bk] = make(map[int]int)
+		}
+		m.bi[bk][w]++
+		m.biTotal[bk]++
+		tk := triKey(b2, b1)
+		if m.tri[tk] == nil {
+			m.tri[tk] = make(map[int]int)
+		}
+		m.tri[tk][w]++
+		m.triTotal[tk]++
+	}
+}
+
+// TrainAll ingests each document in texts.
+func (m *Model) TrainAll(texts []string) {
+	for _, t := range texts {
+		m.Train(t)
+	}
+}
+
+// frame encodes text as <bos> <bos> w1 ... wn <eos>. When frozen is true
+// the vocabulary does not grow (scoring mode).
+func (m *Model) frame(text string, frozen bool) []int {
+	toks := token.Tokenize(text)
+	ids := make([]int, 0, len(toks)+3)
+	ids = append(ids, token.BOSID, token.BOSID)
+	for _, t := range toks {
+		if frozen {
+			ids = append(ids, m.lookup(t))
+		} else {
+			ids = append(ids, m.vocab.ID(t))
+		}
+	}
+	return append(ids, token.EOSID)
+}
+
+// lookup maps a token without growing the vocabulary: scoring held-out
+// text must not change the model (and with it the uniform term's V).
+func (m *Model) lookup(t string) int {
+	if id, ok := m.vocab.IDIfPresent(t); ok {
+		return id
+	}
+	return token.UnknownID
+}
+
+// VocabSize reports the number of distinct trained tokens (plus specials).
+func (m *Model) VocabSize() int { return m.vocab.Size() }
+
+// Tokens reports the total number of training tokens ingested.
+func (m *Model) Tokens() int { return m.tokens }
+
+// prob returns the interpolated probability of w after context (b2, b1).
+// Interpolation weights are renormalized over the *available* orders: a
+// context never seen in training contributes no trigram/bigram term, and
+// naively skipping those terms would leave the distribution summing to
+// less than one (a deficient model whose perplexities are not comparable
+// across contexts). Redistributing the missing weight onto the lower
+// orders keeps Σ_w prob(ctx, w) = 1 for every context.
+func (m *Model) prob(b2, b1, w int) float64 {
+	v := float64(m.vocab.Size())
+	weight := m.l0
+	p := m.l0 / v
+	if m.tokens > 0 {
+		p += m.l1 * float64(m.uni[w]) / float64(m.tokens)
+		weight += m.l1
+	}
+	if t := m.biTotal[biKey(b1)]; t > 0 {
+		p += m.l2 * float64(m.bi[biKey(b1)][w]) / float64(t)
+		weight += m.l2
+	}
+	if t := m.triTotal[triKey(b2, b1)]; t > 0 {
+		p += m.l3 * float64(m.tri[triKey(b2, b1)][w]) / float64(t)
+		weight += m.l3
+	}
+	return p / weight
+}
+
+// CrossEntropy returns the average negative log2 probability per token of
+// text under the model, or an error for empty text.
+func (m *Model) CrossEntropy(text string) (float64, error) {
+	ids := m.frame(text, true)
+	n := len(ids) - 2 // predicted positions (content tokens + <eos>)
+	if n <= 1 {       // only <eos> would be predicted
+		return 0, fmt.Errorf("ngram: empty text")
+	}
+	var h float64
+	for i := 2; i < len(ids); i++ {
+		p := m.prob(ids[i-2], ids[i-1], ids[i])
+		h -= math.Log2(p)
+	}
+	return h / float64(n), nil
+}
+
+// Perplexity returns 2^CrossEntropy(text).
+func (m *Model) Perplexity(text string) (float64, error) {
+	h, err := m.CrossEntropy(text)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp2(h), nil
+}
+
+// CorpusPerplexity scores a held-out set as one stream, token-weighted.
+func (m *Model) CorpusPerplexity(texts []string) (float64, error) {
+	var bits float64
+	var n int
+	for _, t := range texts {
+		ids := m.frame(t, true)
+		for i := 2; i < len(ids); i++ {
+			bits -= math.Log2(m.prob(ids[i-2], ids[i-1], ids[i]))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("ngram: no tokens to score")
+	}
+	return math.Exp2(bits / float64(n)), nil
+}
+
+// Generate samples up to maxTokens tokens from the model, starting from
+// the <bos> context, using the provided rng. Generation stops at <eos>.
+// It is the Markov-chain synthesizer used by the data-synthesis stage.
+func (m *Model) Generate(rng *rand.Rand, maxTokens int) string {
+	if m.tokens == 0 {
+		return ""
+	}
+	b2, b1 := token.BOSID, token.BOSID
+	var out []string
+	for len(out) < maxTokens {
+		w := m.sample(rng, b2, b1)
+		if w == token.EOSID {
+			break
+		}
+		out = append(out, m.vocab.Word(w))
+		b2, b1 = b1, w
+	}
+	return token.Detokenize(out)
+}
+
+// sample draws the next token: from the trigram distribution when the
+// context was seen, backing off to bigram then unigram.
+func (m *Model) sample(rng *rand.Rand, b2, b1 int) int {
+	if dist := m.tri[triKey(b2, b1)]; len(dist) > 0 && rng.Float64() < 0.8 {
+		return sampleDist(rng, dist, m.triTotal[triKey(b2, b1)])
+	}
+	if dist := m.bi[biKey(b1)]; len(dist) > 0 && rng.Float64() < 0.8 {
+		return sampleDist(rng, dist, m.biTotal[biKey(b1)])
+	}
+	return sampleDist(rng, m.uni, m.tokens)
+}
+
+// sampleDist samples from a count map deterministically given the rng, by
+// walking keys in sorted order (map iteration order must not leak).
+func sampleDist(rng *rand.Rand, dist map[int]int, total int) int {
+	target := rng.Intn(total)
+	keys := make([]int, 0, len(dist))
+	for k := range dist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	acc := 0
+	for _, k := range keys {
+		acc += dist[k]
+		if target < acc {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}

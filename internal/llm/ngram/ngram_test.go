@@ -1,0 +1,271 @@
+package ngram
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dataai/internal/corpus"
+	"dataai/internal/token"
+)
+
+func TestTrainedTextScoresBetterThanRandom(t *testing.T) {
+	m := New()
+	for i := 0; i < 50; i++ {
+		m.Train("the quick brown fox jumps over the lazy dog")
+	}
+	ppTrained, err := m.Perplexity("the quick brown fox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppRandom, err := m.Perplexity("zebra waffle umbrella xylophone quantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppTrained >= ppRandom {
+		t.Errorf("trained text ppl %v >= random %v", ppTrained, ppRandom)
+	}
+	if ppTrained > 3 {
+		t.Errorf("memorized text perplexity %v unexpectedly high", ppTrained)
+	}
+}
+
+func TestPerplexityPositiveAndFinite(t *testing.T) {
+	m := New()
+	m.Train("alpha beta gamma delta")
+	for _, text := range []string{"alpha beta", "unseen tokens entirely", "alpha unseen beta"} {
+		pp, err := m.Perplexity(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp <= 0 || math.IsInf(pp, 0) || math.IsNaN(pp) {
+			t.Errorf("Perplexity(%q) = %v", text, pp)
+		}
+	}
+}
+
+func TestEmptyTextErrors(t *testing.T) {
+	m := New()
+	m.Train("some text")
+	if _, err := m.Perplexity(""); err == nil {
+		t.Error("empty text should error")
+	}
+	if _, err := m.CorpusPerplexity(nil); err == nil {
+		t.Error("empty corpus should error")
+	}
+}
+
+func TestScoringDoesNotMutateModel(t *testing.T) {
+	m := New()
+	m.Train("the cat sat on the mat")
+	before := m.VocabSize()
+	pp1, _ := m.Perplexity("completely novel vocabulary here")
+	if m.VocabSize() != before {
+		t.Error("scoring grew the vocabulary")
+	}
+	pp2, _ := m.Perplexity("completely novel vocabulary here")
+	if pp1 != pp2 {
+		t.Errorf("repeated scoring changed: %v then %v", pp1, pp2)
+	}
+}
+
+func TestMoreDataImprovesHeldOut(t *testing.T) {
+	gen, err := corpus.NewGenerator(corpus.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gen.Generate()
+	var clean []string
+	for _, d := range c.Docs {
+		if d.Kind == corpus.Clean {
+			clean = append(clean, d.Text)
+		}
+	}
+	if len(clean) < 100 {
+		t.Skip("not enough clean docs")
+	}
+	heldOut := clean[:40]
+	train := clean[40:]
+
+	small := New()
+	small.TrainAll(train[:30])
+	big := New()
+	big.TrainAll(train)
+
+	ppSmall, err := small.CorpusPerplexity(heldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppBig, err := big.CorpusPerplexity(heldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppBig >= ppSmall {
+		t.Errorf("more data did not help: %v (big) vs %v (small)", ppBig, ppSmall)
+	}
+}
+
+func TestDomainMismatchHurts(t *testing.T) {
+	gen, err := corpus.NewGenerator(corpus.DefaultConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gen.Generate()
+	pick := func(domain string) []string {
+		var out []string
+		for _, d := range c.DomainDocs(domain) {
+			if d.Kind == corpus.Clean {
+				out = append(out, d.Text)
+			}
+		}
+		return out
+	}
+	fin := pick("finance")
+	med := pick("medicine")
+	if len(fin) < 40 || len(med) < 40 {
+		t.Skip("not enough docs")
+	}
+	heldOut := fin[:20]
+	inDomain := New()
+	inDomain.TrainAll(fin[20:])
+	offDomain := New()
+	offDomain.TrainAll(med)
+
+	ppIn, _ := inDomain.CorpusPerplexity(heldOut)
+	ppOff, _ := offDomain.CorpusPerplexity(heldOut)
+	if ppIn >= ppOff {
+		t.Errorf("in-domain ppl %v >= off-domain %v", ppIn, ppOff)
+	}
+}
+
+func TestSetWeights(t *testing.T) {
+	m := New()
+	if err := m.SetWeights(0.4, 0.3, 0.2, 0.1); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+	if err := m.SetWeights(0.5, 0.5, 0.5, 0.5); err == nil {
+		t.Error("non-normalized weights accepted")
+	}
+	if err := m.SetWeights(0.5, 0.3, 0.2, 0); err == nil {
+		t.Error("zero uniform weight accepted (perplexity could be infinite)")
+	}
+}
+
+func TestGenerateDeterministicAndFromVocab(t *testing.T) {
+	m := New()
+	m.TrainAll([]string{
+		"the market rallied after earnings",
+		"the market slipped after losses",
+		"investors watched the market",
+	})
+	g1 := m.Generate(rand.New(rand.NewSource(1)), 20)
+	g2 := m.Generate(rand.New(rand.NewSource(1)), 20)
+	if g1 != g2 {
+		t.Error("generation not deterministic for the same seed")
+	}
+	if g1 == "" {
+		t.Fatal("empty generation")
+	}
+	vocab := map[string]bool{}
+	for _, w := range strings.Fields("the market rallied slipped after earnings losses investors watched") {
+		vocab[w] = true
+	}
+	for _, w := range strings.Fields(g1) {
+		if !vocab[w] {
+			t.Errorf("generated token %q outside training vocabulary", w)
+		}
+	}
+}
+
+func TestGenerateEmptyModel(t *testing.T) {
+	m := New()
+	if got := m.Generate(rand.New(rand.NewSource(1)), 10); got != "" {
+		t.Errorf("empty model generated %q", got)
+	}
+}
+
+func TestTokensAndVocabCounters(t *testing.T) {
+	m := New()
+	m.Train("a b a")
+	if m.Tokens() != 4 { // a b a <eos>
+		t.Errorf("Tokens = %d, want 4", m.Tokens())
+	}
+	if m.VocabSize() != 5 { // 3 specials + a + b
+		t.Errorf("VocabSize = %d, want 5", m.VocabSize())
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	text := strings.Repeat("the quick brown fox jumps over the lazy dog . ", 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New()
+		m.Train(text)
+	}
+}
+
+func BenchmarkPerplexity(b *testing.B) {
+	m := New()
+	gen, _ := corpus.NewGenerator(corpus.DefaultConfig(1))
+	c := gen.Generate()
+	m.TrainAll(c.Texts()[:200])
+	text := c.Docs[300].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Perplexity(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestProbSumsToOne is the defining property of a language model: for any
+// context, the next-token distribution must sum to 1 over the vocabulary
+// — including contexts never seen in training, where the interpolation
+// weights renormalize over the available orders.
+func TestProbSumsToOne(t *testing.T) {
+	m := New()
+	m.TrainAll([]string{
+		"the cat sat on the mat",
+		"the dog sat on the rug",
+		"cats and dogs live together",
+	})
+	contexts := [][2]int{
+		{token.BOSID, token.BOSID},          // seen
+		{m.lookup("the"), m.lookup("cat")},  // seen trigram context
+		{m.lookup("mat"), m.lookup("cats")}, // unseen trigram, seen bigram
+		{m.lookup("rug"), token.UnknownID},  // unknown continuation context
+		{token.UnknownID, token.UnknownID},  // fully unknown
+	}
+	for _, ctx := range contexts {
+		var sum float64
+		for w := 0; w < m.VocabSize(); w++ {
+			sum += m.prob(ctx[0], ctx[1], w)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("context %v: probabilities sum to %v", ctx, sum)
+		}
+	}
+}
+
+func TestProbSumsToOneProperty(t *testing.T) {
+	gen, err := corpus.NewGenerator(corpus.DefaultConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gen.Generate()
+	m := New()
+	m.TrainAll(c.Texts()[:100])
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		b2 := rng.Intn(m.VocabSize())
+		b1 := rng.Intn(m.VocabSize())
+		var sum float64
+		for w := 0; w < m.VocabSize(); w++ {
+			sum += m.prob(b2, b1, w)
+		}
+		if math.Abs(sum-1) > 1e-8 {
+			t.Fatalf("context (%d,%d): sum %v", b2, b1, sum)
+		}
+	}
+}

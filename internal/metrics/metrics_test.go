@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.P50() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Sum() != 6 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 2 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.P50() != 2 {
+		t.Errorf("P50 = %v", s.P50())
+	}
+}
+
+func TestSummaryAddAfterSort(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	_ = s.Max() // triggers sort
+	s.Add(1)    // must invalidate sorted state
+	if s.Min() != 1 {
+		t.Errorf("Min after late add = %v", s.Min())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i))
+	}
+	// rank(50) = 1.5 -> 2.5
+	if got := s.Percentile(50); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 2.5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 4 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := s.Percentile(-5); got != 1 {
+		t.Errorf("P-5 = %v", got)
+	}
+	if got := s.Percentile(150); got != 4 {
+		t.Errorf("P150 = %v", got)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s Summary
+	for i := 0; i < 500; i++ {
+		s.Add(rng.ExpFloat64())
+	}
+	f := func(a, b float64) bool {
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Summary
+	s.Add(2)
+	if s.Stddev() != 0 {
+		t.Error("single sample stddev should be 0")
+	}
+	s.Add(4)
+	if got := s.Stddev(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Stddev = %v, want 1", got)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.FractionBelow(5); got != 0.5 {
+		t.Errorf("FractionBelow(5) = %v, want 0.5", got)
+	}
+	if got := s.FractionBelow(0); got != 0 {
+		t.Errorf("FractionBelow(0) = %v", got)
+	}
+	if got := s.FractionBelow(10); got != 1 {
+		t.Errorf("FractionBelow(10) = %v", got)
+	}
+	var empty Summary
+	if empty.FractionBelow(1) != 0 {
+		t.Error("empty FractionBelow should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRow("gamma") // short row
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, sep, 3 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and separator have equal display width.
+	if len(strings.TrimRight(lines[1], " ")) > len(lines[2]) {
+		t.Error("separator shorter than header")
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "overflow")
+	if strings.Contains(tb.String(), "overflow") {
+		t.Error("extra cell should be dropped")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); got != "1.50x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Errorf("Ratio/0 = %q", got)
+	}
+}
+
+func TestF1AndPrecisionRecall(t *testing.T) {
+	p, r := PrecisionRecall(8, 2, 2)
+	if p != 0.8 || r != 0.8 {
+		t.Errorf("P/R = %v/%v", p, r)
+	}
+	if got := F1(p, r); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("F1 = %v", got)
+	}
+	if F1(0, 0) != 0 {
+		t.Error("F1(0,0) should be 0")
+	}
+	p, r = PrecisionRecall(0, 0, 0)
+	if p != 0 || r != 0 {
+		t.Error("zero counts should yield zero P/R")
+	}
+}
+
+func BenchmarkSummaryPercentile(b *testing.B) {
+	var s Summary
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		s.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Percentile(99)
+	}
+}

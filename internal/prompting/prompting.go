@@ -1,0 +1,144 @@
+// Package prompting implements the prompt-engineering techniques §2.2.1
+// lists as the challenges of the prompting approach: "automatic prompting
+// generation, demonstration examples selection, and prompting compression
+// to reduce the LLMs cost".
+//
+//   - DemoSelector picks few-shot demonstrations for an input by embedding
+//     similarity from a labeled pool (vs. the random baseline); similar
+//     demonstrations buy more accuracy per prompt token.
+//   - Compress shrinks retrieved context under a token budget by keeping
+//     the sentences most relevant to the query, cutting prompt cost with
+//     little accuracy loss.
+package prompting
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dataai/internal/docstore"
+	"dataai/internal/embed"
+	"dataai/internal/llm"
+	"dataai/internal/token"
+	"dataai/internal/vecdb"
+)
+
+// ErrEmptyPool indicates selection from an empty demonstration pool.
+var ErrEmptyPool = errors.New("prompting: empty demonstration pool")
+
+// DemoSelector picks demonstrations from a labeled pool.
+type DemoSelector struct {
+	pool  []llm.Example
+	index *vecdb.Flat
+	emb   embed.Embedder
+}
+
+// NewDemoSelector indexes the pool for similarity lookup.
+func NewDemoSelector(e embed.Embedder, pool []llm.Example) (*DemoSelector, error) {
+	if len(pool) == 0 {
+		return nil, ErrEmptyPool
+	}
+	idx := vecdb.NewFlat(e.Dim())
+	for i, ex := range pool {
+		if err := idx.Add(fmt.Sprintf("d%05d", i), e.Embed(ex.Input)); err != nil {
+			return nil, fmt.Errorf("prompting: index demo %d: %w", i, err)
+		}
+	}
+	return &DemoSelector{pool: pool, index: idx, emb: e}, nil
+}
+
+// Similar returns the k pool demonstrations most similar to input.
+func (s *DemoSelector) Similar(input string, k int) ([]llm.Example, error) {
+	res, err := s.index.Search(s.emb.Embed(input), k)
+	if err != nil {
+		return nil, fmt.Errorf("prompting: demo search: %w", err)
+	}
+	out := make([]llm.Example, 0, len(res))
+	for _, r := range res {
+		var i int
+		if _, err := fmt.Sscanf(r.ID, "d%05d", &i); err != nil {
+			return nil, fmt.Errorf("prompting: bad demo id %q: %w", r.ID, err)
+		}
+		out = append(out, s.pool[i])
+	}
+	return out, nil
+}
+
+// Random returns k uniformly sampled demonstrations — the baseline
+// selection policy.
+func (s *DemoSelector) Random(k int, seed int64) []llm.Example {
+	rng := rand.New(rand.NewSource(seed))
+	if k > len(s.pool) {
+		k = len(s.pool)
+	}
+	perm := rng.Perm(len(s.pool))[:k]
+	out := make([]llm.Example, k)
+	for i, p := range perm {
+		out[i] = s.pool[p]
+	}
+	return out
+}
+
+// Compress keeps the context sentences most relevant to the query within
+// a token budget, preserving original sentence order. Relevance is the
+// count of distinctive query tokens a sentence contains; ties favor
+// earlier sentences. This is extractive prompt compression: the grounding
+// sentences survive, boilerplate is dropped.
+func Compress(context []string, query string, budgetTokens int) []string {
+	if budgetTokens <= 0 {
+		return nil
+	}
+	queryToks := map[string]bool{}
+	for _, t := range token.Tokenize(query) {
+		if len(t) > 3 {
+			queryToks[t] = true
+		}
+	}
+	type sent struct {
+		text   string
+		tokens int
+		score  int
+		order  int
+	}
+	var sents []sent
+	order := 0
+	for _, c := range context {
+		for _, s := range docstore.SplitSentences(c) {
+			score := 0
+			seen := map[string]bool{}
+			for _, t := range token.Tokenize(s) {
+				if queryToks[t] && !seen[t] {
+					score++
+					seen[t] = true
+				}
+			}
+			sents = append(sents, sent{text: s, tokens: token.Count(s), score: score, order: order})
+			order++
+		}
+	}
+	sort.SliceStable(sents, func(i, j int) bool {
+		if sents[i].score != sents[j].score {
+			return sents[i].score > sents[j].score
+		}
+		return sents[i].order < sents[j].order
+	})
+	used := 0
+	kept := make([]sent, 0, len(sents))
+	for _, s := range sents {
+		if used+s.tokens > budgetTokens && used > 0 {
+			continue
+		}
+		if used+s.tokens > budgetTokens {
+			break // single sentence over budget: keep nothing more
+		}
+		kept = append(kept, s)
+		used += s.tokens
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].order < kept[j].order })
+	out := make([]string, len(kept))
+	for i, s := range kept {
+		out[i] = s.text
+	}
+	return out
+}

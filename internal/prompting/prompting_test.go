@@ -1,0 +1,247 @@
+package prompting
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dataai/internal/corpus"
+	"dataai/internal/embed"
+	"dataai/internal/llm"
+	"dataai/internal/token"
+)
+
+func demoPool(t *testing.T) ([]llm.Example, []llm.Example, []string) {
+	t.Helper()
+	gen, err := corpus.NewGenerator(corpus.DefaultConfig(201))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gen.Generate()
+	var pool, test []llm.Example
+	for _, d := range c.Docs {
+		if d.Kind != corpus.Clean {
+			continue
+		}
+		ex := llm.Example{Input: d.Text, Label: d.Domain}
+		if len(pool) < 200 {
+			pool = append(pool, ex)
+		} else if len(test) < 100 {
+			test = append(test, ex)
+		}
+	}
+	return pool, test, c.Domains
+}
+
+func TestNewDemoSelectorEmpty(t *testing.T) {
+	if _, err := NewDemoSelector(embed.NewHashEmbedder(32), nil); !errors.Is(err, ErrEmptyPool) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSimilarReturnsSameDomainDemos(t *testing.T) {
+	pool, test, _ := demoPool(t)
+	sel, err := NewDemoSelector(embed.NewHashEmbedder(embed.DefaultDim), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDomain, total := 0, 0
+	for _, tc := range test[:30] {
+		demos, err := sel.Similar(tc.Input, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(demos) != 4 {
+			t.Fatalf("got %d demos", len(demos))
+		}
+		for _, d := range demos {
+			total++
+			if d.Label == tc.Label {
+				sameDomain++
+			}
+		}
+	}
+	if frac := float64(sameDomain) / float64(total); frac < 0.7 {
+		t.Errorf("similar demos same-domain fraction %v too low", frac)
+	}
+}
+
+func TestRandomSelection(t *testing.T) {
+	pool, _, _ := demoPool(t)
+	sel, err := NewDemoSelector(embed.NewHashEmbedder(64), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sel.Random(5, 1)
+	b := sel.Random(5, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random selection not deterministic per seed")
+		}
+	}
+	if len(sel.Random(10000, 2)) != len(pool) {
+		t.Error("over-budget random selection not clamped")
+	}
+}
+
+func TestSimilarDemosBeatRandomAndZeroShot(t *testing.T) {
+	// The §2.2.1 claim behind demonstration selection: few-shot helps,
+	// and *selected* demonstrations help more than random ones.
+	pool, test, domains := demoPool(t)
+	m := llm.LargeModel()
+	m.ErrRate = 0.35 // headroom for in-context learning to matter
+	m.ContextWindow = 1 << 20
+	client := llm.NewSimulator(m, 7)
+	for _, d := range domains {
+		client.RegisterLabel(d, domainKeywords(d))
+	}
+	sel, err := NewDemoSelector(embed.NewHashEmbedder(embed.DefaultDim), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(mk func(tc llm.Example) string) float64 {
+		right := 0
+		for _, tc := range test {
+			resp, err := client.Complete(llm.Request{Prompt: mk(tc)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Text == tc.Label {
+				right++
+			}
+		}
+		return float64(right) / float64(len(test))
+	}
+	zero := score(func(tc llm.Example) string {
+		return llm.ClassifyPrompt(domains, tc.Input)
+	})
+	random := score(func(tc llm.Example) string {
+		return llm.ClassifyPromptFewShot(domains, sel.Random(4, int64(token.Hash64(tc.Input)%1000)), tc.Input)
+	})
+	similar := score(func(tc llm.Example) string {
+		demos, err := sel.Similar(tc.Input, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return llm.ClassifyPromptFewShot(domains, demos, tc.Input)
+	})
+	t.Logf("zero-shot %.2f, random demos %.2f, similar demos %.2f", zero, random, similar)
+	if similar <= zero {
+		t.Errorf("similar demos %v not better than zero-shot %v", similar, zero)
+	}
+	if similar < random {
+		t.Errorf("similar demos %v worse than random %v", similar, random)
+	}
+}
+
+func domainKeywords(d string) []string {
+	switch d {
+	case "finance":
+		return []string{"market", "shares", "dividend", "portfolio", "merger", "equity", "earnings"}
+	case "medicine":
+		return []string{"clinical", "patient", "therapy", "immune", "diagnosis", "receptor"}
+	case "technology":
+		return []string{"compiler", "kernel", "protocol", "latency", "framework", "runtime"}
+	default:
+		return []string{"championship", "playoff", "referee", "stadium", "tournament", "season"}
+	}
+}
+
+func TestCompressKeepsRelevantSentences(t *testing.T) {
+	ctx := []string{
+		"The weather was pleasant all week. The ceo of Zorvex Fi is anor. Stock tickers scrolled by.",
+		"Unrelated filler about gardening tips. More filler about recipes.",
+	}
+	query := "What is the ceo of Zorvex Fi?"
+	out := Compress(ctx, query, 12)
+	joined := strings.Join(out, " ")
+	if !strings.Contains(joined, "The ceo of Zorvex Fi is anor.") {
+		t.Errorf("relevant sentence dropped: %v", out)
+	}
+	if token.Count(joined) > 12 {
+		t.Errorf("budget exceeded: %d tokens", token.Count(joined))
+	}
+}
+
+func TestCompressPreservesOrderAndBudget(t *testing.T) {
+	var ctx []string
+	for i := 0; i < 10; i++ {
+		ctx = append(ctx, fmt.Sprintf("sentence number %d mentions zorvex today.", i))
+	}
+	out := Compress(ctx, "anything about zorvex", 25)
+	total := 0
+	prevIdx := -1
+	for _, s := range out {
+		total += token.Count(s)
+		var idx int
+		if _, err := fmt.Sscanf(s, "sentence number %d", &idx); err != nil {
+			t.Fatalf("unexpected sentence %q", s)
+		}
+		if idx <= prevIdx {
+			t.Error("original order not preserved")
+		}
+		prevIdx = idx
+	}
+	if total > 25 {
+		t.Errorf("budget exceeded: %d", total)
+	}
+	if len(out) == 0 {
+		t.Error("nothing kept")
+	}
+}
+
+func TestCompressZeroBudget(t *testing.T) {
+	if out := Compress([]string{"a sentence."}, "q", 0); out != nil {
+		t.Errorf("zero budget kept %v", out)
+	}
+}
+
+func TestCompressCutsRAGCostKeepsAccuracy(t *testing.T) {
+	// End-to-end: grounded QA with compressed context costs less and
+	// answers the same.
+	gen, err := corpus.NewGenerator(corpus.DefaultConfig(207))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gen.Generate()
+	m := llm.LargeModel()
+	m.ErrRate = 0
+	m.HallucinationRate = 0
+	m.ContextWindow = 1 << 20
+	client := llm.NewSimulator(m, 3)
+
+	var fullCost, compCost float64
+	fullRight, compRight, n := 0, 0, 0
+	for _, qa := range c.QAs {
+		if qa.Hops != 1 || n >= 40 {
+			continue
+		}
+		n++
+		doc, _ := c.DocByID(qa.SupportDocs[0])
+		ctx := []string{doc.Text}
+		full, err := client.Complete(llm.Request{Prompt: llm.AnswerPrompt(qa.Question, ctx)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullCost += full.CostUSD
+		if full.Text == qa.Answer {
+			fullRight++
+		}
+		compressed := Compress(ctx, qa.Question, 24)
+		comp, err := client.Complete(llm.Request{Prompt: llm.AnswerPrompt(qa.Question, compressed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compCost += comp.CostUSD
+		if comp.Text == qa.Answer {
+			compRight++
+		}
+	}
+	if compCost >= fullCost*0.8 {
+		t.Errorf("compression saved too little: %v vs %v", compCost, fullCost)
+	}
+	if compRight < fullRight-3 {
+		t.Errorf("compression lost accuracy: %d vs %d of %d", compRight, fullRight, n)
+	}
+}

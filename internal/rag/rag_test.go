@@ -1,0 +1,322 @@
+package rag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dataai/internal/corpus"
+	"dataai/internal/docstore"
+	"dataai/internal/embed"
+	"dataai/internal/llm"
+	"dataai/internal/vecdb"
+)
+
+// buildCorpusPipeline ingests a generated corpus into a fresh pipeline.
+func buildCorpusPipeline(t *testing.T, client llm.Client, opts ...Option) (*Pipeline, *corpus.Corpus) {
+	t.Helper()
+	gen, err := corpus.NewGenerator(corpus.DefaultConfig(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gen.Generate()
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	p, err := New(client, e, vecdb.NewFlat(e.Dim()), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]docstore.Document, len(c.Docs))
+	for i, d := range c.Docs {
+		docs[i] = docstore.Document{ID: d.ID, Text: d.Text, Meta: map[string]string{"domain": d.Domain}}
+	}
+	if err := p.Ingest(docs); err != nil {
+		t.Fatal(err)
+	}
+	return p, c
+}
+
+func perfectClient(seed uint64) *llm.Simulator {
+	m := llm.LargeModel()
+	m.ErrRate = 0
+	m.HallucinationRate = 0
+	m.ContextWindow = 1 << 20
+	return llm.NewSimulator(m, seed)
+}
+
+func TestNewDimMismatch(t *testing.T) {
+	e := embed.NewHashEmbedder(64)
+	if _, err := New(perfectClient(1), e, vecdb.NewFlat(32)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestRetrieveEmpty(t *testing.T) {
+	e := embed.NewHashEmbedder(32)
+	p, err := New(perfectClient(1), e, vecdb.NewFlat(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Retrieve("anything", 3); !errors.Is(err, ErrEmptyIndex) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetrieveFindsSupportDoc(t *testing.T) {
+	p, c := buildCorpusPipeline(t, perfectClient(2))
+	found, total := 0, 0
+	for _, qa := range c.QAs {
+		if qa.Hops != 1 {
+			continue
+		}
+		total++
+		hits, err := p.Retrieve(qa.Question, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hits {
+			if strings.Contains(h.Chunk.Text, qa.Answer) {
+				found++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no single-hop QAs")
+	}
+	if frac := float64(found) / float64(total); frac < 0.7 {
+		t.Errorf("retrieval found answer chunk for only %.2f of questions", frac)
+	}
+}
+
+func TestRAGBeatsClosedBook(t *testing.T) {
+	client := perfectClient(3) // empty knowledge base: closed book knows nothing
+	p, c := buildCorpusPipeline(t, client)
+	closed, open, total := 0, 0, 0
+	for _, qa := range c.QAs {
+		if qa.Hops != 1 {
+			continue
+		}
+		total++
+		resp, err := client.Complete(llm.Request{Prompt: llm.AnswerPrompt(qa.Question, nil)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Text == qa.Answer {
+			closed++
+		}
+		ans, err := p.Answer(qa.Question)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Text == qa.Answer {
+			open++
+		}
+	}
+	if closed >= open {
+		t.Errorf("closed-book %d/%d >= RAG %d/%d", closed, total, open, total)
+	}
+	if float64(open)/float64(total) < 0.6 {
+		t.Errorf("RAG accuracy %d/%d too low", open, total)
+	}
+}
+
+func TestIterativeBeatsSingleShotOnMultiHop(t *testing.T) {
+	client := perfectClient(4)
+	p, c := buildCorpusPipeline(t, client)
+	single, iter, total := 0, 0, 0
+	for _, qa := range c.QAs {
+		if qa.Hops != 2 {
+			continue
+		}
+		total++
+		a1, err := p.Answer(qa.Question)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1.Text == qa.Answer {
+			single++
+		}
+		a2, err := p.AnswerIterative(qa.Question)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a2.Text == qa.Answer {
+			iter++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no multi-hop QAs")
+	}
+	if iter < single {
+		t.Errorf("iterative %d/%d worse than single %d/%d", iter, total, single, total)
+	}
+	if float64(iter)/float64(total) < 0.5 {
+		t.Errorf("iterative accuracy %d/%d too low", iter, total)
+	}
+}
+
+func TestIterativeDegradesGracefullyOnOneHop(t *testing.T) {
+	client := perfectClient(5)
+	p, c := buildCorpusPipeline(t, client)
+	var qa corpus.QA
+	for _, q := range c.QAs {
+		if q.Hops == 1 {
+			qa = q
+			break
+		}
+	}
+	a, err := p.AnswerIterative(qa.Question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != qa.Answer {
+		t.Errorf("iterative one-hop answer = %q, want %q", a.Text, qa.Answer)
+	}
+}
+
+func TestAnswerAccountsCost(t *testing.T) {
+	client := perfectClient(6)
+	p, c := buildCorpusPipeline(t, client)
+	a, err := p.Answer(c.QAs[0].Question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CostUSD <= 0 || a.LatencyMS <= 0 {
+		t.Error("answer cost/latency not accounted")
+	}
+	if len(a.Retrieved) == 0 || a.Hops != 1 {
+		t.Error("retrieval metadata missing")
+	}
+}
+
+func TestRerankImprovesOrNeutral(t *testing.T) {
+	clientA := perfectClient(7)
+	plain, c := buildCorpusPipeline(t, clientA)
+	clientB := perfectClient(7)
+	reranked, _ := buildCorpusPipeline(t, clientB, WithRerank())
+
+	score := func(p *Pipeline) int {
+		hit := 0
+		for _, qa := range c.QAs[:40] {
+			hits, err := p.Retrieve(qa.Question, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range hits {
+				if strings.Contains(h.Chunk.Text, qa.Answer) {
+					hit++
+					break
+				}
+			}
+		}
+		return hit
+	}
+	plainHits := score(plain)
+	rerankHits := score(reranked)
+	if rerankHits < plainHits-2 {
+		t.Errorf("rerank hits %d much worse than plain %d", rerankHits, plainHits)
+	}
+}
+
+func TestReformulate(t *testing.T) {
+	q := "What is the revenue of the entity whose ceo is anor?"
+	got := reformulate(q, "Zorvex Fi")
+	if got != "What is the revenue of Zorvex Fi?" {
+		t.Errorf("reformulate = %q", got)
+	}
+	if got := reformulate("plain question?", "X"); !strings.Contains(got, "X") {
+		t.Errorf("fallback reformulate = %q", got)
+	}
+}
+
+func TestChunkCount(t *testing.T) {
+	p, _ := buildCorpusPipeline(t, perfectClient(8))
+	if p.ChunkCount() == 0 {
+		t.Error("no chunks indexed")
+	}
+}
+
+func TestIngestDuplicateDocFails(t *testing.T) {
+	e := embed.NewHashEmbedder(32)
+	p, err := New(perfectClient(9), e, vecdb.NewFlat(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []docstore.Document{{ID: "a", Text: "hello world."}}
+	if err := p.Ingest(docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(docs); err == nil {
+		t.Error("duplicate ingest accepted")
+	}
+}
+
+func BenchmarkRAGAnswer(b *testing.B) {
+	gen, _ := corpus.NewGenerator(corpus.DefaultConfig(1))
+	c := gen.Generate()
+	client := llm.NewSimulator(llm.LargeModel(), 1)
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	p, _ := New(client, e, vecdb.NewFlat(e.Dim()))
+	docs := make([]docstore.Document, len(c.Docs))
+	for i, d := range c.Docs {
+		docs[i] = docstore.Document{ID: d.ID, Text: d.Text}
+	}
+	if err := p.Ingest(docs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Answer(c.QAs[i%len(c.QAs)].Question); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRemoveDocumentForgetsFacts(t *testing.T) {
+	client := perfectClient(31)
+	p, c := buildCorpusPipeline(t, client)
+	// Find an answerable one-hop QA and remove every doc that states the
+	// fact; the pipeline must then stop answering it.
+	var qa corpus.QA
+	for _, q := range c.QAs {
+		if q.Hops == 1 {
+			qa = q
+			break
+		}
+	}
+	before, err := p.Answer(qa.Question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Text != qa.Answer {
+		t.Skip("question not answered pre-removal at this seed")
+	}
+	removedAny := false
+	for _, d := range c.Docs {
+		states := false
+		for _, f := range d.Facts {
+			if strings.Contains(qa.Question, f.Subject) && strings.Contains(qa.Question, f.Relation) {
+				states = true
+			}
+		}
+		if states {
+			if err := p.Remove(d.ID); err != nil {
+				t.Fatal(err)
+			}
+			removedAny = true
+		}
+	}
+	if !removedAny {
+		t.Skip("no stating docs found")
+	}
+	after, err := p.Answer(qa.Question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Text == qa.Answer {
+		t.Errorf("pipeline still answers %q after removing its sources", qa.Question)
+	}
+	if err := p.Remove("doc-does-not-exist"); err == nil {
+		t.Error("removing unknown doc succeeded")
+	}
+}

@@ -1,0 +1,188 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedQuery is a structured, mutable view of a parsed SQL query, used
+// by the query-rewriting layer (package rewrite): rewrite rules edit the
+// structure and Render regenerates SQL text.
+type ParsedQuery struct {
+	inner *sqlQuery
+}
+
+// ParseQuery parses sql into a structured query without executing it.
+func ParseQuery(sql string) (*ParsedQuery, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	q, err := (&sqlParser{toks: toks}).parse()
+	if err != nil {
+		return nil, err
+	}
+	return &ParsedQuery{inner: q}, nil
+}
+
+// Execute runs the parsed query against the catalog.
+func (p *ParsedQuery) Execute(c Catalog) (*Table, error) {
+	return p.inner.execute(c)
+}
+
+// Clone deep-copies the query.
+func (p *ParsedQuery) Clone() *ParsedQuery {
+	cp := *p.inner
+	cp.items = append([]selectItem(nil), p.inner.items...)
+	for i, it := range cp.items {
+		if it.agg != nil {
+			a := *it.agg
+			cp.items[i].agg = &a
+		}
+	}
+	cp.where = append([]whereCond(nil), p.inner.where...)
+	cp.groupBy = append([]string(nil), p.inner.groupBy...)
+	return &ParsedQuery{inner: &cp}
+}
+
+// Cond is one WHERE conjunct.
+type Cond struct {
+	Col string
+	Op  string
+	Val Value
+}
+
+// Conds returns the WHERE conjuncts.
+func (p *ParsedQuery) Conds() []Cond {
+	out := make([]Cond, len(p.inner.where))
+	for i, w := range p.inner.where {
+		out[i] = Cond{Col: w.col, Op: w.op, Val: w.val}
+	}
+	return out
+}
+
+// SetConds replaces the WHERE conjuncts.
+func (p *ParsedQuery) SetConds(conds []Cond) {
+	p.inner.where = make([]whereCond, len(conds))
+	for i, c := range conds {
+		p.inner.where[i] = whereCond{col: c.Col, op: c.Op, val: c.Val}
+	}
+}
+
+// OrderBy reports the ORDER BY column ("" when absent) and direction.
+func (p *ParsedQuery) OrderBy() (col string, desc bool) {
+	return p.inner.orderBy, p.inner.orderDesc
+}
+
+// DropOrderBy removes the ORDER BY clause.
+func (p *ParsedQuery) DropOrderBy() {
+	p.inner.orderBy = ""
+	p.inner.orderDesc = false
+}
+
+// HasAggregates reports whether the select list contains aggregates.
+func (p *ParsedQuery) HasAggregates() bool { return p.inner.hasAggregates() }
+
+// HasGroupBy reports whether the query groups.
+func (p *ParsedQuery) HasGroupBy() bool { return len(p.inner.groupBy) > 0 }
+
+// Render regenerates SQL text for the query.
+func (p *ParsedQuery) Render() string {
+	q := p.inner
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.star {
+		b.WriteString("*")
+	} else {
+		for i, it := range q.items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if it.agg != nil {
+				if it.agg.Func == Count && it.agg.Col == "" {
+					b.WriteString("count(*)")
+				} else {
+					fmt.Fprintf(&b, "%s(%s)", it.agg.Func, it.agg.Col)
+				}
+				if it.agg.As != "" {
+					fmt.Fprintf(&b, " AS %s", it.agg.As)
+				}
+				continue
+			}
+			b.WriteString(it.col)
+			if it.alias != "" {
+				fmt.Fprintf(&b, " AS %s", it.alias)
+			}
+		}
+	}
+	fmt.Fprintf(&b, " FROM %s", q.table)
+	if q.joinTable != "" {
+		fmt.Fprintf(&b, " JOIN %s ON %s = %s", q.joinTable, q.joinLeft, q.joinRight)
+	}
+	for i, w := range q.where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "%s %s %s", w.col, w.op, renderLiteral(w.val))
+	}
+	if len(q.groupBy) > 0 {
+		fmt.Fprintf(&b, " GROUP BY %s", strings.Join(q.groupBy, ", "))
+	}
+	if q.orderBy != "" {
+		fmt.Fprintf(&b, " ORDER BY %s", q.orderBy)
+		if q.orderDesc {
+			b.WriteString(" DESC")
+		}
+	}
+	if q.hasLimit {
+		fmt.Fprintf(&b, " LIMIT %d", q.limit)
+	}
+	return b.String()
+}
+
+func renderLiteral(v Value) string {
+	switch x := v.(type) {
+	case string:
+		return "'" + x + "'"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Fingerprint renders a table's contents as a canonical multiset string:
+// schema names/types plus sorted rows. Two tables with equal fingerprints
+// hold the same bag of rows — the comparison the rewrite verifier uses.
+// Row order is ignored unless the caller includes ORDER BY semantics
+// separately.
+func Fingerprint(t *Table) string {
+	var b strings.Builder
+	for _, c := range t.Schema {
+		fmt.Fprintf(&b, "%s:%s;", c.Name, c.Type)
+	}
+	b.WriteByte('\n')
+	rows := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		var rb strings.Builder
+		for _, v := range r {
+			rb.WriteString(keyOf(v))
+			rb.WriteByte('\x01')
+		}
+		rows[i] = rb.String()
+	}
+	sort.Strings(rows)
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

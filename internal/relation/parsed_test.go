@@ -1,0 +1,164 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func parsedCatalog(t *testing.T) Catalog {
+	t.Helper()
+	return catalog(t)
+}
+
+func TestParseQueryAndExecute(t *testing.T) {
+	c := parsedCatalog(t)
+	p, err := ParseQuery("SELECT name FROM companies WHERE revenue >= 80 AND sector = 'tech' ORDER BY name LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Execute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("rows = %d", out.Len())
+	}
+	if _, err := ParseQuery("SELECT FROM"); err == nil {
+		t.Error("bad sql parsed")
+	}
+}
+
+func TestParsedQueryAccessors(t *testing.T) {
+	p, err := ParseQuery("SELECT sector, count(*) AS n FROM companies WHERE revenue > 50 GROUP BY sector ORDER BY n DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasAggregates() || !p.HasGroupBy() {
+		t.Error("aggregate/group detection failed")
+	}
+	col, desc := p.OrderBy()
+	if col != "n" || !desc {
+		t.Errorf("OrderBy = %q/%v", col, desc)
+	}
+	conds := p.Conds()
+	if len(conds) != 1 || conds[0].Col != "revenue" || conds[0].Op != ">" {
+		t.Errorf("Conds = %+v", conds)
+	}
+	p.DropOrderBy()
+	if col, _ := p.OrderBy(); col != "" {
+		t.Error("DropOrderBy did not drop")
+	}
+	p.SetConds(nil)
+	if len(p.Conds()) != 0 {
+		t.Error("SetConds(nil) left conjuncts")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p, err := ParseQuery("SELECT name FROM companies WHERE revenue > 50 AND sector = 'tech'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := p.Clone()
+	cp.SetConds(cp.Conds()[:1])
+	cp.DropOrderBy()
+	if len(p.Conds()) != 2 {
+		t.Error("mutating clone changed original conds")
+	}
+}
+
+func TestRenderLiterals(t *testing.T) {
+	c := parsedCatalog(t)
+	for _, q := range []string{
+		"SELECT name FROM companies WHERE public = true",
+		"SELECT name FROM companies WHERE revenue > 100.5",
+		"SELECT name FROM companies WHERE employees >= 500",
+		"SELECT name FROM companies WHERE sector != 'tech'",
+		"SELECT * FROM companies JOIN sectors ON sector = sname LIMIT 3",
+	} {
+		p, err := ParseQuery(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		rendered := p.Render()
+		p2, err := ParseQuery(rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", rendered, err)
+		}
+		a, err := p.Execute(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p2.Execute(c)
+		if err != nil {
+			t.Fatalf("execute rendered %q: %v", rendered, err)
+		}
+		if Fingerprint(a) != Fingerprint(b) {
+			t.Errorf("render changed semantics: %q -> %q", q, rendered)
+		}
+	}
+}
+
+func TestFingerprintSchemaSensitive(t *testing.T) {
+	a, _ := NewTable("t", Schema{{Name: "x", Type: Int}})
+	b, _ := NewTable("t", Schema{{Name: "y", Type: Int}})
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Error("fingerprint ignores schema")
+	}
+}
+
+// TestParserNeverPanics feeds arbitrary strings through the lexer and
+// parser; malformed input must produce errors, not panics.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		_, _ = ParseQuery(s)
+		_, _ = ParseQuery("SELECT " + s)
+		_, _ = ParseQuery("SELECT a FROM t WHERE " + s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeAndAggStrings(t *testing.T) {
+	for typ, want := range map[Type]string{
+		String: "string", Int: "int", Float: "float", Bool: "bool", Type(9): "type(9)",
+	} {
+		if typ.String() != want {
+			t.Errorf("Type(%d) = %q", int(typ), typ.String())
+		}
+	}
+	for f, want := range map[AggFunc]string{
+		Count: "count", Sum: "sum", Avg: "avg", Min: "min", Max: "max", AggFunc(9): "agg(9)",
+	} {
+		if f.String() != want {
+			t.Errorf("AggFunc(%d) = %q", int(f), f.String())
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := companies(t)
+	s := tbl.String()
+	if !strings.Contains(s, "companies") || !strings.Contains(s, "5 rows") {
+		t.Errorf("Table.String = %q", s)
+	}
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	tbl, _ := NewTable("t", Schema{{Name: "a", Type: Int}})
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInsert did not panic on bad row")
+		}
+	}()
+	tbl.MustInsert(Row{"not an int"})
+}

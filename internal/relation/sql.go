@@ -1,0 +1,487 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ErrSQL indicates a query that could not be parsed or executed.
+var ErrSQL = errors.New("relation: sql error")
+
+// Catalog resolves table names for query execution.
+type Catalog map[string]*Table
+
+// Query executes a SQL-subset query against the catalog:
+//
+//	SELECT <*|cols|aggs> FROM t [JOIN u ON t.a = u.b]
+//	  [WHERE col op literal [AND ...]]
+//	  [GROUP BY col[, col...]] [ORDER BY col [ASC|DESC]] [LIMIT n]
+//
+// Aggregates: count(*), sum(c), avg(c), min(c), max(c), each with an
+// optional "AS alias". Comparison operators: = != < <= > >=. String
+// literals use single quotes. This subset covers what the LLM4Data layers
+// emit (NL2SQL output over extracted schemas, lake sub-queries).
+func (c Catalog) Query(sql string) (*Table, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	q, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return q.execute(c)
+}
+
+// --- lexer ---
+
+type sqlToken struct {
+	kind string // "ident", "number", "string", "sym"
+	text string
+}
+
+func lexSQL(s string) ([]sqlToken, error) {
+	var out []sqlToken
+	i := 0
+	for i < len(s) {
+		r := s[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			i++
+		case r == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("%w: unterminated string literal", ErrSQL)
+			}
+			out = append(out, sqlToken{"string", s[i+1 : j]})
+			i = j + 1
+		case unicode.IsDigit(rune(r)) || (r == '-' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1]))):
+			j := i + 1
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.') {
+				j++
+			}
+			out = append(out, sqlToken{"number", s[i:j]})
+			i = j
+		case unicode.IsLetter(rune(r)) || r == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_' || s[j] == '.') {
+				j++
+			}
+			out = append(out, sqlToken{"ident", s[i:j]})
+			i = j
+		case r == '!' || r == '<' || r == '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				out = append(out, sqlToken{"sym", s[i : i+2]})
+				i += 2
+			} else {
+				out = append(out, sqlToken{"sym", string(r)})
+				i++
+			}
+		case r == '=' || r == '(' || r == ')' || r == ',' || r == '*':
+			out = append(out, sqlToken{"sym", string(r)})
+			i++
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q", ErrSQL, r)
+		}
+	}
+	return out, nil
+}
+
+// --- parser ---
+
+type selectItem struct {
+	col   string
+	agg   *Agg // non-nil for aggregate items
+	alias string
+}
+
+type whereCond struct {
+	col string
+	op  string
+	val Value
+}
+
+type sqlQuery struct {
+	items     []selectItem
+	star      bool
+	table     string
+	joinTable string
+	joinLeft  string
+	joinRight string
+	where     []whereCond
+	groupBy   []string
+	orderBy   string
+	orderDesc bool
+	limit     int
+	hasLimit  bool
+}
+
+type sqlParser struct {
+	toks []sqlToken
+	pos  int
+}
+
+func (p *sqlParser) peek() sqlToken {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return sqlToken{"eof", ""}
+}
+
+func (p *sqlParser) next() sqlToken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != "ident" || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("%w: expected %s, got %q", ErrSQL, kw, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == "ident" && strings.EqualFold(t.text, kw)
+}
+
+func (p *sqlParser) expectSym(sym string) error {
+	t := p.next()
+	if t.kind != "sym" || t.text != sym {
+		return fmt.Errorf("%w: expected %q, got %q", ErrSQL, sym, t.text)
+	}
+	return nil
+}
+
+var aggNames = map[string]AggFunc{
+	"count": Count, "sum": Sum, "avg": Avg, "min": Min, "max": Max,
+}
+
+func (p *sqlParser) parse() (*sqlQuery, error) {
+	q := &sqlQuery{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == "sym" && p.peek().text == "*" {
+		p.next()
+		q.star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.items = append(q.items, item)
+			if p.peek().kind == "sym" && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != "ident" {
+		return nil, fmt.Errorf("%w: expected table name, got %q", ErrSQL, t.text)
+	}
+	q.table = t.text
+
+	if p.atKeyword("join") {
+		p.next()
+		jt := p.next()
+		if jt.kind != "ident" {
+			return nil, fmt.Errorf("%w: expected join table, got %q", ErrSQL, jt.text)
+		}
+		q.joinTable = jt.text
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		l := p.next()
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		r := p.next()
+		if l.kind != "ident" || r.kind != "ident" {
+			return nil, fmt.Errorf("%w: join condition must be col = col", ErrSQL)
+		}
+		q.joinLeft, q.joinRight = l.text, r.text
+	}
+
+	if p.atKeyword("where") {
+		p.next()
+		for {
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			q.where = append(q.where, cond)
+			if p.atKeyword("and") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != "ident" {
+				return nil, fmt.Errorf("%w: expected group column, got %q", ErrSQL, t.text)
+			}
+			q.groupBy = append(q.groupBy, t.text)
+			if p.peek().kind == "sym" && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != "ident" {
+			return nil, fmt.Errorf("%w: expected order column, got %q", ErrSQL, t.text)
+		}
+		q.orderBy = t.text
+		if p.atKeyword("desc") {
+			p.next()
+			q.orderDesc = true
+		} else if p.atKeyword("asc") {
+			p.next()
+		}
+	}
+	if p.atKeyword("limit") {
+		p.next()
+		t := p.next()
+		if t.kind != "number" {
+			return nil, fmt.Errorf("%w: expected limit count, got %q", ErrSQL, t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad limit %q", ErrSQL, t.text)
+		}
+		q.limit, q.hasLimit = n, true
+	}
+	if p.peek().kind != "eof" {
+		return nil, fmt.Errorf("%w: trailing input at %q", ErrSQL, p.peek().text)
+	}
+	return q, nil
+}
+
+func (p *sqlParser) parseSelectItem() (selectItem, error) {
+	t := p.next()
+	if t.kind != "ident" {
+		return selectItem{}, fmt.Errorf("%w: expected column, got %q", ErrSQL, t.text)
+	}
+	item := selectItem{col: t.text}
+	if f, isAgg := aggNames[strings.ToLower(t.text)]; isAgg && p.peek().kind == "sym" && p.peek().text == "(" {
+		p.next()
+		arg := p.next()
+		if arg.kind == "sym" && arg.text == "*" {
+			if f != Count {
+				return selectItem{}, fmt.Errorf("%w: %s(*) not allowed", ErrSQL, t.text)
+			}
+			item.agg = &Agg{Func: Count}
+		} else if arg.kind == "ident" {
+			item.agg = &Agg{Func: f, Col: arg.text}
+		} else {
+			return selectItem{}, fmt.Errorf("%w: bad aggregate argument %q", ErrSQL, arg.text)
+		}
+		if err := p.expectSym(")"); err != nil {
+			return selectItem{}, err
+		}
+	}
+	if p.atKeyword("as") {
+		p.next()
+		a := p.next()
+		if a.kind != "ident" {
+			return selectItem{}, fmt.Errorf("%w: expected alias, got %q", ErrSQL, a.text)
+		}
+		item.alias = a.text
+	}
+	if item.agg != nil {
+		item.agg.As = item.alias
+		if item.agg.As == "" {
+			item.agg.As = strings.ToLower(t.text)
+			if item.agg.Col != "" {
+				item.agg.As += "_" + strings.ReplaceAll(item.agg.Col, ".", "_")
+			}
+		}
+	}
+	return item, nil
+}
+
+func (p *sqlParser) parseCond() (whereCond, error) {
+	col := p.next()
+	if col.kind != "ident" {
+		return whereCond{}, fmt.Errorf("%w: expected column in WHERE, got %q", ErrSQL, col.text)
+	}
+	op := p.next()
+	valid := map[string]bool{"=": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+	if op.kind != "sym" || !valid[op.text] {
+		return whereCond{}, fmt.Errorf("%w: bad operator %q", ErrSQL, op.text)
+	}
+	lit := p.next()
+	var v Value
+	switch lit.kind {
+	case "string":
+		v = lit.text
+	case "number":
+		if strings.Contains(lit.text, ".") {
+			f, err := strconv.ParseFloat(lit.text, 64)
+			if err != nil {
+				return whereCond{}, fmt.Errorf("%w: bad number %q", ErrSQL, lit.text)
+			}
+			v = f
+		} else {
+			n, err := strconv.ParseInt(lit.text, 10, 64)
+			if err != nil {
+				return whereCond{}, fmt.Errorf("%w: bad number %q", ErrSQL, lit.text)
+			}
+			v = n
+		}
+	case "ident":
+		switch strings.ToLower(lit.text) {
+		case "true":
+			v = true
+		case "false":
+			v = false
+		default:
+			return whereCond{}, fmt.Errorf("%w: bad literal %q", ErrSQL, lit.text)
+		}
+	default:
+		return whereCond{}, fmt.Errorf("%w: bad literal %q", ErrSQL, lit.text)
+	}
+	return whereCond{col: col.text, op: op.text, val: v}, nil
+}
+
+// --- executor ---
+
+func (q *sqlQuery) execute(c Catalog) (*Table, error) {
+	t, ok := c[q.table]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown table %q", ErrSQL, q.table)
+	}
+	cur := t
+	if q.joinTable != "" {
+		u, ok := c[q.joinTable]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown table %q", ErrSQL, q.joinTable)
+		}
+		left := strings.TrimPrefix(q.joinLeft, q.table+".")
+		right := strings.TrimPrefix(q.joinRight, q.joinTable+".")
+		joined, err := cur.Join(u, left, right)
+		if err != nil {
+			return nil, err
+		}
+		cur = joined
+	}
+	for _, w := range q.where {
+		idx, err := cur.Schema.Index(w.col)
+		if err != nil {
+			return nil, err
+		}
+		w := w
+		cur = cur.Select(func(r Row) bool { return evalCond(r[idx], w.op, w.val) })
+	}
+	if len(q.groupBy) > 0 || q.hasAggregates() {
+		var aggs []Agg
+		var plainCols []string
+		for _, item := range q.items {
+			if item.agg != nil {
+				aggs = append(aggs, *item.agg)
+			} else {
+				plainCols = append(plainCols, item.col)
+			}
+		}
+		// Non-aggregated select items must be group columns.
+		for _, pc := range plainCols {
+			found := false
+			for _, g := range q.groupBy {
+				if g == pc {
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("%w: column %q must appear in GROUP BY", ErrSQL, pc)
+			}
+		}
+		grouped, err := cur.GroupBy(q.groupBy, aggs)
+		if err != nil {
+			return nil, err
+		}
+		cur = grouped
+	} else if !q.star {
+		cols := make([]string, len(q.items))
+		for i, item := range q.items {
+			cols[i] = item.col
+		}
+		projected, err := cur.Project(cols...)
+		if err != nil {
+			return nil, err
+		}
+		// Apply aliases.
+		for i, item := range q.items {
+			if item.alias != "" {
+				projected.Schema[i].Name = item.alias
+			}
+		}
+		cur = projected
+	}
+	if q.orderBy != "" {
+		ordered, err := cur.OrderBy(q.orderBy, q.orderDesc)
+		if err != nil {
+			return nil, err
+		}
+		cur = ordered
+	}
+	if q.hasLimit {
+		cur = cur.Limit(q.limit)
+	}
+	return cur, nil
+}
+
+func (q *sqlQuery) hasAggregates() bool {
+	for _, item := range q.items {
+		if item.agg != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func evalCond(cell Value, op string, lit Value) bool {
+	switch op {
+	case "=":
+		return valueEq(cell, lit)
+	case "!=":
+		return cell != nil && !valueEq(cell, lit)
+	case "<":
+		return cell != nil && valueLess(cell, lit)
+	case "<=":
+		return cell != nil && (valueLess(cell, lit) || valueEq(cell, lit))
+	case ">":
+		return cell != nil && valueLess(lit, cell)
+	case ">=":
+		return cell != nil && (valueLess(lit, cell) || valueEq(cell, lit))
+	}
+	return false
+}

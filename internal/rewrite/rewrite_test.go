@@ -1,0 +1,236 @@
+package rewrite
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dataai/internal/relation"
+)
+
+// witness builds a catalog whose rows sit on predicate boundaries, so
+// unsound bound relaxations change results visibly.
+func witness(t *testing.T) relation.Catalog {
+	t.Helper()
+	tbl, err := relation.NewTable("m", relation.Schema{
+		{Name: "id", Type: relation.Int},
+		{Name: "v", Type: relation.Float},
+		{Name: "tag", Type: relation.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []relation.Row{
+		{int64(1), 3.0, "a"},
+		{int64(2), 5.0, "a"}, // exactly on the >= 5 boundary
+		{int64(3), 7.0, "b"},
+		{int64(4), 9.0, "b"},
+	}
+	for _, r := range rows {
+		tbl.MustInsert(r)
+	}
+	return relation.Catalog{"m": tbl}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM m",
+		"SELECT id, tag FROM m WHERE v >= 5 AND tag = 'b' ORDER BY id DESC LIMIT 2",
+		"SELECT tag, count(*) AS n FROM m GROUP BY tag",
+		"SELECT sum(v) AS total FROM m WHERE v > 3.5",
+	}
+	cat := witness(t)
+	for _, q := range queries {
+		p, err := relation.ParseQuery(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		rendered := p.Render()
+		p2, err := relation.ParseQuery(rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", rendered, err)
+		}
+		a, err := p.Execute(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p2.Execute(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relation.Fingerprint(a) != relation.Fingerprint(b) {
+			t.Errorf("render round trip changed semantics: %q -> %q", q, rendered)
+		}
+	}
+}
+
+func TestFingerprintOrderInsensitive(t *testing.T) {
+	a, _ := relation.NewTable("t", relation.Schema{{Name: "x", Type: relation.Int}})
+	a.MustInsert(relation.Row{int64(1)})
+	a.MustInsert(relation.Row{int64(2)})
+	b, _ := relation.NewTable("t", relation.Schema{{Name: "x", Type: relation.Int}})
+	b.MustInsert(relation.Row{int64(2)})
+	b.MustInsert(relation.Row{int64(1)})
+	if relation.Fingerprint(a) != relation.Fingerprint(b) {
+		t.Error("fingerprint sensitive to row order")
+	}
+	c, _ := relation.NewTable("t", relation.Schema{{Name: "x", Type: relation.Int}})
+	c.MustInsert(relation.Row{int64(1)})
+	c.MustInsert(relation.Row{int64(1)})
+	if relation.Fingerprint(a) == relation.Fingerprint(c) {
+		t.Error("fingerprint ignores multiplicity")
+	}
+}
+
+func TestRedundantConjunctEliminated(t *testing.T) {
+	r := &Rewriter{Proposer: SimulatedLLMProposer{}, Witness: witness(t)}
+	res, err := r.Rewrite("SELECT id FROM m WHERE v > 5 AND v > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != "redundant-conjunct-elimination" {
+		t.Fatalf("applied = %q (rejected: %v)", res.Applied, res.Rejected)
+	}
+	if strings.Contains(res.SQL, "3") {
+		t.Errorf("weaker conjunct survived: %s", res.SQL)
+	}
+	// The accepted rewrite must agree with the original everywhere on
+	// the witness (already checked by the verifier; re-check endpoints).
+	orig, _ := relation.ParseQuery("SELECT id FROM m WHERE v > 5 AND v > 3")
+	re, _ := relation.ParseQuery(res.SQL)
+	cat := witness(t)
+	a, _ := orig.Execute(cat)
+	b, _ := re.Execute(cat)
+	if relation.Fingerprint(a) != relation.Fingerprint(b) {
+		t.Error("accepted rewrite not equivalent")
+	}
+}
+
+func TestDuplicateConjunctEliminated(t *testing.T) {
+	r := &Rewriter{Proposer: SimulatedLLMProposer{}, Witness: witness(t)}
+	res, err := r.Rewrite("SELECT id FROM m WHERE tag = 'a' AND tag = 'a'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != "redundant-conjunct-elimination" {
+		t.Fatalf("applied = %q", res.Applied)
+	}
+	if strings.Count(res.SQL, "tag") != 1 {
+		t.Errorf("duplicate survived: %s", res.SQL)
+	}
+}
+
+func TestNoopOrderByEliminated(t *testing.T) {
+	r := &Rewriter{Proposer: SimulatedLLMProposer{}, Witness: witness(t)}
+	res, err := r.Rewrite("SELECT count(*) AS n FROM m ORDER BY n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != "noop-orderby-elimination" {
+		t.Fatalf("applied = %q (rejected %v)", res.Applied, res.Rejected)
+	}
+	if strings.Contains(strings.ToUpper(res.SQL), "ORDER BY") {
+		t.Errorf("order by survived: %s", res.SQL)
+	}
+}
+
+func TestUnsoundProposalCaughtByVerifier(t *testing.T) {
+	// Force the hallucinated bound relaxation; the witness has a row at
+	// exactly v = 5, so ">= 5" and "> 5" differ and must be rejected.
+	r := &Rewriter{
+		Proposer: SimulatedLLMProposer{UnsoundRate: 1, Seed: 1},
+		Witness:  witness(t),
+	}
+	res, err := r.Rewrite("SELECT id FROM m WHERE v >= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != "" || res.SQL != "SELECT id FROM m WHERE v >= 5" {
+		t.Fatalf("unsound rewrite accepted: %+v", res)
+	}
+	found := false
+	for _, rej := range res.Rejected {
+		if strings.Contains(rej, "bound-relaxation") && strings.Contains(rej, "differ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("verifier did not record the unsound rejection: %v", res.Rejected)
+	}
+}
+
+func TestUnsoundProposalWouldSlipPastWeakWitness(t *testing.T) {
+	// The flip side — a witness with no boundary row cannot distinguish
+	// ">= 5" from "> 5", so the unsound rewrite verifies. This is the
+	// documented limit of counterexample testing and why witness design
+	// matters.
+	tbl, _ := relation.NewTable("m", relation.Schema{
+		{Name: "id", Type: relation.Int},
+		{Name: "v", Type: relation.Float},
+		{Name: "tag", Type: relation.String},
+	})
+	tbl.MustInsert(relation.Row{int64(1), 3.0, "a"})
+	tbl.MustInsert(relation.Row{int64(2), 7.0, "b"})
+	r := &Rewriter{
+		Proposer: SimulatedLLMProposer{UnsoundRate: 1, Seed: 1},
+		Witness:  relation.Catalog{"m": tbl},
+	}
+	res, err := r.Rewrite("SELECT id FROM m WHERE v >= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified == 0 {
+		t.Skip("proposer produced no unsound candidate at this seed")
+	}
+	if res.Applied == "" {
+		t.Error("weak witness unexpectedly rejected everything")
+	}
+}
+
+func TestRewriteNoCandidates(t *testing.T) {
+	r := &Rewriter{Proposer: SimulatedLLMProposer{}, Witness: witness(t)}
+	sql := "SELECT id FROM m WHERE tag = 'a'"
+	res, err := r.Rewrite(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SQL != sql || res.Applied != "" {
+		t.Errorf("query without rewrites changed: %+v", res)
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	r := &Rewriter{Proposer: SimulatedLLMProposer{}}
+	if _, err := r.Rewrite("SELECT 1"); !errors.Is(err, ErrNoWitness) {
+		t.Errorf("err = %v", err)
+	}
+	r.Witness = witness(t)
+	if _, err := r.Rewrite("not sql at all ###"); err == nil {
+		t.Error("bad sql accepted")
+	}
+	if _, err := r.Rewrite("SELECT x FROM nowhere"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestImpliesTable(t *testing.T) {
+	cases := []struct {
+		a, b relation.Cond
+		want bool
+	}{
+		{relation.Cond{Col: "v", Op: ">", Val: int64(5)}, relation.Cond{Col: "v", Op: ">", Val: int64(3)}, true},
+		{relation.Cond{Col: "v", Op: ">", Val: int64(3)}, relation.Cond{Col: "v", Op: ">", Val: int64(5)}, false},
+		{relation.Cond{Col: "v", Op: ">=", Val: int64(5)}, relation.Cond{Col: "v", Op: ">", Val: int64(5)}, false},
+		{relation.Cond{Col: "v", Op: ">", Val: int64(5)}, relation.Cond{Col: "v", Op: ">=", Val: int64(5)}, true},
+		{relation.Cond{Col: "v", Op: "<", Val: int64(3)}, relation.Cond{Col: "v", Op: "<=", Val: int64(5)}, true},
+		{relation.Cond{Col: "v", Op: "<=", Val: int64(5)}, relation.Cond{Col: "v", Op: "<", Val: int64(5)}, false},
+		{relation.Cond{Col: "a", Op: ">", Val: int64(5)}, relation.Cond{Col: "b", Op: ">", Val: int64(3)}, false},
+		{relation.Cond{Col: "t", Op: "=", Val: "x"}, relation.Cond{Col: "t", Op: "=", Val: "x"}, true},
+		{relation.Cond{Col: "t", Op: "=", Val: "x"}, relation.Cond{Col: "t", Op: "=", Val: "y"}, false},
+	}
+	for i, c := range cases {
+		if got := implies(c.a, c.b); got != c.want {
+			t.Errorf("case %d: implies(%+v, %+v) = %v", i, c.a, c.b, got)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package semop implements semantic operators over relational tables with
+// text columns — the LOTUS/PALIMPZEST/ZENDB line of systems the paper
+// surveys under "Unstructured Document Analytics" (§2.2.2).
+//
+// A semantic operator is a relational operator whose predicate or
+// projection is evaluated by an LLM: SemFilter keeps rows the model judges
+// to satisfy a natural-language criterion, SemExtract adds a column whose
+// values the model extracts from text, SemJoin matches rows across tables
+// by a model-judged relation, and SemTopK ranks rows by judged relevance.
+//
+// Because every semantic evaluation costs an LLM call, plans over these
+// operators are optimized the way the surveyed systems do (experiment E2):
+//
+//   - classical predicates run first (they are free),
+//   - among semantic filters, cheaper and more selective ones run first
+//     (predicate ordering by rank = cost / max(ε, 1 - selectivity)),
+//   - duplicate text values are evaluated once (operator-level dedup),
+//   - and the model itself can be a cache or cascade (package llm).
+package semop
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dataai/internal/llm"
+	"dataai/internal/relation"
+)
+
+// ErrNotText indicates a semantic operator pointed at a non-string column.
+var ErrNotText = errors.New("semop: text column must be a string column")
+
+// Executor runs pipelines against one LLM client and accounts usage.
+type Executor struct {
+	Client llm.Client
+
+	// Calls counts LLM invocations issued by this executor (after
+	// operator-level dedup; cache hits inside the client still count
+	// here as issued calls).
+	Calls int
+	// CostUSD and LatencyMS accumulate the client-reported totals.
+	CostUSD   float64
+	LatencyMS float64
+}
+
+// NewExecutor returns an executor over client.
+func NewExecutor(client llm.Client) *Executor {
+	return &Executor{Client: client}
+}
+
+func (ex *Executor) complete(prompt string) (llm.Response, error) {
+	resp, err := ex.Client.Complete(llm.Request{Prompt: prompt})
+	if err != nil {
+		return resp, err
+	}
+	ex.Calls++
+	ex.CostUSD += resp.CostUSD
+	ex.LatencyMS += resp.LatencyMS
+	return resp, nil
+}
+
+// textColumn resolves col as a string column of t.
+func textColumn(t *relation.Table, col string) (int, error) {
+	idx, err := t.Schema.Index(col)
+	if err != nil {
+		return -1, err
+	}
+	if t.Schema[idx].Type != relation.String {
+		return -1, fmt.Errorf("%w: %q is %s", ErrNotText, col, t.Schema[idx].Type)
+	}
+	return idx, nil
+}
+
+// Op is one pipeline step.
+type Op interface {
+	Apply(ex *Executor, t *relation.Table) (*relation.Table, error)
+	// Semantic reports whether the op consumes LLM calls.
+	Semantic() bool
+	// Selectivity estimates the fraction of rows surviving the op,
+	// used by the optimizer. Non-filtering ops return 1.
+	Selectivity() float64
+	// CostPerRow estimates the op's per-row cost in arbitrary units
+	// (classical ops ~0, semantic ops ~ prompt size).
+	CostPerRow() float64
+}
+
+// ClassicalFilter is a zero-cost predicate on one column.
+type ClassicalFilter struct {
+	Col string
+	// Pred evaluates one cell.
+	Pred func(relation.Value) bool
+	// EstSelectivity is the optimizer's estimate (default 0.5 if zero).
+	EstSelectivity float64
+}
+
+// Apply implements Op.
+func (f ClassicalFilter) Apply(_ *Executor, t *relation.Table) (*relation.Table, error) {
+	idx, err := t.Schema.Index(f.Col)
+	if err != nil {
+		return nil, err
+	}
+	return t.Select(func(r relation.Row) bool { return f.Pred(r[idx]) }), nil
+}
+
+// Semantic implements Op.
+func (f ClassicalFilter) Semantic() bool { return false }
+
+// Selectivity implements Op.
+func (f ClassicalFilter) Selectivity() float64 {
+	if f.EstSelectivity <= 0 || f.EstSelectivity > 1 {
+		return 0.5
+	}
+	return f.EstSelectivity
+}
+
+// CostPerRow implements Op.
+func (f ClassicalFilter) CostPerRow() float64 { return 0 }
+
+// SemFilter keeps rows whose TextCol the model judges to satisfy
+// Criterion (llm.JudgePrompt form, e.g. "contains:merger").
+type SemFilter struct {
+	TextCol   string
+	Criterion string
+	// EstSelectivity is the optimizer's estimate (default 0.5 if zero).
+	EstSelectivity float64
+}
+
+// Apply implements Op. Identical text values are judged once.
+func (f SemFilter) Apply(ex *Executor, t *relation.Table) (*relation.Table, error) {
+	idx, err := textColumn(t, f.TextCol)
+	if err != nil {
+		return nil, err
+	}
+	verdict := make(map[string]bool)
+	for _, r := range t.Rows {
+		text, _ := r[idx].(string)
+		if _, ok := verdict[text]; ok {
+			continue
+		}
+		resp, err := ex.complete(llm.JudgePrompt(f.Criterion, text))
+		if err != nil {
+			return nil, fmt.Errorf("semop: filter: %w", err)
+		}
+		verdict[text] = llm.IsYes(resp.Text)
+	}
+	return t.Select(func(r relation.Row) bool {
+		text, _ := r[idx].(string)
+		return verdict[text]
+	}), nil
+}
+
+// Semantic implements Op.
+func (f SemFilter) Semantic() bool { return true }
+
+// Selectivity implements Op.
+func (f SemFilter) Selectivity() float64 {
+	if f.EstSelectivity <= 0 || f.EstSelectivity > 1 {
+		return 0.5
+	}
+	return f.EstSelectivity
+}
+
+// CostPerRow implements Op.
+func (f SemFilter) CostPerRow() float64 { return 1 }
+
+// SemExtract adds column As (string) holding the model's extraction of
+// Attribute from TextCol.
+type SemExtract struct {
+	TextCol   string
+	Attribute string
+	As        string
+}
+
+// Apply implements Op.
+func (e SemExtract) Apply(ex *Executor, t *relation.Table) (*relation.Table, error) {
+	idx, err := textColumn(t, e.TextCol)
+	if err != nil {
+		return nil, err
+	}
+	as := e.As
+	if as == "" {
+		as = e.Attribute
+	}
+	schema := append(relation.Schema{}, t.Schema...)
+	schema = append(schema, relation.Column{Name: as, Type: relation.String})
+	out, err := relation.NewTable(t.Name, schema)
+	if err != nil {
+		return nil, fmt.Errorf("semop: extract: %w", err)
+	}
+	extracted := make(map[string]string)
+	for _, r := range t.Rows {
+		text, _ := r[idx].(string)
+		val, ok := extracted[text]
+		if !ok {
+			resp, err := ex.complete(llm.ExtractPrompt(e.Attribute, text))
+			if err != nil {
+				return nil, fmt.Errorf("semop: extract: %w", err)
+			}
+			val = resp.Text
+			extracted[text] = val
+		}
+		nr := append(append(relation.Row{}, r...), val)
+		if err := out.Insert(nr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Semantic implements Op.
+func (e SemExtract) Semantic() bool { return true }
+
+// Selectivity implements Op.
+func (e SemExtract) Selectivity() float64 { return 1 }
+
+// CostPerRow implements Op.
+func (e SemExtract) CostPerRow() float64 { return 1 }
+
+// Pipeline is an ordered list of ops over one input table.
+type Pipeline struct {
+	ops []Op
+}
+
+// NewPipeline builds a pipeline executing ops in order.
+func NewPipeline(ops ...Op) *Pipeline { return &Pipeline{ops: ops} }
+
+// Run executes the pipeline.
+func (p *Pipeline) Run(ex *Executor, t *relation.Table) (*relation.Table, error) {
+	cur := t
+	for i, op := range p.ops {
+		next, err := op.Apply(ex, cur)
+		if err != nil {
+			return nil, fmt.Errorf("semop: step %d: %w", i, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Ops returns the pipeline's steps in execution order.
+func (p *Pipeline) Ops() []Op { return p.ops }
+
+// Optimize reorders filters to minimize expected LLM cost: classical
+// filters first (free row reduction), then semantic filters ordered by
+// rank = CostPerRow / max(ε, 1-Selectivity) — cheap, highly selective
+// predicates run earliest so later expensive ones see fewer rows.
+// Non-filter ops (Selectivity == 1 and not filters) keep their relative
+// position after all filters that preceded them... simplification: ops
+// that change schema (extract) act as barriers; filters may not cross
+// them from the right, but filters to their left reorder freely.
+func Optimize(ops []Op) []Op {
+	out := make([]Op, 0, len(ops))
+	var window []Op
+	flush := func() {
+		sort.SliceStable(window, func(i, j int) bool {
+			return filterRank(window[i]) < filterRank(window[j])
+		})
+		out = append(out, window...)
+		window = nil
+	}
+	for _, op := range ops {
+		if isFilter(op) {
+			window = append(window, op)
+			continue
+		}
+		flush()
+		out = append(out, op)
+	}
+	flush()
+	return out
+}
+
+func isFilter(op Op) bool { return op.Selectivity() < 1 }
+
+func filterRank(op Op) float64 {
+	drop := 1 - op.Selectivity()
+	if drop < 1e-9 {
+		drop = 1e-9
+	}
+	return op.CostPerRow() / drop
+}
+
+// SemJoin returns pairs (l, r) where the model judges that l's LeftText
+// satisfies Criterion(r's RightKey value): for each right row, the
+// criterion is "contains:<right key>". Output schema is left columns then
+// right columns (right names prefixed on collision, as relation.Join).
+func SemJoin(ex *Executor, left, right *relation.Table, leftText, rightKey string) (*relation.Table, error) {
+	li, err := textColumn(left, leftText)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := textColumn(right, rightKey)
+	if err != nil {
+		return nil, err
+	}
+	schema := append(relation.Schema{}, left.Schema...)
+	names := map[string]bool{}
+	for _, c := range schema {
+		names[c.Name] = true
+	}
+	for _, c := range right.Schema {
+		name := c.Name
+		if names[name] {
+			name = right.Name + "." + name
+		}
+		names[name] = true
+		schema = append(schema, relation.Column{Name: name, Type: c.Type})
+	}
+	out, err := relation.NewTable(left.Name+"_sem_"+right.Name, schema)
+	if err != nil {
+		return nil, err
+	}
+	type pairKey struct{ l, r string }
+	verdicts := make(map[pairKey]bool)
+	for _, lr := range left.Rows {
+		ltext, _ := lr[li].(string)
+		for _, rr := range right.Rows {
+			rkey, _ := rr[ri].(string)
+			pk := pairKey{ltext, rkey}
+			match, ok := verdicts[pk]
+			if !ok {
+				resp, err := ex.complete(llm.JudgePrompt("contains:"+rkey, ltext))
+				if err != nil {
+					return nil, fmt.Errorf("semop: join: %w", err)
+				}
+				match = llm.IsYes(resp.Text)
+				verdicts[pk] = match
+			}
+			if match {
+				nr := append(append(relation.Row{}, lr...), rr...)
+				if err := out.Insert(nr); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// SemTopK returns the k rows whose TextCol the model judges to satisfy
+// criterion with the highest confidence. Rows judged "no" rank below all
+// "yes" rows regardless of confidence.
+func SemTopK(ex *Executor, t *relation.Table, textCol, criterion string, k int) (*relation.Table, error) {
+	idx, err := textColumn(t, textCol)
+	if err != nil {
+		return nil, err
+	}
+	type scored struct {
+		row   relation.Row
+		yes   bool
+		conf  float64
+		order int
+	}
+	items := make([]scored, 0, len(t.Rows))
+	for i, r := range t.Rows {
+		text, _ := r[idx].(string)
+		resp, err := ex.complete(llm.JudgePrompt(criterion, text))
+		if err != nil {
+			return nil, fmt.Errorf("semop: topk: %w", err)
+		}
+		items = append(items, scored{r, llm.IsYes(resp.Text), resp.Confidence, i})
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].yes != items[j].yes {
+			return items[i].yes
+		}
+		if items[i].conf != items[j].conf {
+			return items[i].conf > items[j].conf
+		}
+		return items[i].order < items[j].order
+	})
+	out := &relation.Table{Name: t.Name, Schema: t.Schema}
+	for i := 0; i < k && i < len(items); i++ {
+		out.Rows = append(out.Rows, items[i].row)
+	}
+	return out, nil
+}
+
+// SemAggCount counts rows whose TextCol satisfies criterion — the
+// "aggregation query" class of §2.2.2, which must consult every row
+// rather than point-looking-up a few.
+func SemAggCount(ex *Executor, t *relation.Table, textCol, criterion string) (int, error) {
+	filtered, err := SemFilter{TextCol: textCol, Criterion: criterion}.Apply(ex, t)
+	if err != nil {
+		return 0, err
+	}
+	return filtered.Len(), nil
+}

@@ -1,0 +1,201 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"dataai/internal/workload"
+)
+
+// DisaggOpts configures RunDisaggregated.
+type DisaggOpts struct {
+	// PrefillGPUs and DecodeGPUs split a fixed device budget between the
+	// two phases — the DistServe/Splitwise architecture.
+	PrefillGPUs int
+	DecodeGPUs  int
+	// TransferMSPerToken is the KV shipping cost from prefill to decode
+	// instances.
+	TransferMSPerToken float64
+	// OverlapTransfer hides transmission behind prefill computation
+	// (layer-wise streaming), the common optimization of [19, 45].
+	OverlapTransfer bool
+}
+
+// RunColocated serves the trace on n identical GPUs, each running
+// continuous batching over a round-robin share — the baseline where
+// every GPU interleaves prefill and decode and prefills stall decodes.
+func RunColocated(gpu GPUConfig, reqs []workload.Request, n int, opts ContinuousOpts) (*Report, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: gpus %d", ErrConfig, n)
+	}
+	shares := make([][]workload.Request, n)
+	ordered := append([]workload.Request(nil), reqs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
+	for i, r := range ordered {
+		shares[i%n] = append(shares[i%n], r)
+	}
+	var all []Result
+	peak := 0
+	for _, share := range shares {
+		if len(share) == 0 {
+			continue
+		}
+		shareOpts := opts
+		shareOpts.KV = nil // each GPU owns its cache
+		rep, err := RunContinuous(gpu, share, shareOpts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rep.Results...)
+		peak += rep.PeakKVBlocks
+	}
+	rep := buildReport(all)
+	rep.PeakKVBlocks = peak
+	return rep, nil
+}
+
+// RunDisaggregated serves the trace with prefill and decode on separate
+// GPU pools. Prefill instances each process one prompt at a time FCFS;
+// finished KV ships to the least-loaded decode instance, which batches
+// decodes continuously and is never stalled by a prefill.
+func RunDisaggregated(gpu GPUConfig, reqs []workload.Request, opts DisaggOpts) (*Report, error) {
+	if err := gpu.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PrefillGPUs < 1 || opts.DecodeGPUs < 1 {
+		return nil, fmt.Errorf("%w: pool sizes %d/%d", ErrConfig, opts.PrefillGPUs, opts.DecodeGPUs)
+	}
+	ordered := append([]workload.Request(nil), reqs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
+
+	// Phase 1: prefill pool. Each GPU serves prompts FCFS.
+	prefillFree := make([]float64, opts.PrefillGPUs)
+	jobs := make([]decodeJob, 0, len(ordered))
+	for _, r := range ordered {
+		// Earliest-available prefill GPU.
+		g := 0
+		for i := 1; i < len(prefillFree); i++ {
+			if prefillFree[i] < prefillFree[g] {
+				g = i
+			}
+		}
+		start := r.ArrivalMS
+		if prefillFree[g] > start {
+			start = prefillFree[g]
+		}
+		end := start + gpu.prefillMS(r.PromptTokens)
+		prefillFree[g] = end
+		transfer := float64(r.PromptTokens) * opts.TransferMSPerToken
+		if opts.OverlapTransfer {
+			transfer = 0 // streamed layer-wise during prefill
+		}
+		jobs = append(jobs, decodeJob{req: r, firstToken: end, readyMS: end + transfer})
+	}
+
+	// Phase 2: decode pool. Assign jobs round-robin by readiness order,
+	// then run a decode-only continuous loop per GPU.
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].readyMS < jobs[j].readyMS })
+	pools := make([][]decodeJob, opts.DecodeGPUs)
+	for i, j := range jobs {
+		pools[i%opts.DecodeGPUs] = append(pools[i%opts.DecodeGPUs], j)
+	}
+	var results []Result
+	peak := 0
+	for _, pool := range pools {
+		res, peakBlocks := runDecodePool(gpu, pool)
+		results = append(results, res...)
+		peak += peakBlocks
+	}
+	rep := buildReport(results)
+	rep.PeakKVBlocks = peak
+	return rep, nil
+}
+
+// runDecodePool batches decode iterations over jobs on one decode GPU.
+func runDecodePool(gpu GPUConfig, jobs []decodeJob) ([]Result, int) {
+	kv := NewPagedKV(gpu)
+	var results []Result
+	type dstate struct {
+		job       decodeJob
+		generated int
+		finishMS  float64
+	}
+	clock := 0.0
+	next := 0
+	var running []*dstate
+	var waiting []*dstate
+
+	finish := func(d *dstate) {
+		kv.Free(d.job.req.ID)
+		r := Result{
+			Req:             d.job.req,
+			FinishMS:        d.finishMS,
+			TTFTms:          d.job.firstToken - d.job.req.ArrivalMS,
+			PrefilledTokens: d.job.req.PromptTokens,
+		}
+		if d.job.req.OutputTokens > 1 {
+			r.TBTms = (d.finishMS - d.job.firstToken) / float64(d.job.req.OutputTokens-1)
+		}
+		results = append(results, r)
+	}
+
+	for next < len(jobs) || len(waiting) > 0 || len(running) > 0 {
+		for next < len(jobs) && jobs[next].readyMS <= clock {
+			d := &dstate{job: jobs[next], generated: 1} // token 1 came from prefill
+			if d.job.req.OutputTokens <= 1 {
+				d.finishMS = d.job.firstToken
+				kv.Alloc(d.job.req.ID, 0)
+				finish(d)
+			} else {
+				waiting = append(waiting, d)
+			}
+			next++
+		}
+		admitted := waiting[:0]
+		for _, d := range waiting {
+			if (gpu.MaxBatch == 0 || len(running) < gpu.MaxBatch) &&
+				kv.Alloc(d.job.req.ID, d.job.req.PromptTokens+d.job.req.OutputTokens) {
+				running = append(running, d)
+				continue
+			}
+			admitted = append(admitted, d)
+		}
+		waiting = admitted
+
+		if len(running) == 0 {
+			if next < len(jobs) {
+				clock = jobs[next].readyMS
+				continue
+			}
+			if len(waiting) > 0 {
+				// Blocked on KV space with nothing running: impossible
+				// to progress; mark rejected.
+				for _, d := range waiting {
+					results = append(results, Result{Req: d.job.req, Rejected: true})
+				}
+				waiting = nil
+			}
+			break
+		}
+		clock += gpu.decodeIterMS(len(running))
+		still := running[:0]
+		for _, d := range running {
+			d.generated++
+			d.finishMS = clock
+			if d.generated >= d.job.req.OutputTokens {
+				finish(d)
+				continue
+			}
+			still = append(still, d)
+		}
+		running = still
+	}
+	return results, kv.PeakBlocks()
+}
+
+// decodeJob is shared between RunDisaggregated and runDecodePool.
+type decodeJob struct {
+	req        workload.Request
+	firstToken float64
+	readyMS    float64
+}

@@ -1,0 +1,217 @@
+package serving
+
+import (
+	"fmt"
+)
+
+// KVManager tracks KV cache block allocation for in-flight sequences.
+// Implementations differ in *how much* they reserve — the E13 subject.
+type KVManager interface {
+	// Alloc reserves space for a new sequence currently holding tokens.
+	// It reports false when the reservation does not fit.
+	Alloc(id string, tokens int) bool
+	// Extend grows the sequence to newTotal tokens, reporting false on
+	// exhaustion (paged) — contiguous never fails within MaxSeqLen.
+	Extend(id string, newTotal int) bool
+	// Free releases the sequence.
+	Free(id string)
+	// UsedBlocks and PeakBlocks report current and high-water occupancy.
+	UsedBlocks() int
+	PeakBlocks() int
+	// Capacity is the total block count.
+	Capacity() int
+	// Name identifies the manager in experiment tables.
+	Name() string
+}
+
+// ContiguousKV models the pre-vLLM allocator: every admitted sequence
+// reserves blocks for the maximum sequence length up front, "wasting a
+// significant amount of memory for shorter inputs".
+type ContiguousKV struct {
+	cfg        GPUConfig
+	perSeq     int
+	used, peak int
+	owners     map[string]bool
+}
+
+// NewContiguousKV builds the preallocating manager.
+func NewContiguousKV(cfg GPUConfig) *ContiguousKV {
+	perSeq := (cfg.MaxSeqLen + cfg.BlockSize - 1) / cfg.BlockSize
+	return &ContiguousKV{cfg: cfg, perSeq: perSeq, owners: make(map[string]bool)}
+}
+
+// Name implements KVManager.
+func (c *ContiguousKV) Name() string { return "contiguous" }
+
+// Alloc implements KVManager.
+func (c *ContiguousKV) Alloc(id string, tokens int) bool {
+	if c.owners[id] || tokens > c.cfg.MaxSeqLen {
+		return false
+	}
+	if c.used+c.perSeq > c.cfg.KVBlocks {
+		return false
+	}
+	c.owners[id] = true
+	c.used += c.perSeq
+	if c.used > c.peak {
+		c.peak = c.used
+	}
+	return true
+}
+
+// Extend implements KVManager: preallocation means growth is free.
+func (c *ContiguousKV) Extend(id string, newTotal int) bool {
+	return c.owners[id] && newTotal <= c.cfg.MaxSeqLen
+}
+
+// Free implements KVManager.
+func (c *ContiguousKV) Free(id string) {
+	if c.owners[id] {
+		delete(c.owners, id)
+		c.used -= c.perSeq
+	}
+}
+
+// UsedBlocks implements KVManager.
+func (c *ContiguousKV) UsedBlocks() int { return c.used }
+
+// PeakBlocks implements KVManager.
+func (c *ContiguousKV) PeakBlocks() int { return c.peak }
+
+// Capacity implements KVManager.
+func (c *ContiguousKV) Capacity() int { return c.cfg.KVBlocks }
+
+// PagedKV models vLLM's block allocator [28]: sequences hold exactly the
+// blocks their current length needs, growing one block at a time.
+type PagedKV struct {
+	cfg        GPUConfig
+	used, peak int
+	seqs       map[string]int // id -> blocks held
+}
+
+// NewPagedKV builds the paged manager.
+func NewPagedKV(cfg GPUConfig) *PagedKV {
+	return &PagedKV{cfg: cfg, seqs: make(map[string]int)}
+}
+
+// Name implements KVManager.
+func (p *PagedKV) Name() string { return "paged" }
+
+func (p *PagedKV) blocksFor(tokens int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + p.cfg.BlockSize - 1) / p.cfg.BlockSize
+}
+
+// Alloc implements KVManager.
+func (p *PagedKV) Alloc(id string, tokens int) bool {
+	if _, ok := p.seqs[id]; ok || tokens > p.cfg.MaxSeqLen {
+		return false
+	}
+	need := p.blocksFor(tokens)
+	if p.used+need > p.cfg.KVBlocks {
+		return false
+	}
+	p.seqs[id] = need
+	p.used += need
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	return true
+}
+
+// Extend implements KVManager.
+func (p *PagedKV) Extend(id string, newTotal int) bool {
+	have, ok := p.seqs[id]
+	if !ok || newTotal > p.cfg.MaxSeqLen {
+		return false
+	}
+	need := p.blocksFor(newTotal)
+	if need <= have {
+		return true
+	}
+	delta := need - have
+	if p.used+delta > p.cfg.KVBlocks {
+		return false
+	}
+	p.seqs[id] = need
+	p.used += delta
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	return true
+}
+
+// Free implements KVManager.
+func (p *PagedKV) Free(id string) {
+	if n, ok := p.seqs[id]; ok {
+		delete(p.seqs, id)
+		p.used -= n
+	}
+}
+
+// UsedBlocks implements KVManager.
+func (p *PagedKV) UsedBlocks() int { return p.used }
+
+// PeakBlocks implements KVManager.
+func (p *PagedKV) PeakBlocks() int { return p.peak }
+
+// Capacity implements KVManager.
+func (p *PagedKV) Capacity() int { return p.cfg.KVBlocks }
+
+// PrefixCache tracks shared prompt prefixes whose KV is resident and
+// reusable across requests — Prompt Cache [22] / vLLM shared prefix /
+// TensorRT-LLM KV reuse [3]. A prefix is warmed by the first request
+// that computes it; later requests skip prefilling those tokens.
+type PrefixCache struct {
+	// tokensByPrefix maps prefix id -> cached token count.
+	tokensByPrefix map[string]int
+	hits, misses   int
+}
+
+// NewPrefixCache returns an empty cache.
+func NewPrefixCache() *PrefixCache {
+	return &PrefixCache{tokensByPrefix: make(map[string]int)}
+}
+
+// SavedTokens reports how many prompt tokens of r can be skipped, and
+// warms the cache with r's prefix when it misses.
+func (pc *PrefixCache) SavedTokens(prefixID string, prefixTokens int) int {
+	if pc == nil || prefixID == "" || prefixTokens <= 0 {
+		return 0
+	}
+	if cached, ok := pc.tokensByPrefix[prefixID]; ok {
+		pc.hits++
+		if cached < prefixTokens {
+			return cached
+		}
+		return prefixTokens
+	}
+	pc.misses++
+	pc.tokensByPrefix[prefixID] = prefixTokens
+	return 0
+}
+
+// Stats reports hit/miss counts.
+func (pc *PrefixCache) Stats() (hits, misses int) {
+	return pc.hits, pc.misses
+}
+
+// MaxConcurrent reports how many sequences of the given prompt+output
+// length the manager could hold at once — the E13 concurrency headroom
+// comparison.
+func MaxConcurrent(m KVManager, promptTokens, outputTokens int) int {
+	n := 0
+	for {
+		id := fmt.Sprintf("probe-%d", n)
+		if !m.Alloc(id, promptTokens+outputTokens) {
+			break
+		}
+		n++
+	}
+	for i := 0; i < n; i++ {
+		m.Free(fmt.Sprintf("probe-%d", i))
+	}
+	return n
+}

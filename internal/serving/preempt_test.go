@@ -1,0 +1,169 @@
+package serving
+
+import (
+	"testing"
+
+	"dataai/internal/workload"
+)
+
+// The OnDemand (vLLM-discipline) tests: output lengths unknown, prompt-
+// only admission behind a watermark, block-at-a-time growth, and
+// all-or-nothing preemption with recompute.
+
+func TestOnDemandServesEverythingUnderPressure(t *testing.T) {
+	gpu := DefaultGPU()
+	gpu.KVBlocks = 256 // tight
+	reqs := trace(t, 21, 200, 60)
+	rep, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 0 {
+		t.Errorf("rejected %d requests that fit individually", rep.Rejected)
+	}
+	if len(rep.Results) != 200 {
+		t.Errorf("results = %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Rejected {
+			continue
+		}
+		if r.TTFTms < 0 || r.TBTms < 0 || r.FinishMS < r.Req.ArrivalMS {
+			t.Fatalf("inconsistent result for %s: %+v", r.Req.ID, r)
+		}
+	}
+}
+
+func TestOnDemandPreemptsUnderSevereMemoryPressure(t *testing.T) {
+	gpu := DefaultGPU()
+	gpu.KVBlocks = 96 // severe: a few long sequences exhaust it
+	cfg := workload.DefaultTrace(22, 120, 80)
+	cfg.OutputMax = 1024
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preemptions == 0 {
+		t.Error("no preemptions under severe pressure")
+	}
+	// Preempted sequences must still complete with their full output.
+	done := 0
+	for _, r := range rep.Results {
+		if !r.Rejected {
+			done++
+		}
+	}
+	if done < 110 {
+		t.Errorf("only %d/120 completed", done)
+	}
+}
+
+func TestOnDemandNoPreemptionsWhenRoomy(t *testing.T) {
+	gpu := DefaultGPU() // 2048 blocks: plenty
+	reqs := trace(t, 23, 150, 30)
+	rep, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preemptions != 0 {
+		t.Errorf("preempted %d with a roomy cache", rep.Preemptions)
+	}
+}
+
+func TestOnDemandMatchesOracleWhenRoomy(t *testing.T) {
+	// With ample KV, the discipline should not matter.
+	gpu := DefaultGPU()
+	reqs := trace(t, 24, 150, 30)
+	oracle, err := RunContinuous(gpu, reqs, ContinuousOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDemand, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDemand.MakespanMS != oracle.MakespanMS {
+		t.Errorf("makespans differ with roomy cache: %v vs %v", onDemand.MakespanMS, oracle.MakespanMS)
+	}
+}
+
+func TestOnDemandBeatsOracleReservationUnderTightMemory(t *testing.T) {
+	// The vLLM insight: reserving a sequence's whole footprint up front
+	// (even with oracle knowledge) idles memory the sequence won't touch
+	// for a while; on-demand growth packs more concurrent sequences.
+	gpu := DefaultGPU()
+	gpu.KVBlocks = 192
+	reqs := trace(t, 25, 200, 60)
+	oracle, err := RunContinuous(gpu, reqs, ContinuousOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDemand, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDemand.MakespanMS >= oracle.MakespanMS {
+		t.Errorf("on-demand makespan %v >= oracle reservation %v", onDemand.MakespanMS, oracle.MakespanMS)
+	}
+}
+
+func TestOnDemandOversizedRequestRejected(t *testing.T) {
+	gpu := DefaultGPU()
+	gpu.KVBlocks = 8 // 128 tokens total
+	reqs := []workload.Request{
+		{ID: "big", ArrivalMS: 0, PromptTokens: 100, OutputTokens: 200},
+	}
+	rep, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 1 {
+		t.Errorf("oversized request not rejected: %+v", rep.Results)
+	}
+}
+
+func TestOnDemandDeterministic(t *testing.T) {
+	gpu := DefaultGPU()
+	gpu.KVBlocks = 128
+	reqs := trace(t, 26, 150, 70)
+	a, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanMS != b.MakespanMS || a.Preemptions != b.Preemptions {
+		t.Error("on-demand simulation not deterministic")
+	}
+}
+
+func TestPreemptedSequenceKeepsFirstTokenTime(t *testing.T) {
+	// TTFT reflects the first emission; preemption later must not reset
+	// it (the user already saw the token).
+	gpu := DefaultGPU()
+	gpu.KVBlocks = 96
+	cfg := workload.DefaultTrace(27, 100, 80)
+	cfg.OutputMax = 1024
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preemptions == 0 {
+		t.Skip("no preemptions at this seed")
+	}
+	for _, r := range rep.Results {
+		if !r.Rejected && r.TTFTms > r.FinishMS-r.Req.ArrivalMS {
+			t.Fatalf("TTFT %v after finish for %s", r.TTFTms, r.Req.ID)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"dataai/internal/token"
+	"dataai/internal/workload"
+)
+
+// RouterPolicy selects how a multi-instance front end spreads requests.
+type RouterPolicy int
+
+// Supported routing policies.
+const (
+	// RoundRobin spreads requests evenly, ignoring cache state.
+	RoundRobin RouterPolicy = iota
+	// CacheAware routes requests sharing a prefix or session to the
+	// same instance, so its KV cache serves them — the KV-centric
+	// scheduling idea of Mooncake [45]: cache reuse is worth more than
+	// perfect load spread.
+	CacheAware
+)
+
+// String names the policy.
+func (p RouterPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case CacheAware:
+		return "cache-aware"
+	default:
+		return fmt.Sprintf("router(%d)", int(p))
+	}
+}
+
+// RoutedReport aggregates a routed multi-instance run.
+type RoutedReport struct {
+	Report
+	// PrefixHits and PrefixMisses sum the per-instance prefix caches.
+	PrefixHits   int
+	PrefixMisses int
+}
+
+// RunRouted serves the trace on n instances behind a router. Every
+// instance gets its own prefix cache (and session store when sessions
+// appear in the trace); the routing policy decides which instance's
+// cache a request can hit.
+func RunRouted(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts) (*RoutedReport, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: instances %d", ErrConfig, n)
+	}
+	ordered := append([]workload.Request(nil), reqs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
+
+	shares := make([][]workload.Request, n)
+	loads := make([]int, n) // outstanding token load per instance
+	pick := func(r workload.Request) int {
+		if policy == CacheAware {
+			if r.PrefixID != "" {
+				return int(token.Hash64(r.PrefixID) % uint64(n))
+			}
+			if r.Session != "" {
+				return int(token.Hash64(r.Session) % uint64(n))
+			}
+		}
+		// Least-loaded fallback (round-robin degenerate under equal
+		// loads, deterministic tie-break by index).
+		best := 0
+		for i := 1; i < n; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	for _, r := range ordered {
+		g := pick(r)
+		shares[g] = append(shares[g], r)
+		loads[g] += r.PromptTokens + r.OutputTokens
+	}
+
+	hasSessions := false
+	for _, r := range ordered {
+		if r.Session != "" {
+			hasSessions = true
+			break
+		}
+	}
+
+	var all []Result
+	var peak, preemptions, hits, misses int
+	for _, share := range shares {
+		if len(share) == 0 {
+			continue
+		}
+		shareOpts := opts
+		shareOpts.KV = nil
+		pc := NewPrefixCache()
+		shareOpts.Prefix = pc
+		if hasSessions {
+			store, err := NewSessionStore(SessionStoreConfig{
+				GPUCapacityTokens:  gpu.KVBlocks * gpu.BlockSize / 4,
+				Policy:             LRU,
+				PrefillTokensPerMS: gpu.PrefillTokensPerMS,
+			})
+			if err != nil {
+				return nil, err
+			}
+			shareOpts.SessionCache = store
+		}
+		rep, err := RunContinuous(gpu, share, shareOpts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rep.Results...)
+		peak += rep.PeakKVBlocks
+		preemptions += rep.Preemptions
+		h, m := pc.Stats()
+		hits += h
+		misses += m
+	}
+	out := &RoutedReport{Report: *buildReport(all)}
+	out.PeakKVBlocks = peak
+	out.Preemptions = preemptions
+	out.PrefixHits = hits
+	out.PrefixMisses = misses
+	return out, nil
+}

@@ -1,0 +1,367 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"dataai/internal/workload"
+)
+
+// seqState tracks one request through the simulator.
+type seqState struct {
+	req workload.Request
+	// prefillLeft is the number of prompt tokens still to prefill.
+	prefillLeft int
+	// prefilled is the number actually prefilled (after cache savings).
+	prefilled int
+	// generated counts emitted output tokens.
+	generated    int
+	firstTokenMS float64
+	finishMS     float64
+	admitted     bool
+	// saved is the prompt span satisfied from a prefix/session cache.
+	saved int
+}
+
+func (s *seqState) result() Result {
+	r := Result{
+		Req:             s.req,
+		FinishMS:        s.finishMS,
+		TTFTms:          s.firstTokenMS - s.req.ArrivalMS,
+		PrefilledTokens: s.prefilled,
+	}
+	if s.req.OutputTokens > 1 {
+		r.TBTms = (s.finishMS - s.firstTokenMS) / float64(s.req.OutputTokens-1)
+	}
+	return r
+}
+
+// RunStatic serves the trace with static batching: requests are grouped
+// in arrival order into batches of batchSize; each batch is prefilled
+// then decoded to the *longest* member's completion before the next
+// batch starts — early finishers hold their slot, which is exactly the
+// inefficiency continuous batching removes.
+func RunStatic(gpu GPUConfig, reqs []workload.Request, batchSize int) (*Report, error) {
+	if err := gpu.Validate(); err != nil {
+		return nil, err
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("%w: batch size %d", ErrConfig, batchSize)
+	}
+	kv := NewContiguousKV(gpu)
+	maxBatch := kv.Capacity() / ((gpu.MaxSeqLen + gpu.BlockSize - 1) / gpu.BlockSize)
+	if batchSize > maxBatch && maxBatch > 0 {
+		batchSize = maxBatch
+	}
+	ordered := append([]workload.Request(nil), reqs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
+
+	var results []Result
+	clock := 0.0
+	for start := 0; start < len(ordered); start += batchSize {
+		end := start + batchSize
+		if end > len(ordered) {
+			end = len(ordered)
+		}
+		batch := make([]*seqState, 0, end-start)
+		for _, r := range ordered[start:end] {
+			if r.ArrivalMS > clock {
+				clock = r.ArrivalMS // batch forms when its members arrived
+			}
+			s := &seqState{req: r, prefillLeft: r.PromptTokens}
+			kv.Alloc(r.ID, r.PromptTokens+r.OutputTokens)
+			batch = append(batch, s)
+		}
+		// Sequential prefill; each member's first token arrives at the
+		// end of its own prefill.
+		for _, s := range batch {
+			clock += gpu.prefillMS(s.prefillLeft)
+			s.prefilled = s.prefillLeft
+			s.prefillLeft = 0
+			s.generated = 1
+			s.firstTokenMS = clock
+			s.finishMS = clock
+		}
+		// Lock-step decode until the longest output completes. The
+		// iteration cost always charges the full batch width.
+		maxOut := 0
+		for _, s := range batch {
+			if s.req.OutputTokens > maxOut {
+				maxOut = s.req.OutputTokens
+			}
+		}
+		for it := 1; it < maxOut; it++ {
+			clock += gpu.decodeIterMS(len(batch))
+			for _, s := range batch {
+				if s.generated < s.req.OutputTokens {
+					s.generated++
+					s.finishMS = clock
+				}
+			}
+		}
+		for _, s := range batch {
+			kv.Free(s.req.ID)
+			results = append(results, s.result())
+		}
+	}
+	rep := buildReport(results)
+	rep.PeakKVBlocks = kv.PeakBlocks()
+	return rep, nil
+}
+
+// ContinuousOpts configures RunContinuous.
+type ContinuousOpts struct {
+	// KV selects the allocator; nil defaults to paged.
+	KV KVManager
+	// ChunkTokens > 0 enables Sarathi-style chunked prefill: each
+	// iteration processes at most ChunkTokens prefill tokens *alongside*
+	// the decode batch, so decodes never stall behind a long prompt.
+	// 0 runs whole prompts in dedicated prefill iterations (Orca/vLLM
+	// default), stalling decodes for the duration.
+	ChunkTokens int
+	// Prefix enables shared-prefix KV reuse.
+	Prefix *PrefixCache
+	// SessionCache enables multi-turn KV reuse across a conversation
+	// (AttentionStore-style); see store.go.
+	SessionCache *SessionStore
+	// OnDemand switches KV management to vLLM's actual discipline [28]:
+	// output lengths are unknown to the scheduler, admission reserves
+	// only the prompt (behind a watermark), blocks grow one step at a
+	// time during decoding, and exhaustion preempts the most recently
+	// admitted sequence with all-or-nothing eviction — every block it
+	// holds is freed and its state is recomputed by a later prefill.
+	// The default (false) reserves each sequence's full footprint up
+	// front using the trace's known output length (an oracle real
+	// servers lack).
+	OnDemand bool
+}
+
+// admissionWatermark is the occupancy fraction above which OnDemand mode
+// stops admitting: vLLM keeps headroom so fresh admissions don't
+// immediately force preemptions of running sequences.
+const admissionWatermark = 0.95
+
+// RunContinuous serves the trace with iteration-level (continuous)
+// batching on one GPU.
+func RunContinuous(gpu GPUConfig, reqs []workload.Request, opts ContinuousOpts) (*Report, error) {
+	if err := gpu.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ChunkTokens < 0 {
+		return nil, fmt.Errorf("%w: chunk tokens %d", ErrConfig, opts.ChunkTokens)
+	}
+	kv := opts.KV
+	if kv == nil {
+		kv = NewPagedKV(gpu)
+	}
+	ordered := append([]workload.Request(nil), reqs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
+
+	var results []Result
+	clock := 0.0
+	next := 0 // next arrival index
+	var waiting []*seqState
+	var prefillQ []*seqState // admitted, prefill outstanding
+	var running []*seqState  // decoding
+	active := func() int { return len(prefillQ) + len(running) }
+
+	preemptions := 0
+	admit := func(s *seqState) bool {
+		if gpu.MaxBatch > 0 && active() >= gpu.MaxBatch {
+			return false
+		}
+		if !s.admitted { // cache lookups happen once, not on re-admission
+			if opts.Prefix != nil {
+				s.saved = opts.Prefix.SavedTokens(s.req.PrefixID, s.req.PrefixTokens)
+			}
+			if opts.SessionCache != nil {
+				if hit := opts.SessionCache.Lookup(clock, s.req.Session, s.req.HistoryTokens, s.req.PromptTokens); hit > s.saved {
+					s.saved = hit
+				}
+			}
+			s.prefillLeft = s.req.PromptTokens - s.saved
+		}
+		if opts.OnDemand {
+			// Admit behind the watermark, reserving only what must be
+			// prefilled now (plus already-generated tokens of a resumed
+			// sequence).
+			if float64(kv.UsedBlocks()) >= admissionWatermark*float64(kv.Capacity()) {
+				return false
+			}
+			if !kv.Alloc(s.req.ID, s.prefillLeft+s.generated) {
+				return false
+			}
+		} else {
+			// Oracle reservation of the full eventual footprint.
+			need := s.req.PromptTokens - s.saved + s.req.OutputTokens
+			if !kv.Alloc(s.req.ID, need) {
+				return false
+			}
+		}
+		s.admitted = true
+		return true
+	}
+
+	// preempt frees every block the victim holds (all-or-nothing) and
+	// requeues it at the head of the waiting queue; a later prefill
+	// recomputes its prompt plus everything it had generated.
+	preempt := func(v *seqState, waiting *[]*seqState) {
+		kv.Free(v.req.ID)
+		v.prefillLeft = v.req.PromptTokens - v.saved + v.generated
+		*waiting = append([]*seqState{v}, *waiting...)
+		preemptions++
+	}
+
+	finish := func(s *seqState) {
+		kv.Free(s.req.ID)
+		if opts.SessionCache != nil && s.req.Session != "" {
+			opts.SessionCache.Store(clock, s.req.Session, s.req.PromptTokens+s.req.OutputTokens)
+		}
+		results = append(results, s.result())
+	}
+
+	capacityTokens := kv.Capacity() * gpu.BlockSize
+	for next < len(ordered) || len(waiting) > 0 || active() > 0 {
+		// Move arrivals into the waiting queue, rejecting requests that
+		// can never fit (they would otherwise block the FIFO forever).
+		for next < len(ordered) && ordered[next].ArrivalMS <= clock {
+			r := ordered[next]
+			next++
+			footprint := r.PromptTokens + r.OutputTokens
+			if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
+				results = append(results, Result{Req: r, Rejected: true})
+				continue
+			}
+			waiting = append(waiting, &seqState{req: r})
+		}
+		// Admit FCFS while space permits.
+		for len(waiting) > 0 && admit(waiting[0]) {
+			prefillQ = append(prefillQ, waiting[0])
+			waiting = waiting[1:]
+		}
+
+		if active() == 0 {
+			if next < len(ordered) {
+				clock = ordered[next].ArrivalMS
+				continue
+			}
+			break // nothing active, nothing arriving: waiting can never admit
+		}
+
+		if opts.ChunkTokens == 0 && len(prefillQ) > 0 {
+			// Dedicated prefill iterations: one whole prompt at a time;
+			// decodes stall behind it. The prefill iteration emits the
+			// first token (unless this is a preempted sequence being
+			// recomputed, whose first token was already served).
+			s := prefillQ[0]
+			prefillQ = prefillQ[1:]
+			clock += gpu.prefillMS(s.prefillLeft)
+			s.prefilled += s.prefillLeft
+			s.prefillLeft = 0
+			if s.generated == 0 {
+				s.generated = 1
+				s.firstTokenMS = clock
+			}
+			s.finishMS = clock
+			if s.req.OutputTokens <= s.generated {
+				finish(s)
+			} else {
+				running = append(running, s)
+			}
+			continue
+		}
+
+		// One mixed iteration: an optional prefill chunk plus one decode
+		// step for every running sequence.
+		var iterMS float64
+		var completing *seqState
+		if opts.ChunkTokens > 0 && len(prefillQ) > 0 {
+			s := prefillQ[0]
+			chunk := opts.ChunkTokens
+			if chunk > s.prefillLeft {
+				chunk = s.prefillLeft
+			}
+			iterMS += gpu.prefillMS(chunk)
+			s.prefillLeft -= chunk
+			s.prefilled += chunk
+			if s.prefillLeft == 0 {
+				prefillQ = prefillQ[1:]
+				completing = s // first token lands at this iteration's end
+			}
+		}
+		if len(running) > 0 {
+			iterMS += gpu.decodeIterMS(len(running))
+		}
+		if iterMS == 0 {
+			iterMS = gpu.DecodeBaseMS // defensive: never stall the clock
+		}
+		clock += iterMS
+
+		preempted := map[*seqState]bool{}
+		stillRunning := running[:0]
+		for idx, s := range running {
+			if preempted[s] {
+				continue
+			}
+			s.generated++
+			s.finishMS = clock
+			if s.generated >= s.req.OutputTokens {
+				finish(s)
+				continue
+			}
+			if opts.OnDemand {
+				ok := true
+				for !kv.Extend(s.req.ID, s.req.PromptTokens-s.saved+s.generated) {
+					// Victim: the most recently admitted running sequence
+					// that is not s and not already preempted.
+					var victim *seqState
+					for j := len(running) - 1; j > idx; j-- {
+						if !preempted[running[j]] {
+							victim = running[j]
+							break
+						}
+					}
+					if victim == nil {
+						// No lower-priority sequence to evict: vLLM's
+						// all-or-nothing now applies to s itself — free
+						// everything it holds and recompute it later,
+						// once the earlier sequences release memory.
+						preempted[s] = true
+						preempt(s, &waiting)
+						ok = false
+						break
+					}
+					preempted[victim] = true
+					preempt(victim, &waiting)
+				}
+				if !ok {
+					continue
+				}
+			}
+			stillRunning = append(stillRunning, s)
+		}
+		running = stillRunning
+		if completing != nil && !preempted[completing] {
+			if completing.generated == 0 {
+				completing.generated = 1
+				completing.firstTokenMS = clock
+			}
+			completing.finishMS = clock
+			if completing.req.OutputTokens <= completing.generated {
+				finish(completing)
+			} else {
+				running = append(running, completing)
+			}
+		}
+	}
+
+	// Anything still waiting could never be admitted (footprint larger
+	// than the whole cache): report as rejected.
+	for _, s := range waiting {
+		results = append(results, Result{Req: s.req, Rejected: true})
+	}
+	rep := buildReport(results)
+	rep.PeakKVBlocks = kv.PeakBlocks()
+	rep.Preemptions = preemptions
+	return rep, nil
+}

@@ -1,0 +1,321 @@
+// Package token provides tokenization primitives shared by every layer of
+// the Data+AI stack: a deterministic word-level tokenizer with a mutable
+// vocabulary, n-gram extraction, and stable 64-bit hashing for shingles.
+//
+// The tokenizer is intentionally simple — lower-cased word and punctuation
+// splitting — because the experiments in this repository measure *systems*
+// behaviour (cost, cache hit rates, dedup recall, perplexity deltas), not
+// linguistic quality. Determinism matters more than BPE fidelity here: the
+// same text must always produce the same token stream so that every
+// simulator and benchmark is reproducible.
+package token
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Special token identifiers reserved at the bottom of every Vocabulary.
+const (
+	// UnknownID is returned for tokens not present in a frozen vocabulary.
+	UnknownID = 0
+	// BOSID marks the beginning of a sequence.
+	BOSID = 1
+	// EOSID marks the end of a sequence.
+	EOSID = 2
+
+	numReserved = 3
+)
+
+// Tokenize splits text into lower-cased word and punctuation tokens.
+// Runs of letters or digits form one token; every other non-space rune is
+// its own token. The output is deterministic for a given input.
+func Tokenize(text string) []string {
+	if text == "" {
+		return nil
+	}
+	toks := make([]string, 0, len(text)/5+1)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, strings.ToLower(b.String()))
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			toks = append(toks, string(unicode.ToLower(r)))
+		}
+	}
+	flush()
+	return toks
+}
+
+// Detokenize joins tokens back into readable text. Punctuation tokens are
+// attached to the preceding word. Tokenize(Detokenize(t)) == t for token
+// streams produced by Tokenize.
+func Detokenize(toks []string) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 && !isPunct(t) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+func isPunct(t string) bool {
+	if len(t) == 0 {
+		return false
+	}
+	r := []rune(t)[0]
+	return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+}
+
+// Count returns the number of tokens in text without materializing them.
+func Count(text string) int {
+	n := 0
+	inWord := false
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			if !inWord {
+				n++
+				inWord = true
+			}
+		case unicode.IsSpace(r):
+			inWord = false
+		default:
+			n++
+			inWord = false
+		}
+	}
+	return n
+}
+
+// Vocabulary maps token strings to dense integer identifiers. The zero
+// value is not usable; construct with NewVocabulary. A Vocabulary is safe
+// for concurrent use.
+type Vocabulary struct {
+	mu     sync.RWMutex
+	ids    map[string]int
+	words  []string
+	frozen bool
+}
+
+// NewVocabulary returns an empty vocabulary with the reserved special
+// tokens pre-registered.
+func NewVocabulary() *Vocabulary {
+	v := &Vocabulary{
+		ids:   make(map[string]int, 1024),
+		words: make([]string, numReserved, 1024),
+	}
+	v.words[UnknownID] = "<unk>"
+	v.words[BOSID] = "<bos>"
+	v.words[EOSID] = "<eos>"
+	v.ids["<unk>"] = UnknownID
+	v.ids["<bos>"] = BOSID
+	v.ids["<eos>"] = EOSID
+	return v
+}
+
+// Size reports the number of registered tokens, including reserved ones.
+func (v *Vocabulary) Size() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.words)
+}
+
+// Freeze prevents further growth: unseen tokens map to UnknownID afterwards.
+func (v *Vocabulary) Freeze() {
+	v.mu.Lock()
+	v.frozen = true
+	v.mu.Unlock()
+}
+
+// ID returns the identifier for tok, registering it if the vocabulary is
+// not frozen. Frozen vocabularies return UnknownID for unseen tokens.
+func (v *Vocabulary) ID(tok string) int {
+	v.mu.RLock()
+	id, ok := v.ids[tok]
+	frozen := v.frozen
+	v.mu.RUnlock()
+	if ok {
+		return id
+	}
+	if frozen {
+		return UnknownID
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id, ok := v.ids[tok]; ok { // re-check under write lock
+		return id
+	}
+	id = len(v.words)
+	v.ids[tok] = id
+	v.words = append(v.words, tok)
+	return id
+}
+
+// IDIfPresent returns the identifier for tok without registering it,
+// reporting whether tok is known.
+func (v *Vocabulary) IDIfPresent(tok string) (int, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok := v.ids[tok]
+	return id, ok
+}
+
+// Word returns the token string for id, or "<unk>" if out of range.
+func (v *Vocabulary) Word(id int) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if id < 0 || id >= len(v.words) {
+		return v.words[UnknownID]
+	}
+	return v.words[id]
+}
+
+// Encode tokenizes text and maps each token through the vocabulary.
+func (v *Vocabulary) Encode(text string) []int {
+	toks := Tokenize(text)
+	ids := make([]int, len(toks))
+	for i, t := range toks {
+		ids[i] = v.ID(t)
+	}
+	return ids
+}
+
+// Decode maps ids back to a detokenized string.
+func (v *Vocabulary) Decode(ids []int) string {
+	toks := make([]string, len(ids))
+	for i, id := range ids {
+		toks[i] = v.Word(id)
+	}
+	return Detokenize(toks)
+}
+
+// NGrams returns all contiguous n-grams of toks joined by a single space.
+// It returns nil when len(toks) < n or n <= 0.
+func NGrams(toks []string, n int) []string {
+	if n <= 0 || len(toks) < n {
+		return nil
+	}
+	out := make([]string, 0, len(toks)-n+1)
+	for i := 0; i+n <= len(toks); i++ {
+		out = append(out, strings.Join(toks[i:i+n], " "))
+	}
+	return out
+}
+
+// HashNGrams returns the FNV-1a 64-bit hash of every n-gram of toks,
+// avoiding the string join. Used by dedup (shingling) and SimHash.
+func HashNGrams(toks []string, n int) []uint64 {
+	if n <= 0 || len(toks) < n {
+		return nil
+	}
+	out := make([]uint64, 0, len(toks)-n+1)
+	for i := 0; i+n <= len(toks); i++ {
+		h := fnvOffset
+		for j := i; j < i+n; j++ {
+			for k := 0; k < len(toks[j]); k++ {
+				h ^= uint64(toks[j][k])
+				h *= fnvPrime
+			}
+			h ^= ' '
+			h *= fnvPrime
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hash64 returns the FNV-1a 64-bit hash of s. It is the single stable
+// string hash used across the repository (embeddings, MinHash seeds,
+// cache keys) so results are reproducible across runs and platforms.
+func Hash64(s string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Hash64Seed hashes s mixed with a seed, for families of hash functions.
+func Hash64Seed(s string, seed uint64) uint64 {
+	h := fnvOffset ^ (seed * 0x9e3779b97f4a7c15)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	// Final avalanche (splitmix64 tail) so nearby seeds decorrelate.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Frequencies counts token occurrences in toks.
+func Frequencies(toks []string) map[string]int {
+	m := make(map[string]int, len(toks))
+	for _, t := range toks {
+		m[t]++
+	}
+	return m
+}
+
+// TopK returns the k most frequent tokens, ties broken lexicographically
+// for determinism.
+func TopK(freq map[string]int, k int) []string {
+	type tf struct {
+		tok string
+		n   int
+	}
+	all := make([]tf, 0, len(freq))
+	for t, n := range freq {
+		all = append(all, tf{t, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].tok < all[j].tok
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].tok
+	}
+	return out
+}
+
+// Validate reports an error when a token stream contains empty tokens —
+// a guard used by property tests.
+func Validate(toks []string) error {
+	for i, t := range toks {
+		if t == "" {
+			return fmt.Errorf("token: empty token at position %d", i)
+		}
+	}
+	return nil
+}

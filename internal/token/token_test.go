@@ -1,0 +1,271 @@
+package token
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"Hello, World!", []string{"hello", ",", "world", "!"}},
+		{"a  b\tc\nd", []string{"a", "b", "c", "d"}},
+		{"GPT-4 costs $0.03", []string{"gpt", "-", "4", "costs", "$", "0", ".", "03"}},
+		{"  leading and trailing  ", []string{"leading", "and", "trailing"}},
+		{"UPPER lower MiXeD", []string{"upper", "lower", "mixed"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("café 東京!")
+	want := []string{"café", "東京", "!"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestCountMatchesTokenize(t *testing.T) {
+	inputs := []string{
+		"", "one", "Hello, World!", "a b c d e", "x;y;z", "  spaced   out  ",
+		"punctuation... everywhere!!! ok?",
+	}
+	for _, in := range inputs {
+		if got, want := Count(in), len(Tokenize(in)); got != want {
+			t.Errorf("Count(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestCountMatchesTokenizeProperty(t *testing.T) {
+	f := func(s string) bool {
+		return Count(s) == len(Tokenize(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetokenizeRoundTrip(t *testing.T) {
+	inputs := []string{
+		"hello world", "a, b, c!", "the quick brown fox .",
+	}
+	for _, in := range inputs {
+		toks := Tokenize(in)
+		back := Tokenize(Detokenize(toks))
+		if !reflect.DeepEqual(toks, back) {
+			t.Errorf("round trip %q: %v != %v", in, toks, back)
+		}
+	}
+}
+
+func TestDetokenizeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		return reflect.DeepEqual(toks, Tokenize(Detokenize(toks)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabularyAssignsStableIDs(t *testing.T) {
+	v := NewVocabulary()
+	a := v.ID("apple")
+	b := v.ID("banana")
+	if a == b {
+		t.Fatal("distinct tokens share an id")
+	}
+	if v.ID("apple") != a {
+		t.Error("repeated lookup changed id")
+	}
+	if v.Word(a) != "apple" || v.Word(b) != "banana" {
+		t.Error("Word does not invert ID")
+	}
+	if v.Size() != numReserved+2 {
+		t.Errorf("Size = %d, want %d", v.Size(), numReserved+2)
+	}
+}
+
+func TestVocabularyReserved(t *testing.T) {
+	v := NewVocabulary()
+	if v.Word(UnknownID) != "<unk>" || v.Word(BOSID) != "<bos>" || v.Word(EOSID) != "<eos>" {
+		t.Error("reserved tokens not registered")
+	}
+	if v.Word(-1) != "<unk>" || v.Word(9999) != "<unk>" {
+		t.Error("out-of-range Word should return <unk>")
+	}
+}
+
+func TestVocabularyFreeze(t *testing.T) {
+	v := NewVocabulary()
+	v.ID("known")
+	v.Freeze()
+	if got := v.ID("unseen"); got != UnknownID {
+		t.Errorf("frozen vocab returned %d for unseen token, want UnknownID", got)
+	}
+	if got := v.ID("known"); got == UnknownID {
+		t.Error("frozen vocab lost a known token")
+	}
+}
+
+func TestVocabularyEncodeDecode(t *testing.T) {
+	v := NewVocabulary()
+	ids := v.Encode("the cat sat on the mat")
+	if len(ids) != 6 {
+		t.Fatalf("Encode len = %d, want 6", len(ids))
+	}
+	if ids[0] != ids[4] {
+		t.Error("repeated word got different ids")
+	}
+	if got := v.Decode(ids); got != "the cat sat on the mat" {
+		t.Errorf("Decode = %q", got)
+	}
+}
+
+func TestVocabularyConcurrent(t *testing.T) {
+	v := NewVocabulary()
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				v.ID(strings.Repeat("x", i%17+1))
+				v.Word(i % 50)
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if v.ID("xxx") != v.ID("xxx") {
+		t.Error("unstable id after concurrent growth")
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	toks := []string{"a", "b", "c", "d"}
+	got := NGrams(toks, 2)
+	want := []string{"a b", "b c", "c d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams = %v, want %v", got, want)
+	}
+	if NGrams(toks, 5) != nil {
+		t.Error("n > len should be nil")
+	}
+	if NGrams(toks, 0) != nil {
+		t.Error("n=0 should be nil")
+	}
+	if got := NGrams(toks, 4); len(got) != 1 || got[0] != "a b c d" {
+		t.Errorf("full-width ngram = %v", got)
+	}
+}
+
+func TestHashNGramsMatchesJoinedHash(t *testing.T) {
+	toks := Tokenize("the quick brown fox jumps over the lazy dog")
+	for _, n := range []int{1, 2, 3, 5} {
+		hashes := HashNGrams(toks, n)
+		grams := NGrams(toks, n)
+		if len(hashes) != len(grams) {
+			t.Fatalf("n=%d: len mismatch", n)
+		}
+		for i, g := range grams {
+			if hashes[i] != Hash64(g+" ") {
+				t.Errorf("n=%d gram %d: hash mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64("abc") != Hash64("abc") {
+		t.Error("Hash64 not deterministic")
+	}
+	if Hash64("abc") == Hash64("abd") {
+		t.Error("trivial collision")
+	}
+	// Known FNV-1a value for empty string.
+	if Hash64("") != fnvOffset {
+		t.Error("empty string hash should be the FNV offset basis")
+	}
+}
+
+func TestHash64SeedFamilies(t *testing.T) {
+	s := "same input"
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		h := Hash64Seed(s, seed)
+		if seen[h] {
+			t.Fatalf("seed %d collided with an earlier seed", seed)
+		}
+		seen[h] = true
+		if h != Hash64Seed(s, seed) {
+			t.Fatal("Hash64Seed not deterministic")
+		}
+	}
+}
+
+func TestFrequenciesAndTopK(t *testing.T) {
+	toks := Tokenize("a b a c a b")
+	f := Frequencies(toks)
+	if f["a"] != 3 || f["b"] != 2 || f["c"] != 1 {
+		t.Errorf("Frequencies = %v", f)
+	}
+	top := TopK(f, 2)
+	if !reflect.DeepEqual(top, []string{"a", "b"}) {
+		t.Errorf("TopK = %v", top)
+	}
+	if got := TopK(f, 10); len(got) != 3 {
+		t.Errorf("TopK overflow len = %d", len(got))
+	}
+	// Tie-break lexicographic.
+	tie := map[string]int{"z": 1, "y": 1, "x": 1}
+	if got := TopK(tie, 3); !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Errorf("tie break = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]string{"a", "b"}); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if err := Validate([]string{"a", ""}); err == nil {
+		t.Error("expected error for empty token")
+	}
+}
+
+func TestTokenizeNeverEmptyTokens(t *testing.T) {
+	f := func(s string) bool {
+		return Validate(Tokenize(s)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := strings.Repeat("the quick brown fox jumps over the lazy dog. ", 50)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(text)
+	}
+}
+
+func BenchmarkHashNGrams(b *testing.B) {
+	toks := Tokenize(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 50))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HashNGrams(toks, 5)
+	}
+}

@@ -1,0 +1,260 @@
+package training
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Checkpoint materializes a distributed training state: the step it was
+// taken at, the parallel configuration, and one parameter shard per
+// worker. Real systems persist tensors; the simulator persists float32
+// slices, which is enough to verify the round-trip and resharding
+// invariants the paper's checkpointing systems (DCP [51], UCP [33],
+// ByteCheckpoint [56]) are built around.
+type Checkpoint struct {
+	Step    int
+	Workers int
+	// Shards holds each worker's contiguous parameter range. Shard
+	// lengths may differ by one when the total is not divisible.
+	Shards [][]float32
+}
+
+// ErrCheckpoint indicates a malformed or inconsistent checkpoint.
+var ErrCheckpoint = fmt.Errorf("training: bad checkpoint")
+
+// NewCheckpoint shards params across workers in contiguous ranges.
+func NewCheckpoint(step int, params []float32, workers int) (*Checkpoint, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("%w: workers %d", ErrConfig, workers)
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("%w: no parameters", ErrCheckpoint)
+	}
+	ck := &Checkpoint{Step: step, Workers: workers, Shards: make([][]float32, workers)}
+	base := len(params) / workers
+	extra := len(params) % workers
+	pos := 0
+	for w := 0; w < workers; w++ {
+		n := base
+		if w < extra {
+			n++
+		}
+		shard := make([]float32, n)
+		copy(shard, params[pos:pos+n])
+		ck.Shards[w] = shard
+		pos += n
+	}
+	return ck, nil
+}
+
+// Flatten reassembles the full parameter vector.
+func (c *Checkpoint) Flatten() []float32 {
+	var total int
+	for _, s := range c.Shards {
+		total += len(s)
+	}
+	out := make([]float32, 0, total)
+	for _, s := range c.Shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// TotalParams reports the parameter count across shards.
+func (c *Checkpoint) TotalParams() int {
+	n := 0
+	for _, s := range c.Shards {
+		n += len(s)
+	}
+	return n
+}
+
+// Reshard redistributes the checkpoint for a new data-parallel degree —
+// the core operation of UCP/ByteCheckpoint: "the parallel configuration
+// may change during training, necessitating checkpoint resharding".
+func (c *Checkpoint) Reshard(newWorkers int) (*Checkpoint, error) {
+	if newWorkers <= 0 {
+		return nil, fmt.Errorf("%w: workers %d", ErrConfig, newWorkers)
+	}
+	return NewCheckpoint(c.Step, c.Flatten(), newWorkers)
+}
+
+// Validate checks internal consistency.
+func (c *Checkpoint) Validate() error {
+	if c.Workers != len(c.Shards) {
+		return fmt.Errorf("%w: %d workers but %d shards", ErrCheckpoint, c.Workers, len(c.Shards))
+	}
+	if c.Workers == 0 {
+		return fmt.Errorf("%w: empty", ErrCheckpoint)
+	}
+	return nil
+}
+
+// Format enumerates the persistence layouts the paper catalogs:
+// "array-based [1,2,50], file-based [49,56], and disaggregated [51]".
+type Format int
+
+// Supported checkpoint formats.
+const (
+	// ArrayFormat persists the whole state as one array blob (the
+	// TensorStore/Zarr family).
+	ArrayFormat Format = iota
+	// FileFormat persists one record per shard (the safetensors/
+	// ByteCheckpoint family); shards can be loaded independently.
+	FileFormat
+)
+
+// arrayBlob is the ArrayFormat wire form.
+type arrayBlob struct {
+	Step    int
+	Workers int
+	Params  []float32
+}
+
+// fileBlob is the FileFormat wire form: shard records with indexes, so a
+// reader can load any single shard without the rest.
+type fileBlob struct {
+	Step    int
+	Workers int
+	Index   int
+	Shard   []float32
+}
+
+// Save writes the checkpoint to w in the given format.
+func (c *Checkpoint) Save(w io.Writer, f Format) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(w)
+	switch f {
+	case ArrayFormat:
+		return enc.Encode(arrayBlob{Step: c.Step, Workers: c.Workers, Params: c.Flatten()})
+	case FileFormat:
+		for i, s := range c.Shards {
+			if err := enc.Encode(fileBlob{Step: c.Step, Workers: c.Workers, Index: i, Shard: s}); err != nil {
+				return fmt.Errorf("training: save shard %d: %w", i, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown format %d", ErrCheckpoint, int(f))
+	}
+}
+
+// Load reads a checkpoint written by Save in the given format.
+func Load(r io.Reader, f Format) (*Checkpoint, error) {
+	dec := gob.NewDecoder(r)
+	switch f {
+	case ArrayFormat:
+		var blob arrayBlob
+		if err := dec.Decode(&blob); err != nil {
+			return nil, fmt.Errorf("training: load: %w", err)
+		}
+		return NewCheckpoint(blob.Step, blob.Params, blob.Workers)
+	case FileFormat:
+		var ck *Checkpoint
+		for {
+			var blob fileBlob
+			err := dec.Decode(&blob)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("training: load shard: %w", err)
+			}
+			if ck == nil {
+				ck = &Checkpoint{Step: blob.Step, Workers: blob.Workers, Shards: make([][]float32, blob.Workers)}
+			}
+			if blob.Index < 0 || blob.Index >= len(ck.Shards) {
+				return nil, fmt.Errorf("%w: shard index %d of %d", ErrCheckpoint, blob.Index, len(ck.Shards))
+			}
+			ck.Shards[blob.Index] = blob.Shard
+		}
+		if ck == nil {
+			return nil, fmt.Errorf("%w: empty stream", ErrCheckpoint)
+		}
+		for i, s := range ck.Shards {
+			if s == nil {
+				return nil, fmt.Errorf("%w: missing shard %d", ErrCheckpoint, i)
+			}
+		}
+		return ck, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown format %d", ErrCheckpoint, int(f))
+	}
+}
+
+// Diff returns the indices and values of parameters that changed between
+// base and cur — the payload of differential checkpointing [17].
+func Diff(base, cur []float32) (idx []int, vals []float32, err error) {
+	if len(base) != len(cur) {
+		return nil, nil, fmt.Errorf("%w: diff length mismatch %d vs %d", ErrCheckpoint, len(base), len(cur))
+	}
+	for i := range cur {
+		if cur[i] != base[i] {
+			idx = append(idx, i)
+			vals = append(vals, cur[i])
+		}
+	}
+	return idx, vals, nil
+}
+
+// ApplyDiff reconstructs the current parameters from a base and a diff.
+func ApplyDiff(base []float32, idx []int, vals []float32) ([]float32, error) {
+	if len(idx) != len(vals) {
+		return nil, fmt.Errorf("%w: diff arity %d vs %d", ErrCheckpoint, len(idx), len(vals))
+	}
+	out := make([]float32, len(base))
+	copy(out, base)
+	for i, j := range idx {
+		if j < 0 || j >= len(out) {
+			return nil, fmt.Errorf("%w: diff index %d out of range", ErrCheckpoint, j)
+		}
+		out[j] = vals[i]
+	}
+	return out, nil
+}
+
+// Quantize compresses parameters to 8-bit with per-tensor scale — the
+// lossy size reduction of Check-N-Run [17]. Dequantize reverses it with
+// bounded error.
+func Quantize(params []float32) (data []byte, scale float32) {
+	var max float32
+	for _, v := range params {
+		if v > max {
+			max = v
+		}
+		if -v > max {
+			max = -v
+		}
+	}
+	if max == 0 {
+		return make([]byte, len(params)), 0
+	}
+	scale = max / 127
+	data = make([]byte, len(params))
+	for i, v := range params {
+		q := int32(v/scale + 0.5)
+		if v < 0 {
+			q = int32(v/scale - 0.5)
+		}
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		data[i] = byte(int8(q))
+	}
+	return data, scale
+}
+
+// Dequantize reverses Quantize.
+func Dequantize(data []byte, scale float32) []float32 {
+	out := make([]float32, len(data))
+	for i, b := range data {
+		out[i] = float32(int8(b)) * scale
+	}
+	return out
+}

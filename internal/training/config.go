@@ -1,0 +1,248 @@
+// Package training simulates distributed LLM training (§2.3.2 "LLM
+// Training"): the memory and communication behaviour of data-parallel
+// strategies (plain DP, ZeRO stages 1–3 [6,47], FSDP [68]), and the
+// checkpointing engines (synchronous, asynchronous [27,37,38,61],
+// differential and quantized [17]) with checkpoint resharding across
+// parallel-configuration changes [33,51,56].
+//
+// Nothing here trains a real network — the paper's training claims are
+// about *systems* quantities (bytes per device, stall seconds, recovery
+// time), which a cost model reproduces faithfully. All time is logical
+// (seconds as float64); no wall-clock is consumed.
+package training
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors callers branch on.
+var (
+	// ErrConfig indicates an invalid model or cluster configuration.
+	ErrConfig = errors.New("training: invalid configuration")
+	// ErrOOM indicates a strategy whose per-worker memory exceeds the
+	// device capacity.
+	ErrOOM = errors.New("training: out of device memory")
+)
+
+// ModelConfig describes the trained model.
+type ModelConfig struct {
+	// Params is the total parameter count.
+	Params int64
+	// Layers is used by pipeline-parallel splitting.
+	Layers int
+	// BytesPerParam is the forward/backward precision (2 for fp16).
+	BytesPerParam int64
+	// GradBytesPerParam is gradient precision (2 for fp16).
+	GradBytesPerParam int64
+	// OptimBytesPerParam covers optimizer state: Adam keeps fp32
+	// momentum, variance, and a master copy — 12 bytes/param.
+	OptimBytesPerParam int64
+}
+
+// Validate checks the configuration.
+func (m ModelConfig) Validate() error {
+	if m.Params <= 0 || m.Layers <= 0 || m.BytesPerParam <= 0 ||
+		m.GradBytesPerParam <= 0 || m.OptimBytesPerParam <= 0 {
+		return fmt.Errorf("%w: %+v", ErrConfig, m)
+	}
+	return nil
+}
+
+// GPT13B returns a 1.3B-parameter configuration (the E10 subject) with
+// mixed-precision Adam accounting.
+func GPT13B() ModelConfig {
+	return ModelConfig{
+		Params:             1_300_000_000,
+		Layers:             24,
+		BytesPerParam:      2,
+		GradBytesPerParam:  2,
+		OptimBytesPerParam: 12,
+	}
+}
+
+// ClusterConfig describes the training cluster.
+type ClusterConfig struct {
+	// Workers is the data-parallel degree.
+	Workers int
+	// DeviceMemory is per-worker memory in bytes.
+	DeviceMemory int64
+	// FLOPs is per-worker sustained throughput (fp16 FLOP/s).
+	FLOPs float64
+	// InterconnectBW is per-worker collective bandwidth in bytes/s.
+	InterconnectBW float64
+	// StorageBW is checkpoint persistence bandwidth in bytes/s (shared
+	// filesystem or object store).
+	StorageBW float64
+	// HostMemoryBW is the device→host snapshot copy bandwidth in
+	// bytes/s, used by asynchronous checkpointing.
+	HostMemoryBW float64
+}
+
+// Validate checks the configuration.
+func (c ClusterConfig) Validate() error {
+	if c.Workers <= 0 || c.DeviceMemory <= 0 || c.FLOPs <= 0 ||
+		c.InterconnectBW <= 0 || c.StorageBW <= 0 || c.HostMemoryBW <= 0 {
+		return fmt.Errorf("%w: %+v", ErrConfig, c)
+	}
+	return nil
+}
+
+// DefaultCluster returns an 8-worker A100-like configuration.
+func DefaultCluster() ClusterConfig {
+	return ClusterConfig{
+		Workers:        8,
+		DeviceMemory:   40 << 30,  // 40 GiB
+		FLOPs:          150e12,    // 150 TFLOP/s sustained
+		InterconnectBW: 100 << 30, // 100 GiB/s NVLink-class
+		StorageBW:      2 << 30,   // 2 GiB/s shared storage
+		HostMemoryBW:   20 << 30,  // 20 GiB/s D2H
+	}
+}
+
+// Strategy enumerates data-parallel memory strategies.
+type Strategy int
+
+// Supported strategies, in increasing sharding order.
+const (
+	// DP is plain data parallelism: full replication.
+	DP Strategy = iota
+	// ZeRO1 shards optimizer state.
+	ZeRO1
+	// ZeRO2 also shards gradients.
+	ZeRO2
+	// ZeRO3 also shards parameters.
+	ZeRO3
+	// FSDP is PyTorch's fully sharded data parallel — same memory model
+	// as ZeRO3 with slightly different communication scheduling.
+	FSDP
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case DP:
+		return "DP"
+	case ZeRO1:
+		return "ZeRO-1"
+	case ZeRO2:
+		return "ZeRO-2"
+	case ZeRO3:
+		return "ZeRO-3"
+	case FSDP:
+		return "FSDP"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// MemoryPerWorker returns the model-state bytes each worker holds under
+// the strategy — the ZeRO paper's accounting: parameters, gradients and
+// optimizer states are replicated or sharded per stage. Activations are
+// excluded (they depend on batch size, not strategy).
+func MemoryPerWorker(m ModelConfig, s Strategy, workers int) (int64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if workers <= 0 {
+		return 0, fmt.Errorf("%w: workers %d", ErrConfig, workers)
+	}
+	n := int64(workers)
+	p := m.Params
+	paramB := p * m.BytesPerParam
+	gradB := p * m.GradBytesPerParam
+	optimB := p * m.OptimBytesPerParam
+	switch s {
+	case DP:
+		return paramB + gradB + optimB, nil
+	case ZeRO1:
+		return paramB + gradB + optimB/n, nil
+	case ZeRO2:
+		return paramB + (gradB+optimB)/n, nil
+	case ZeRO3, FSDP:
+		return (paramB + gradB + optimB) / n, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown strategy %d", ErrConfig, int(s))
+	}
+}
+
+// CommBytesPerStep returns the per-worker communication volume of one
+// training step. Ring collectives move ~2x the payload; ZeRO-3/FSDP add
+// a parameter all-gather in forward and backward (the ZeRO paper's "1.5x
+// of baseline" — 3Ψ vs 2Ψ parameter-scale volume).
+func CommBytesPerStep(m ModelConfig, s Strategy, workers int) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if workers <= 0 {
+		return 0, fmt.Errorf("%w: workers %d", ErrConfig, workers)
+	}
+	if workers == 1 {
+		return 0, nil
+	}
+	psi := float64(m.Params) * float64(m.GradBytesPerParam)
+	switch s {
+	case DP, ZeRO1, ZeRO2:
+		// Gradient all-reduce: reduce-scatter + all-gather = 2Ψ.
+		return 2 * psi, nil
+	case ZeRO3, FSDP:
+		// Reduce-scatter grads (Ψ) + forward param all-gather (Ψ) +
+		// backward param all-gather (Ψ) = 3Ψ.
+		return 3 * psi, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown strategy %d", ErrConfig, int(s))
+	}
+}
+
+// StepTime returns one step's simulated duration for the given global
+// batch (in tokens). Compute follows the 6·P·T FLOP rule for transformer
+// training; communication overlaps with backward compute up to
+// overlapFraction (0.5 is typical for well-tuned stacks; FSDP prefetch
+// gets slightly more).
+func StepTime(m ModelConfig, c ClusterConfig, s Strategy, batchTokens int64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if batchTokens <= 0 {
+		return 0, fmt.Errorf("%w: batchTokens %d", ErrConfig, batchTokens)
+	}
+	perWorkerTokens := float64(batchTokens) / float64(c.Workers)
+	computeS := 6 * float64(m.Params) * perWorkerTokens / c.FLOPs
+	commBytes, err := CommBytesPerStep(m, s, c.Workers)
+	if err != nil {
+		return 0, err
+	}
+	commS := commBytes / c.InterconnectBW
+	overlap := 0.5
+	if s == FSDP {
+		overlap = 0.6 // prefetched all-gathers hide more latency
+	}
+	hidden := commS * overlap
+	if hidden > computeS {
+		hidden = computeS
+	}
+	return computeS + (commS - hidden), nil
+}
+
+// FitsMemory reports whether the strategy fits the cluster, returning
+// ErrOOM with the deficit otherwise.
+func FitsMemory(m ModelConfig, c ClusterConfig, s Strategy) error {
+	need, err := MemoryPerWorker(m, s, c.Workers)
+	if err != nil {
+		return err
+	}
+	if need > c.DeviceMemory {
+		return fmt.Errorf("%w: need %d bytes, have %d (%s, %d workers)",
+			ErrOOM, need, c.DeviceMemory, s, c.Workers)
+	}
+	return nil
+}
+
+// CheckpointBytes is the persisted checkpoint size: parameters plus
+// optimizer state (gradients are not checkpointed).
+func CheckpointBytes(m ModelConfig) int64 {
+	return m.Params * (m.BytesPerParam + m.OptimBytesPerParam)
+}

@@ -1,0 +1,176 @@
+package training
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file models the other parallelism axes §2.3.2 says are "often used
+// in combination" with data parallelism [26, 40, 48]: pipeline
+// parallelism (GPipe's bubble overhead), tensor parallelism (Megatron's
+// per-layer activation collectives), and their 3D composition.
+
+// ParallelConfig is a 3D parallel layout: Data × Pipeline × Tensor.
+type ParallelConfig struct {
+	Data     int
+	Pipeline int
+	Tensor   int
+	// MicroBatches per pipeline flush (GPipe's m); only meaningful when
+	// Pipeline > 1.
+	MicroBatches int
+}
+
+// Devices is the total device count of the layout.
+func (p ParallelConfig) Devices() int { return p.Data * p.Pipeline * p.Tensor }
+
+// Validate checks the layout.
+func (p ParallelConfig) Validate(m ModelConfig) error {
+	if p.Data < 1 || p.Pipeline < 1 || p.Tensor < 1 {
+		return fmt.Errorf("%w: parallel degrees %d/%d/%d", ErrConfig, p.Data, p.Pipeline, p.Tensor)
+	}
+	if p.Pipeline > m.Layers {
+		return fmt.Errorf("%w: pipeline degree %d exceeds %d layers", ErrConfig, p.Pipeline, m.Layers)
+	}
+	if p.Pipeline > 1 && p.MicroBatches < 1 {
+		return fmt.Errorf("%w: pipeline parallelism needs MicroBatches >= 1", ErrConfig)
+	}
+	return nil
+}
+
+// PipelineBubbleFraction is GPipe's idle fraction: with p stages and m
+// micro-batches, (p-1)/(m+p-1) of the flush is bubble.
+func PipelineBubbleFraction(stages, microBatches int) float64 {
+	if stages <= 1 {
+		return 0
+	}
+	if microBatches < 1 {
+		microBatches = 1
+	}
+	return float64(stages-1) / float64(microBatches+stages-1)
+}
+
+// MemoryPerDevice3D returns model-state bytes per device under the 3D
+// layout with the given data-parallel strategy applied along the data
+// axis. Pipeline splits layers; tensor splits each layer's parameters;
+// the ZeRO stage then shards the remainder across data-parallel replicas.
+func MemoryPerDevice3D(m ModelConfig, s Strategy, p ParallelConfig) (int64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := p.Validate(m); err != nil {
+		return 0, err
+	}
+	shard := m
+	shard.Params = m.Params / int64(p.Pipeline) / int64(p.Tensor)
+	if shard.Params == 0 {
+		shard.Params = 1
+	}
+	shard.Layers = m.Layers / p.Pipeline
+	if shard.Layers == 0 {
+		shard.Layers = 1
+	}
+	return MemoryPerWorker(shard, s, p.Data)
+}
+
+// StepTime3D estimates one optimizer step under the 3D layout:
+//
+//   - compute: 6·P·T FLOPs spread over all devices,
+//   - stretched by the pipeline bubble,
+//   - plus tensor-parallel activation collectives (per layer, per
+//     micro-batch: 2 all-reduces forward + 2 backward of the hidden
+//     activations — approximated as 8·hidden·tokens bytes per layer),
+//   - plus the data-parallel gradient collective of the chosen strategy.
+func StepTime3D(m ModelConfig, c ClusterConfig, s Strategy, p ParallelConfig, batchTokens int64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if err := p.Validate(m); err != nil {
+		return 0, err
+	}
+	if batchTokens <= 0 {
+		return 0, fmt.Errorf("%w: batchTokens %d", ErrConfig, batchTokens)
+	}
+	// Ideal compute: the whole batch's FLOPs over every device.
+	computeS := 6 * float64(m.Params) * float64(batchTokens) / (float64(p.Devices()) * c.FLOPs)
+	// Pipeline bubble stretches compute.
+	bubble := PipelineBubbleFraction(p.Pipeline, p.MicroBatches)
+	computeS /= (1 - bubble)
+
+	// Tensor-parallel activation traffic per device: ~8 bytes/param-col…
+	// approximated via hidden size derived from params/layers (hidden ≈
+	// sqrt(params/(12·layers)) for a transformer block).
+	var tpS float64
+	if p.Tensor > 1 {
+		hidden := math.Sqrt(float64(m.Params) / (12 * float64(m.Layers)))
+		tokensPerReplica := float64(batchTokens) / float64(p.Data)
+		bytes := 8 * hidden * tokensPerReplica * float64(m.Layers/p.Pipeline) * float64(m.BytesPerParam)
+		tpS = bytes / c.InterconnectBW
+	}
+
+	// Data-parallel gradient collective over the shard each replica owns.
+	shard := m
+	shard.Params = m.Params / int64(p.Pipeline) / int64(p.Tensor)
+	if shard.Params == 0 {
+		shard.Params = 1
+	}
+	dpBytes, err := CommBytesPerStep(shard, s, p.Data)
+	if err != nil {
+		return 0, err
+	}
+	dpS := dpBytes / c.InterconnectBW
+
+	// Half the collective traffic overlaps with compute, as in StepTime.
+	comm := tpS + dpS
+	hidden := 0.5 * comm
+	if hidden > computeS {
+		hidden = computeS
+	}
+	return computeS + comm - hidden, nil
+}
+
+// BestLayout searches 3D layouts over a device budget for the lowest
+// simulated step time that fits memory, returning the layout and its
+// step time. It enumerates divisor splits of the budget.
+func BestLayout(m ModelConfig, c ClusterConfig, s Strategy, devices int, batchTokens int64, microBatches int) (ParallelConfig, float64, error) {
+	if devices < 1 {
+		return ParallelConfig{}, 0, fmt.Errorf("%w: devices %d", ErrConfig, devices)
+	}
+	best := ParallelConfig{}
+	bestT := math.Inf(1)
+	for dp := 1; dp <= devices; dp++ {
+		if devices%dp != 0 {
+			continue
+		}
+		rest := devices / dp
+		for pp := 1; pp <= rest; pp++ {
+			if rest%pp != 0 || pp > m.Layers {
+				continue
+			}
+			tp := rest / pp
+			cfg := ParallelConfig{Data: dp, Pipeline: pp, Tensor: tp, MicroBatches: microBatches}
+			mem, err := MemoryPerDevice3D(m, s, cfg)
+			if err != nil {
+				continue
+			}
+			if mem > c.DeviceMemory {
+				continue
+			}
+			cluster := c
+			cluster.Workers = dp
+			t, err := StepTime3D(m, cluster, s, cfg, batchTokens)
+			if err != nil {
+				continue
+			}
+			if t < bestT {
+				best, bestT = cfg, t
+			}
+		}
+	}
+	if math.IsInf(bestT, 1) {
+		return ParallelConfig{}, 0, fmt.Errorf("%w: no layout fits %d devices", ErrOOM, devices)
+	}
+	return best, bestT, nil
+}

@@ -1,0 +1,139 @@
+package training
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPipelineBubbleFraction(t *testing.T) {
+	if got := PipelineBubbleFraction(1, 8); got != 0 {
+		t.Errorf("single stage bubble = %v", got)
+	}
+	// GPipe: p=4, m=4 -> 3/7.
+	if got := PipelineBubbleFraction(4, 4); got != 3.0/7 {
+		t.Errorf("bubble = %v, want 3/7", got)
+	}
+	// More micro-batches shrink the bubble.
+	if PipelineBubbleFraction(4, 32) >= PipelineBubbleFraction(4, 4) {
+		t.Error("bubble did not shrink with micro-batches")
+	}
+	if got := PipelineBubbleFraction(4, 0); got != PipelineBubbleFraction(4, 1) {
+		t.Errorf("m=0 should clamp to 1: %v", got)
+	}
+}
+
+func TestParallelConfigValidate(t *testing.T) {
+	m := GPT13B()
+	bad := []ParallelConfig{
+		{Data: 0, Pipeline: 1, Tensor: 1},
+		{Data: 1, Pipeline: 100, Tensor: 1},                // exceeds layers
+		{Data: 1, Pipeline: 2, Tensor: 1, MicroBatches: 0}, // pp without micro-batches
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(m); !errors.Is(err, ErrConfig) {
+			t.Errorf("config %d accepted: %v", i, err)
+		}
+	}
+	good := ParallelConfig{Data: 2, Pipeline: 4, Tensor: 2, MicroBatches: 8}
+	if err := good.Validate(m); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if good.Devices() != 16 {
+		t.Errorf("Devices = %d", good.Devices())
+	}
+}
+
+func TestMemoryPerDevice3DDividesByModelAxes(t *testing.T) {
+	m := GPT13B()
+	base, err := MemoryPerDevice3D(m, DP, ParallelConfig{Data: 1, Pipeline: 1, Tensor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := MemoryPerDevice3D(m, DP, ParallelConfig{Data: 1, Pipeline: 2, Tensor: 2, MicroBatches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split != base/4 {
+		t.Errorf("2x2 model split memory %d, want %d", split, base/4)
+	}
+	// ZeRO-3 along data axis composes with model splitting.
+	z3, err := MemoryPerDevice3D(m, ZeRO3, ParallelConfig{Data: 4, Pipeline: 2, Tensor: 2, MicroBatches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z3 != base/16 {
+		t.Errorf("3D + ZeRO-3 memory %d, want %d", z3, base/16)
+	}
+}
+
+func TestStepTime3DBubblePenalty(t *testing.T) {
+	m := GPT13B()
+	c := DefaultCluster()
+	few, err := StepTime3D(m, c, DP, ParallelConfig{Data: 1, Pipeline: 4, Tensor: 1, MicroBatches: 2}, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := StepTime3D(m, c, DP, ParallelConfig{Data: 1, Pipeline: 4, Tensor: 1, MicroBatches: 32}, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many >= few {
+		t.Errorf("more micro-batches did not reduce step time: %v vs %v", many, few)
+	}
+}
+
+func TestStepTime3DTensorCommCost(t *testing.T) {
+	m := GPT13B()
+	c := DefaultCluster()
+	// Same device count, tensor split vs data split: tensor pays
+	// activation collectives.
+	dataOnly, err := StepTime3D(m, c, DP, ParallelConfig{Data: 8, Pipeline: 1, Tensor: 1}, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensorHeavy, err := StepTime3D(m, c, DP, ParallelConfig{Data: 1, Pipeline: 1, Tensor: 8}, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensorHeavy <= dataOnly {
+		t.Errorf("tensor-parallel step %v not slower than data-parallel %v at equal devices", tensorHeavy, dataOnly)
+	}
+}
+
+func TestBestLayoutFitsTightMemory(t *testing.T) {
+	m := GPT13B()
+	c := DefaultCluster()
+	c.DeviceMemory = 6 << 30 // pure DP (19.4GB) cannot fit
+	cfg, stepS, err := BestLayout(m, c, DP, 8, 1<<21, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Devices() != 8 {
+		t.Errorf("layout uses %d devices", cfg.Devices())
+	}
+	if cfg.Pipeline*cfg.Tensor < 2 {
+		t.Errorf("layout %+v should split the model to fit 6GB", cfg)
+	}
+	if stepS <= 0 {
+		t.Error("no step time")
+	}
+	mem, err := MemoryPerDevice3D(m, DP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem > c.DeviceMemory {
+		t.Errorf("chosen layout does not fit: %d > %d", mem, c.DeviceMemory)
+	}
+}
+
+func TestBestLayoutNoFit(t *testing.T) {
+	m := GPT13B()
+	c := DefaultCluster()
+	c.DeviceMemory = 1 << 20 // 1 MiB: nothing fits
+	if _, _, err := BestLayout(m, c, DP, 8, 1<<21, 8); !errors.Is(err, ErrOOM) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := BestLayout(m, c, DP, 0, 1<<21, 8); !errors.Is(err, ErrConfig) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,237 @@
+package training
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Policy is a checkpointing engine's cost model. OnCheckpoint is invoked
+// when the training loop reaches a checkpoint step; it returns the
+// synchronous stall imposed on training, the additional delay until the
+// checkpoint is durable on storage (zero for synchronous engines), and
+// the persisted size.
+type Policy interface {
+	Name() string
+	OnCheckpoint(step int, m ModelConfig, c ClusterConfig) (stallS, durableDelayS float64, bytes int64)
+}
+
+// SyncPolicy persists the full state synchronously: training stalls for
+// the entire storage write.
+type SyncPolicy struct{}
+
+// Name implements Policy.
+func (SyncPolicy) Name() string { return "sync" }
+
+// OnCheckpoint implements Policy.
+func (SyncPolicy) OnCheckpoint(_ int, m ModelConfig, c ClusterConfig) (float64, float64, int64) {
+	bytes := CheckpointBytes(m)
+	return float64(bytes) / c.StorageBW, 0, bytes
+}
+
+// AsyncPolicy snapshots device state to host memory (short stall) and
+// flushes to storage in the background — the lazy asynchronous scheme of
+// DataStates-LLM/CheckFreq [27,37,38]. The checkpoint is durable only
+// when the background flush completes; a failure before that falls back
+// to the previous durable checkpoint.
+type AsyncPolicy struct{}
+
+// Name implements Policy.
+func (AsyncPolicy) Name() string { return "async" }
+
+// OnCheckpoint implements Policy.
+func (AsyncPolicy) OnCheckpoint(_ int, m ModelConfig, c ClusterConfig) (float64, float64, int64) {
+	bytes := CheckpointBytes(m)
+	snapshot := float64(bytes) / c.HostMemoryBW
+	flush := float64(bytes) / c.StorageBW
+	return snapshot, flush, bytes
+}
+
+// DiffPolicy persists a full checkpoint every FullEvery checkpoints and a
+// differential checkpoint (ChangedFraction of the state) otherwise —
+// Check-N-Run's differential checkpointing [17]. Writes are synchronous.
+type DiffPolicy struct {
+	// FullEvery forces a full checkpoint every k-th call (k >= 1).
+	FullEvery int
+	// ChangedFraction is the fraction of state captured by a delta.
+	ChangedFraction float64
+	calls           int
+}
+
+// Name implements Policy.
+func (d *DiffPolicy) Name() string { return "differential" }
+
+// OnCheckpoint implements Policy.
+func (d *DiffPolicy) OnCheckpoint(_ int, m ModelConfig, c ClusterConfig) (float64, float64, int64) {
+	full := CheckpointBytes(m)
+	k := d.FullEvery
+	if k < 1 {
+		k = 4
+	}
+	frac := d.ChangedFraction
+	if frac <= 0 || frac > 1 {
+		frac = 0.2
+	}
+	d.calls++
+	bytes := full
+	if (d.calls-1)%k != 0 {
+		bytes = int64(float64(full) * frac)
+	}
+	return float64(bytes) / c.StorageBW, 0, bytes
+}
+
+// QuantPolicy quantizes the state before persisting (Check-N-Run [17]):
+// fp16 parameters and fp32 optimizer state compress to 8 bits.
+type QuantPolicy struct{}
+
+// Name implements Policy.
+func (QuantPolicy) Name() string { return "quantized" }
+
+// OnCheckpoint implements Policy.
+func (QuantPolicy) OnCheckpoint(_ int, m ModelConfig, c ClusterConfig) (float64, float64, int64) {
+	// 1 byte per parameter value and per optimizer scalar.
+	optScalars := m.OptimBytesPerParam / 4 // fp32 scalars per param
+	bytes := m.Params * (1 + optScalars)
+	return float64(bytes) / c.StorageBW, 0, bytes
+}
+
+// OptimalIntervalS is the Young/Daly first-order optimum that CheckFreq's
+// frequency tuner converges to: checkpoint every sqrt(2·C·MTBF) seconds,
+// where C is the checkpoint cost.
+func OptimalIntervalS(checkpointCostS, mtbfS float64) float64 {
+	if checkpointCostS <= 0 || mtbfS <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * checkpointCostS * mtbfS)
+}
+
+// RunConfig drives one simulated training run.
+type RunConfig struct {
+	// Steps is the number of optimizer steps to complete.
+	Steps int
+	// BatchTokens is the global batch size in tokens.
+	BatchTokens int64
+	// CheckpointEvery checkpoints after every k completed steps
+	// (0 disables checkpointing).
+	CheckpointEvery int
+	// Policy is the checkpointing engine (required when
+	// CheckpointEvery > 0).
+	Policy Policy
+	// FailAtExecSteps lists execution-timeline step indexes at which a
+	// worker failure occurs (an executed step counts even if its work is
+	// later lost). Each failure rolls progress back to the last durable
+	// checkpoint.
+	FailAtExecSteps []int
+	// RestartOverheadS is the fixed process-restart cost per failure.
+	RestartOverheadS float64
+}
+
+// RunReport aggregates a simulated run.
+type RunReport struct {
+	// TotalS is the end-to-end wall time.
+	TotalS float64
+	// ComputeS is time spent on steps that contributed final progress.
+	ComputeS float64
+	// RecomputeS is time spent re-executing steps lost to failures.
+	RecomputeS float64
+	// StallS is synchronous checkpoint stall time.
+	StallS float64
+	// RecoveryS is restart + checkpoint-load time across failures.
+	RecoveryS float64
+	// Failures is the number of injected failures that fired.
+	Failures int
+	// Checkpoints counts checkpoints initiated; DurableCheckpoints those
+	// that reached storage before the run ended or a failure hit.
+	Checkpoints        int
+	DurableCheckpoints int
+	// BytesPersisted totals checkpoint traffic to storage.
+	BytesPersisted int64
+}
+
+// SimulateRun executes the training timeline under the given strategy and
+// checkpoint policy, injecting the configured failures.
+func SimulateRun(m ModelConfig, c ClusterConfig, s Strategy, rc RunConfig) (RunReport, error) {
+	if err := FitsMemory(m, c, s); err != nil {
+		return RunReport{}, err
+	}
+	if rc.Steps <= 0 {
+		return RunReport{}, fmt.Errorf("%w: steps %d", ErrConfig, rc.Steps)
+	}
+	if rc.CheckpointEvery > 0 && rc.Policy == nil {
+		return RunReport{}, fmt.Errorf("%w: checkpointing enabled without a policy", ErrConfig)
+	}
+	stepS, err := StepTime(m, c, s, rc.BatchTokens)
+	if err != nil {
+		return RunReport{}, err
+	}
+
+	failures := append([]int(nil), rc.FailAtExecSteps...)
+	sort.Ints(failures)
+
+	var rep RunReport
+	now := 0.0
+	progress := 0     // completed steps surviving so far
+	lastDurable := 0  // step of the newest durable checkpoint
+	execSteps := 0    // execution-timeline counter (includes rework)
+	pendingStep := -1 // step of an in-flight async checkpoint
+	pendingAt := 0.0  // time the in-flight checkpoint becomes durable
+	loadS := float64(CheckpointBytes(m)) / c.StorageBW
+
+	settle := func() {
+		if pendingStep >= 0 && pendingAt <= now {
+			lastDurable = pendingStep
+			rep.DurableCheckpoints++
+			pendingStep = -1
+		}
+	}
+
+	for progress < rc.Steps {
+		// Execute one step.
+		now += stepS
+		execSteps++
+		progress++
+		rep.ComputeS += stepS
+		settle()
+
+		// Checkpoint boundary.
+		if rc.CheckpointEvery > 0 && progress%rc.CheckpointEvery == 0 && progress < rc.Steps {
+			stall, delay, bytes := rc.Policy.OnCheckpoint(progress, m, c)
+			now += stall
+			rep.StallS += stall
+			rep.Checkpoints++
+			rep.BytesPersisted += bytes
+			if delay == 0 {
+				lastDurable = progress
+				rep.DurableCheckpoints++
+			} else {
+				// A newer in-flight checkpoint supersedes an unfinished
+				// older one (the engine cancels the stale flush).
+				settle()
+				pendingStep = progress
+				pendingAt = now + delay
+			}
+		}
+
+		// Failure injection.
+		if len(failures) > 0 && execSteps >= failures[0] {
+			failures = failures[1:]
+			rep.Failures++
+			settle()
+			// Anything after the last durable checkpoint is lost.
+			lost := progress - lastDurable
+			if lost < 0 {
+				lost = 0
+			}
+			rep.ComputeS -= float64(lost) * stepS
+			rep.RecomputeS += float64(lost) * stepS
+			progress = lastDurable
+			pendingStep = -1 // in-flight flush dies with the job
+			recovery := rc.RestartOverheadS + loadS
+			now += recovery
+			rep.RecoveryS += recovery
+		}
+	}
+	settle()
+	rep.TotalS = now
+	return rep, nil
+}

@@ -1,0 +1,138 @@
+package vecdb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestFlatDelete(t *testing.T) {
+	f := NewFlat(4)
+	for i := 0; i < 10; i++ {
+		v := []float32{float32(i), 1, 0, 0}
+		if err := f.Add(fmt.Sprintf("v%d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Delete("v3"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 9 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	if _, err := f.Get("v3"); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted vector still retrievable")
+	}
+	// Swap-removed element must still be addressable.
+	if _, err := f.Get("v9"); err != nil {
+		t.Errorf("swap victim lost: %v", err)
+	}
+	res, err := f.Search([]float32{3, 1, 0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == "v3" {
+			t.Error("deleted vector in results")
+		}
+	}
+	if err := f.Delete("v3"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	// Deleted id can be re-added.
+	if err := f.Add("v3", []float32{9, 9, 9, 9}); err != nil {
+		t.Errorf("re-add after delete: %v", err)
+	}
+}
+
+func TestIVFDelete(t *testing.T) {
+	iv := NewIVF(4, 4, 4, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		if err := iv.Add(fmt.Sprintf("v%d", i), randomUnit(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete pre-training (pending) and post-training (cells).
+	if err := iv.Delete("v5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := iv.Train(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := iv.Delete("v6"); err != nil {
+		t.Fatal(err)
+	}
+	if iv.Len() != 38 {
+		t.Errorf("Len = %d, want 38", iv.Len())
+	}
+	if err := iv.Delete("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	res, err := iv.Search(randomUnit(rng, 4), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == "v5" || r.ID == "v6" {
+			t.Error("deleted vector in results")
+		}
+	}
+}
+
+func TestHNSWDeleteTombstones(t *testing.T) {
+	h := NewHNSW(8, 8, 32, 3)
+	rng := rand.New(rand.NewSource(4))
+	vecs := make([][]float32, 50)
+	for i := range vecs {
+		vecs[i] = randomUnit(rng, 8)
+		if err := h.Add(fmt.Sprintf("v%02d", i), vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Delete("v07"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 49 || h.Deleted() != 1 {
+		t.Errorf("Len=%d Deleted=%d", h.Len(), h.Deleted())
+	}
+	// Self-query for the deleted vector must not return it.
+	res, err := h.Search(vecs[7], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == "v07" {
+			t.Error("tombstoned vector returned")
+		}
+	}
+	if err := h.Delete("v07"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	if err := h.Delete("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	// Graph still routes correctly for live vectors.
+	res, err = h.Search(vecs[20], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != "v20" {
+		t.Errorf("post-delete self query = %s", res[0].ID)
+	}
+}
+
+func TestDeleteViaInterface(t *testing.T) {
+	for _, idx := range []Index{NewFlat(4), NewIVF(4, 2, 1, 1), NewHNSW(4, 4, 8, 1)} {
+		if err := idx.Add("a", []float32{1, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Delete("a"); err != nil {
+			t.Fatalf("%T: %v", idx, err)
+		}
+		if idx.Len() != 0 {
+			t.Errorf("%T: Len = %d after delete", idx, idx.Len())
+		}
+	}
+}

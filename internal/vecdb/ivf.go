@@ -1,0 +1,234 @@
+package vecdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dataai/internal/embed"
+)
+
+// IVF is an inverted-file approximate index: vectors are partitioned into
+// nlist cells by a k-means coarse quantizer; a search probes only the
+// nprobe cells whose centroids are closest to the query. Vectors may be
+// added before training — Train clusters whatever has been buffered, and
+// later Adds assign to the nearest existing centroid.
+type IVF struct {
+	mu        sync.RWMutex
+	dim       int
+	nlist     int
+	nprobe    int
+	seed      int64
+	trained   bool
+	centroids [][]float32
+	cells     [][]entry // cells[c] holds entries assigned to centroid c
+	pending   []entry   // buffered before training
+	ids       map[string]bool
+}
+
+type entry struct {
+	id  string
+	vec []float32
+}
+
+// NewIVF returns an IVF index with nlist cells probing nprobe cells per
+// search. nprobe is clamped to [1, nlist].
+func NewIVF(dim, nlist, nprobe int, seed int64) *IVF {
+	if nlist < 1 {
+		nlist = 1
+	}
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+	return &IVF{dim: dim, nlist: nlist, nprobe: nprobe, seed: seed, ids: make(map[string]bool)}
+}
+
+// Dim implements Index.
+func (iv *IVF) Dim() int { return iv.dim }
+
+// Len implements Index.
+func (iv *IVF) Len() int {
+	iv.mu.RLock()
+	defer iv.mu.RUnlock()
+	n := len(iv.pending)
+	for _, c := range iv.cells {
+		n += len(c)
+	}
+	return n
+}
+
+// SetNProbe adjusts the number of probed cells, clamped to [1, nlist].
+// This is the recall/latency knob swept in experiment E16.
+func (iv *IVF) SetNProbe(n int) {
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	if n > iv.nlist {
+		n = iv.nlist
+	}
+	iv.nprobe = n
+}
+
+// Add implements Index.
+func (iv *IVF) Add(id string, vec []float32) error {
+	if len(vec) != iv.dim {
+		return fmt.Errorf("%w: got %d want %d", ErrDimension, len(vec), iv.dim)
+	}
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	if iv.ids[id] {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	iv.ids[id] = true
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+	e := entry{id: id, vec: cp}
+	if !iv.trained {
+		iv.pending = append(iv.pending, e)
+		return nil
+	}
+	c := iv.nearestCentroid(cp)
+	iv.cells[c] = append(iv.cells[c], e)
+	return nil
+}
+
+// Train runs k-means (iters iterations, k-means++ style seeding by
+// sampling without replacement) over the buffered vectors and assigns
+// them to cells. Training an already-trained index re-clusters all
+// stored vectors.
+func (iv *IVF) Train(iters int) error {
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	// Gather every stored vector.
+	all := iv.pending
+	for _, c := range iv.cells {
+		all = append(all, c...)
+	}
+	if len(all) == 0 {
+		return ErrEmptyIndex
+	}
+	k := iv.nlist
+	if k > len(all) {
+		k = len(all)
+	}
+	rng := rand.New(rand.NewSource(iv.seed))
+	// Seed centroids with a random sample of stored vectors.
+	perm := rng.Perm(len(all))
+	cents := make([][]float32, k)
+	for i := 0; i < k; i++ {
+		cents[i] = append([]float32(nil), all[perm[i]].vec...)
+	}
+	assign := make([]int, len(all))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, e := range all {
+			best, bestDot := 0, float32(-1<<30)
+			for c, cent := range cents {
+				if d := embed.Dot(e.vec, cent); d > bestDot {
+					best, bestDot = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids as normalized means.
+		sums := make([][]float32, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float32, iv.dim)
+		}
+		for i, e := range all {
+			c := assign[i]
+			counts[c]++
+			for j, x := range e.vec {
+				sums[c][j] += x
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				// Re-seed an empty cell with a random vector so no
+				// cell is wasted.
+				cents[c] = append([]float32(nil), all[rng.Intn(len(all))].vec...)
+				continue
+			}
+			embed.Normalize(sums[c])
+			cents[c] = sums[c]
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	cells := make([][]entry, k)
+	for i, e := range all {
+		cells[assign[i]] = append(cells[assign[i]], e)
+	}
+	iv.centroids = cents
+	iv.cells = cells
+	iv.pending = nil
+	iv.trained = true
+	if iv.nprobe > k {
+		iv.nprobe = k
+	}
+	return nil
+}
+
+func (iv *IVF) nearestCentroid(vec []float32) int {
+	best, bestDot := 0, float32(-1<<30)
+	for c, cent := range iv.centroids {
+		if d := embed.Dot(vec, cent); d > bestDot {
+			best, bestDot = c, d
+		}
+	}
+	return best
+}
+
+// Search implements Index. An untrained index falls back to an exact
+// scan over the buffered vectors.
+func (iv *IVF) Search(query []float32, k int) ([]Result, error) {
+	if len(query) != iv.dim {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrDimension, len(query), iv.dim)
+	}
+	iv.mu.RLock()
+	defer iv.mu.RUnlock()
+	h := newTopK(k)
+	if !iv.trained {
+		if len(iv.pending) == 0 {
+			return nil, ErrEmptyIndex
+		}
+		for _, e := range iv.pending {
+			h.offer(Result{ID: e.id, Score: embed.Dot(query, e.vec)})
+		}
+		return h.sorted(), nil
+	}
+	if iv.Len() == 0 {
+		return nil, ErrEmptyIndex
+	}
+	// Rank cells by centroid similarity, probe the top nprobe.
+	type cs struct {
+		cell int
+		dot  float32
+	}
+	ranked := make([]cs, len(iv.centroids))
+	for c, cent := range iv.centroids {
+		ranked[c] = cs{c, embed.Dot(query, cent)}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].dot > ranked[j].dot })
+	probes := iv.nprobe
+	if probes > len(ranked) {
+		probes = len(ranked)
+	}
+	for i := 0; i < probes; i++ {
+		for _, e := range iv.cells[ranked[i].cell] {
+			h.offer(Result{ID: e.id, Score: embed.Dot(query, e.vec)})
+		}
+	}
+	return h.sorted(), nil
+}

@@ -1,0 +1,43 @@
+package vecdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the on-disk representation of a Flat index.
+type snapshot struct {
+	Dim  int
+	IDs  []string
+	Vecs [][]float32
+}
+
+// Save serializes the Flat index to w in gob format.
+func (f *Flat) Save(w io.Writer) error {
+	f.mu.RLock()
+	snap := snapshot{Dim: f.dim, IDs: f.ids, Vecs: f.vecs}
+	f.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("vecdb: save: %w", err)
+	}
+	return nil
+}
+
+// LoadFlat reads a Flat index previously written by Save.
+func LoadFlat(r io.Reader) (*Flat, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("vecdb: load: %w", err)
+	}
+	f := NewFlat(snap.Dim)
+	for i, id := range snap.IDs {
+		if len(snap.Vecs[i]) != snap.Dim {
+			return nil, fmt.Errorf("vecdb: load: %w: vector %d", ErrDimension, i)
+		}
+		if err := f.Add(id, snap.Vecs[i]); err != nil {
+			return nil, fmt.Errorf("vecdb: load: %w", err)
+		}
+	}
+	return f, nil
+}

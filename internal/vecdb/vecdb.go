@@ -1,0 +1,211 @@
+// Package vecdb implements the vector database substrate the paper lists
+// under both LLM4Data (RAG retrieval, §2.2.1: "embedding indexing and
+// searching") and the Figure 1 architecture's "Vector Database" box.
+//
+// Three index types are provided with one interface:
+//
+//   - Flat: exact brute-force scan — the recall ceiling and baseline.
+//   - IVF: inverted-file index with k-means coarse quantizer and an
+//     nprobe search parameter.
+//   - HNSW: hierarchical navigable small world graph.
+//
+// All similarity is inner product; callers that want cosine should insert
+// unit vectors (package embed produces them already normalized).
+package vecdb
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dataai/internal/embed"
+)
+
+// Errors returned by index operations. Callers branch on these with
+// errors.Is.
+var (
+	// ErrDimension indicates a vector whose length does not match the
+	// index dimensionality.
+	ErrDimension = errors.New("vecdb: vector dimension mismatch")
+	// ErrDuplicateID indicates an Add with an id already present.
+	ErrDuplicateID = errors.New("vecdb: duplicate id")
+	// ErrNotFound indicates a lookup for an absent id.
+	ErrNotFound = errors.New("vecdb: id not found")
+	// ErrEmptyIndex indicates a search against an index with no vectors.
+	ErrEmptyIndex = errors.New("vecdb: empty index")
+)
+
+// Result is one search hit. Score is the inner product with the query —
+// higher is more similar.
+type Result struct {
+	ID    string
+	Score float32
+}
+
+// Index is the common contract of all vector indexes in this package.
+type Index interface {
+	// Add inserts a vector under id. It returns ErrDimension or
+	// ErrDuplicateID on invalid input.
+	Add(id string, vec []float32) error
+	// Search returns the k nearest vectors to query by inner product,
+	// most similar first. Fewer than k results are returned when the
+	// index holds fewer vectors. It returns ErrEmptyIndex when empty.
+	Search(query []float32, k int) ([]Result, error)
+	// Delete removes id from the index (tombstoned in HNSW). It returns
+	// ErrNotFound for absent ids.
+	Delete(id string) error
+	// Len reports the number of stored (live) vectors.
+	Len() int
+	// Dim reports the index dimensionality.
+	Dim() int
+}
+
+// Flat is an exact brute-force index. It is safe for concurrent use.
+type Flat struct {
+	mu   sync.RWMutex
+	dim  int
+	ids  []string
+	vecs [][]float32
+	pos  map[string]int
+}
+
+// NewFlat returns an empty exact index for dim-dimensional vectors.
+func NewFlat(dim int) *Flat {
+	return &Flat{dim: dim, pos: make(map[string]int)}
+}
+
+// Dim implements Index.
+func (f *Flat) Dim() int { return f.dim }
+
+// Len implements Index.
+func (f *Flat) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.ids)
+}
+
+// Add implements Index.
+func (f *Flat) Add(id string, vec []float32) error {
+	if len(vec) != f.dim {
+		return fmt.Errorf("%w: got %d want %d", ErrDimension, len(vec), f.dim)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.pos[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	f.pos[id] = len(f.ids)
+	f.ids = append(f.ids, id)
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+	f.vecs = append(f.vecs, cp)
+	return nil
+}
+
+// Get returns the stored vector for id.
+func (f *Flat) Get(id string) ([]float32, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	i, ok := f.pos[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return f.vecs[i], nil
+}
+
+// Search implements Index.
+func (f *Flat) Search(query []float32, k int) ([]Result, error) {
+	return f.SearchFilter(query, k, nil)
+}
+
+// SearchFilter is Search restricted to ids accepted by keep. A nil keep
+// accepts everything. Filtered search supports the data-lake linking
+// experiments, which search within one modality at a time.
+func (f *Flat) SearchFilter(query []float32, k int, keep func(id string) bool) ([]Result, error) {
+	if len(query) != f.dim {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrDimension, len(query), f.dim)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if len(f.ids) == 0 {
+		return nil, ErrEmptyIndex
+	}
+	h := newTopK(k)
+	for i, v := range f.vecs {
+		if keep != nil && !keep(f.ids[i]) {
+			continue
+		}
+		h.offer(Result{ID: f.ids[i], Score: embed.Dot(query, v)})
+	}
+	return h.sorted(), nil
+}
+
+// topK keeps the k best results seen so far using a min-heap on score.
+type topK struct {
+	k     int
+	items []Result
+}
+
+func newTopK(k int) *topK {
+	if k < 1 {
+		k = 1
+	}
+	return &topK{k: k, items: make([]Result, 0, k)}
+}
+
+func (h *topK) Len() int           { return len(h.items) }
+func (h *topK) Less(i, j int) bool { return h.items[i].Score < h.items[j].Score }
+func (h *topK) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topK) Push(x interface{}) { h.items = append(h.items, x.(Result)) }
+func (h *topK) Pop() interface{} {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}
+
+func (h *topK) offer(r Result) {
+	if len(h.items) < h.k {
+		heap.Push(h, r)
+		return
+	}
+	if r.Score > h.items[0].Score {
+		h.items[0] = r
+		heap.Fix(h, 0)
+	}
+}
+
+// sorted drains the heap into a best-first slice. Ties break by ID so
+// results are deterministic.
+func (h *topK) sorted() []Result {
+	out := make([]Result, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Recall computes recall@k of got against an exact result set: the
+// fraction of want ids that appear in got. Used by the E16 experiment.
+func Recall(got, want []Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	set := make(map[string]bool, len(got))
+	for _, r := range got {
+		set[r.ID] = true
+	}
+	hit := 0
+	for _, r := range want {
+		if set[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
