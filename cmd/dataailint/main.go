@@ -1,0 +1,76 @@
+// Command dataailint runs the repo's static-analysis suite
+// (internal/lint) over the packages matched by its arguments and exits
+// non-zero on findings. It is stdlib-only: packages are parsed with
+// go/parser and type-checked with go/types, resolving module-local
+// imports from sibling directories and the standard library from GOROOT
+// source.
+//
+// Usage:
+//
+//	dataailint ./...                      # whole module (the default)
+//	dataailint ./internal/vecdb           # one package
+//	dataailint -checks floateq,maporder ./...
+//	dataailint -list                      # list analyzers and exit
+//
+// Suppress a finding with a trailing or preceding comment:
+//
+//	//lint:ignore <check> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dataai/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *checks != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a := lint.Lookup(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "dataailint: unknown check %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dataailint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dataailint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dataailint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -192,9 +192,17 @@ func (a ActiveLearner) Run(docs []string, budget int) (labels []string, queried 
 }
 
 func centroids(vecs [][]float32, known map[int]string) map[string][]float32 {
+	// Group in sorted key order: Mean accumulates floats, so membership
+	// order changes the centroid in the last ulp — map iteration order
+	// here would make labeling nondeterministic across runs.
+	idxs := make([]int, 0, len(known))
+	for i := range known {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
 	groups := map[string][][]float32{}
-	for i, l := range known {
-		groups[l] = append(groups[l], vecs[i])
+	for _, i := range idxs {
+		groups[known[i]] = append(groups[known[i]], vecs[i])
 	}
 	out := map[string][]float32{}
 	for l, vs := range groups {

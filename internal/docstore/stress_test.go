@@ -1,0 +1,106 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStoreParallel makes `go test -race ./...` exercise the Store's
+// RWMutex: concurrent document adds and removals against readers of
+// every accessor. Writers own disjoint id ranges; readers tolerate
+// ErrNotFound (a doc may be added or removed under them) but no other
+// error and no torn data.
+func TestStoreParallel(t *testing.T) {
+	s := NewStore()
+	chunker := SentenceChunker{MaxTokens: 8}
+	const (
+		writers = 4
+		readers = 4
+		perW    = 120
+	)
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("doc-w%d-%d", r%writers, i%perW)
+				if d, err := s.Document(id); err == nil {
+					if d.ID != id {
+						t.Errorf("Document(%q) returned id %q", id, d.ID)
+						return
+					}
+				} else if !errors.Is(err, ErrNotFound) {
+					t.Errorf("Document(%q): %v", id, err)
+					return
+				}
+				for _, c := range s.DocChunks(id) {
+					if c.DocID != id {
+						t.Errorf("DocChunks(%q) returned chunk of %q", id, c.DocID)
+						return
+					}
+				}
+				s.Chunks()
+				s.Len()
+				s.ChunkCount()
+				i++
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perW; i++ {
+				id := fmt.Sprintf("doc-w%d-%d", w, i)
+				doc := Document{
+					ID:   id,
+					Text: fmt.Sprintf("Sentence one of %s. Sentence two is a bit longer. The third closes it.", id),
+				}
+				chunks, err := s.AddDocument(doc, chunker)
+				if err != nil {
+					t.Errorf("AddDocument(%q): %v", id, err)
+					return
+				}
+				if len(chunks) == 0 {
+					t.Errorf("AddDocument(%q): no chunks", id)
+					return
+				}
+				if i%4 == 0 {
+					if _, err := s.RemoveDocument(id); err != nil {
+						t.Errorf("RemoveDocument(%q): %v", id, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	removedPerW := (perW + 3) / 4
+	wantDocs := writers * (perW - removedPerW)
+	if got := s.Len(); got != wantDocs {
+		t.Fatalf("Len = %d, want %d", got, wantDocs)
+	}
+	// Every surviving chunk must belong to a surviving document and be
+	// retrievable by id.
+	for _, c := range s.Chunks() {
+		if _, err := s.Document(c.DocID); err != nil {
+			t.Fatalf("chunk %q orphaned: %v", c.ID, err)
+		}
+		if _, err := s.Chunk(c.ID); err != nil {
+			t.Fatalf("Chunk(%q): %v", c.ID, err)
+		}
+	}
+}

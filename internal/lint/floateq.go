@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The floateq analyzer flags == and != between floating-point operands
+// outside test code. Accumulated rounding makes exact float equality a
+// latent bug: two mathematically equal computations differ in the last
+// ulp and the comparison silently picks a branch. Compare against an
+// epsilon, or restructure to compare the integers the floats came from.
+//
+// Four idioms are exempt because they are exact by construction:
+//
+//   - `x != x`, the standard NaN test;
+//   - comparisons where both operands are compile-time constants;
+//   - comparisons against constant zero (`sum == 0` division guards and
+//     unset-sentinel checks — exact zero is preserved by IEEE 754 and is
+//     the conventional "nothing accumulated" test);
+//   - tie-breaks in three-way comparisons: when the same operand pair is
+//     also ordered with < / > / <= / >= in the same function (a sort
+//     comparator or best-candidate scan), the equality branch only picks
+//     between two orderings, and either outcome is deterministic.
+//
+// Anything else that genuinely wants exact equality (e.g. change
+// detection between checkpoints) carries a //lint:ignore with its
+// justification.
+
+func init() {
+	Register(&Analyzer{
+		Name: "floateq",
+		Doc:  "exact == / != comparison of floating-point values outside tests",
+		Run:  runFloatEq,
+	})
+}
+
+func runFloatEq(pass *Pass) {
+	p := pass.Pkg
+	// strictPairs caches, per enclosing function, the operand pairs that
+	// appear under an ordering comparison.
+	strictPairs := map[ast.Node]map[[2]string]bool{}
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return
+			}
+			lt, rt := p.typeOf(bin.X), p.typeOf(bin.Y)
+			if !isFloat(lt) && !isFloat(rt) {
+				return
+			}
+			lv, rv := p.Info.Types[bin.X], p.Info.Types[bin.Y]
+			if lv.Value != nil && rv.Value != nil {
+				return // constant fold, exact
+			}
+			if isZeroConst(lv) || isZeroConst(rv) {
+				return // division guard / unset sentinel
+			}
+			if sameExpr(bin.X, bin.Y) {
+				return // NaN test
+			}
+			fn := enclosingFunc(stack)
+			if fn != nil {
+				pairs, ok := strictPairs[fn]
+				if !ok {
+					pairs = orderedPairs(fn)
+					strictPairs[fn] = pairs
+				}
+				if pairs[pairKey(bin.X, bin.Y)] {
+					return // tie-break in a three-way comparison
+				}
+			}
+			pass.Reportf(bin.Pos(),
+				"exact float %s comparison; use an epsilon or compare the underlying integers", bin.Op)
+		})
+	}
+}
+
+// isZeroConst reports whether tv is a compile-time constant equal to 0.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// pairKey normalizes an operand pair into an order-insensitive key.
+func pairKey(x, y ast.Expr) [2]string {
+	a, b := types.ExprString(x), types.ExprString(y)
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// orderedPairs collects every operand pair compared with an ordering
+// operator anywhere in fn's body.
+func orderedPairs(fn ast.Node) map[[2]string]bool {
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		body = f.Body
+	case *ast.FuncLit:
+		body = f.Body
+	}
+	pairs := map[[2]string]bool{}
+	if body == nil {
+		return pairs
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			pairs[pairKey(bin.X, bin.Y)] = true
+		}
+		return true
+	})
+	return pairs
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// identifier/selector chains (enough to recognize `x != x`).
+func sameExpr(a, b ast.Expr) bool {
+	switch ae := a.(type) {
+	case *ast.Ident:
+		be, ok := b.(*ast.Ident)
+		return ok && ae.Name == be.Name
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		return ok && ae.Sel.Name == be.Sel.Name && sameExpr(ae.X, be.X)
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// importedPkg returns the import path of the package a selector's
+// qualifier names (e.g. "time" for time.Now), or "" when the qualifier
+// is not a package name or type info is missing.
+func (p *Package) importedPkg(expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := p.Info.Uses[id]
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// pkgCall decomposes call into (importPath, funcName) when it invokes a
+// package-level function through a selector, e.g. time.Now() →
+// ("time", "Now"). ok is false for method calls and local calls.
+func (p *Package) pkgCall(call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	path = p.importedPkg(sel.X)
+	if path == "" {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// typeOf returns the type of expr, or nil when the checker could not
+// determine one.
+func (p *Package) typeOf(expr ast.Expr) types.Type {
+	return p.Info.TypeOf(expr)
+}
+
+// isSyncLock reports whether t (after stripping one pointer level) is
+// sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// containsLock reports whether a value of type t holds a sync.Mutex or
+// sync.RWMutex by value (directly, or in a struct field or array element,
+// recursively). Pointers, maps, slices, and channels reference their
+// element, so copying them does not copy the lock.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, map[types.Type]bool{})
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup" || obj.Name() == "Once" || obj.Name() == "Cond") {
+			return true
+		}
+		return containsLockSeen(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// isFloat reports whether t is a floating-point type (float32, float64,
+// or an untyped float constant).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// rootIdent returns the leftmost identifier of an expression like
+// x, x.f, x[i], or *x — the variable a compound expression hangs off.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			expr = e.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsObject reports whether the subtree rooted at n uses the given
+// object (per the type-checker's Uses table).
+func (p *Package) mentionsObject(n ast.Node, obj types.Object) bool {
+	if obj == nil || n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(child ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := child.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

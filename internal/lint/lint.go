@@ -1,0 +1,226 @@
+// Package lint is the repo's own static-analysis layer: a small analyzer
+// framework built entirely on the standard library (go/parser, go/ast,
+// go/types — no external deps, matching go.mod) plus the repo-specific
+// analyzers that enforce the invariants every number in EXPERIMENTS.md
+// rests on: determinism under fixed seeds, checked errors, and balanced
+// lock usage.
+//
+// Analyzers register themselves in init functions (the same pattern the
+// experiments package uses). cmd/dataailint runs the full suite from the
+// command line; lint_selfcheck_test.go at the repo root runs it inside
+// `go test ./...` so tier-1 verification permanently includes the linter.
+//
+// Findings are suppressed with a comment on the offending line or the
+// line directly above it:
+//
+//	//lint:ignore <check> <reason>
+//
+// where <check> is the analyzer name (or a comma-separated list). The
+// reason is mandatory by convention — a suppression without one should
+// not survive review.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: which check fired, where, and why.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one named check. Run inspects every file of the Pass's
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the check identifier used in output and in //lint:ignore.
+	Name string
+	// Doc is a one-line description shown by `dataailint -list`.
+	Doc string
+	// Run executes the check over pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// registry holds all registered analyzers by name.
+var registry = map[string]*Analyzer{}
+
+// Register adds an analyzer to the suite. It panics on duplicate names —
+// registration happens in init functions, so a duplicate is a programming
+// error, not a runtime condition.
+func Register(a *Analyzer) {
+	if _, ok := registry[a.Name]; ok {
+		panic(fmt.Sprintf("lint: duplicate analyzer %q", a.Name))
+	}
+	registry[a.Name] = a
+}
+
+// Analyzers returns every registered analyzer sorted by name.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer { return registry[name] }
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given analyzers over the given packages, applies
+// //lint:ignore suppressions, and returns the surviving diagnostics
+// sorted by file, line, column, then check name — a deterministic order,
+// as befits the suite's own subject matter.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := pkg.ignoreIndex()
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !ignores.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// ignoreIndex maps file → line → set of suppressed check names.
+type ignoreIndex map[string]map[int]map[string]bool
+
+// suppressed reports whether d is covered by a //lint:ignore comment.
+func (ix ignoreIndex) suppressed(d Diagnostic) bool {
+	lines := ix[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	checks := lines[d.Pos.Line]
+	if checks == nil {
+		return false
+	}
+	return checks[d.Check] || checks["*"]
+}
+
+// ignoreIndex scans every file's comments for //lint:ignore directives.
+// A directive applies to the line it sits on and to the line directly
+// below it, so both placements work:
+//
+//	x := time.Now() //lint:ignore nondeterminism wall time, measured outside the simulator
+//
+//	//lint:ignore uncheckederr best-effort cleanup
+//	os.Remove(tmp)
+func (p *Package) ignoreIndex() ignoreIndex {
+	ix := ignoreIndex{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := ix[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ix[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					checks := lines[ln]
+					if checks == nil {
+						checks = map[string]bool{}
+						lines[ln] = checks
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						checks[name] = true
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// inspectWithStack walks the file like ast.Inspect but hands the callback
+// the stack of enclosing nodes (outermost first, n last). Analyzers use
+// it to find the enclosing function of a call or the enclosing block of a
+// statement.
+func inspectWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		visit(n, stack)
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost function declaration or literal on
+// the stack (excluding the node itself at the top), or nil.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+// The loader excludes test files, but fixture harnesses and future
+// callers may not, and several analyzers are scoped to non-test code.
+func (p *Package) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}

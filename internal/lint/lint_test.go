@@ -1,0 +1,175 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"dataai/internal/lint"
+)
+
+// wantRe extracts the expectation regex from a `// want `...“ comment.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// fixturePackage parses and type-checks every .go file under
+// testdata/src/<dir> as one package with the given import path.
+func fixturePackage(t *testing.T, dir, importPath string) *lint.Package {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(root, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", root)
+	}
+	pkg, err := lint.TypeCheck(fset, importPath, files, nil)
+	if err != nil {
+		t.Fatalf("typecheck fixtures: %v", err)
+	}
+	return pkg
+}
+
+// expectations maps "file:line" to the regexes `// want` comments declare
+// there.
+func expectations(t *testing.T, pkg *lint.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	want := map[string][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				want[key] = append(want[key], re)
+			}
+		}
+	}
+	return want
+}
+
+func runFixture(t *testing.T, fixtureDir, analyzerName, importPath string) {
+	t.Helper()
+	a := lint.Lookup(analyzerName)
+	if a == nil {
+		t.Fatalf("analyzer %q not registered", analyzerName)
+	}
+	pkg := fixturePackage(t, fixtureDir, importPath)
+	want := expectations(t, pkg)
+	got := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+
+	matched := map[string][]bool{}
+	for key, res := range want {
+		matched[key] = make([]bool, len(res))
+	}
+	for _, d := range got {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		res := want[key]
+		found := false
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				matched[key][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, flags := range matched {
+		for i, ok := range flags {
+			if !ok {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, want[key][i])
+			}
+		}
+	}
+}
+
+func TestNondeterminismSeededPackage(t *testing.T) {
+	runFixture(t, "nondeterminism", "nondeterminism", "fix/internal/experiments")
+}
+
+func TestNondeterminismRandParamScope(t *testing.T) {
+	runFixture(t, "randparam", "nondeterminism", "fix/util")
+}
+
+func TestMapOrder(t *testing.T) {
+	runFixture(t, "maporder", "maporder", "fix/maporder")
+}
+
+func TestUncheckedErr(t *testing.T) {
+	runFixture(t, "uncheckederr", "uncheckederr", "fix/uncheckederr")
+}
+
+func TestLockBalance(t *testing.T) {
+	runFixture(t, "lockbalance", "lockbalance", "fix/lockbalance")
+}
+
+func TestFloatEq(t *testing.T) {
+	runFixture(t, "floateq", "floateq", "fix/floateq")
+}
+
+// TestSuiteRegistered pins the analyzer roster: removing a check from the
+// suite should be a deliberate, visible act.
+func TestSuiteRegistered(t *testing.T) {
+	var names []string
+	for _, a := range lint.Analyzers() {
+		names = append(names, a.Name)
+	}
+	wantNames := []string{"floateq", "lockbalance", "maporder", "nondeterminism", "uncheckederr"}
+	if strings.Join(names, ",") != strings.Join(wantNames, ",") {
+		t.Fatalf("registered analyzers = %v, want %v", names, wantNames)
+	}
+}
+
+// TestLoadModule exercises the module loader on the real repo: it must
+// find this very package and resolve its imports.
+func TestLoadModule(t *testing.T) {
+	pkgs, err := lint.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	found := false
+	for _, p := range pkgs {
+		if p.ImportPath == "dataai/internal/lint" {
+			found = true
+			if p.Types == nil {
+				t.Fatal("lint package loaded without type info")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Load(./...) from internal/lint did not find dataai/internal/lint")
+	}
+}

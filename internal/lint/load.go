@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package — the unit an
+// analyzer runs over.
+type Package struct {
+	// ImportPath is the module-qualified path, e.g. "dataai/internal/vecdb".
+	ImportPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package (may be incomplete if the source
+	// has type errors — analyzers must tolerate nil type info).
+	Types *types.Package
+	// Info carries the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// Load parses and type-checks the packages matched by patterns, rooted at
+// the module containing dir. Patterns follow go tooling conventions: a
+// relative directory ("./internal/vecdb") names one package, and a
+// "/..." suffix matches the tree below it. Test files (_test.go),
+// testdata directories, and dot/underscore-prefixed entries are skipped,
+// like the go tool itself skips them.
+//
+// Type checking resolves module-local imports by recursively loading
+// sibling packages, and standard-library imports from GOROOT source —
+// no compiled export data, no network, no external deps.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := matchPatterns(dir, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newModuleImporter(fset, modPath, root)
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := imp.load(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+	}
+}
+
+// matchPatterns expands patterns (relative to base) into a sorted list of
+// package directories under root.
+func matchPatterns(base, root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		start := pat
+		if !filepath.IsAbs(start) {
+			start = filepath.Join(base, start)
+		}
+		abs, err := filepath.Abs(start)
+		if err != nil {
+			return nil, err
+		}
+		start = abs
+		if !recursive {
+			if hasGoFiles(start) {
+				add(start)
+			} else {
+				return nil, fmt.Errorf("lint: no Go files in %s", pat)
+			}
+			continue
+		}
+		err = filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != start && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	// Keep only directories inside the module.
+	kept := dirs[:0]
+	for _, d := range dirs {
+		if d == root || strings.HasPrefix(d, root+string(filepath.Separator)) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleImporter type-checks module-local packages from source on demand
+// and delegates everything else (the standard library) to the stdlib
+// source importer. Both layers cache, so each package is checked once.
+type moduleImporter struct {
+	fset    *token.FileSet
+	modPath string
+	root    string
+	std     types.Importer
+	cache   map[string]*Package // keyed by directory
+	loading map[string]bool     // import-cycle guard
+}
+
+func newModuleImporter(fset *token.FileSet, modPath, root string) *moduleImporter {
+	return &moduleImporter{
+		fset:    fset,
+		modPath: modPath,
+		root:    root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, m.modPath), "/")
+		pkg, err := m.load(filepath.Join(m.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files for import %q", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// load parses and type-checks the package in dir, caching the result.
+// It returns (nil, nil) when dir holds no non-test Go files.
+func (m *moduleImporter) load(dir string) (*Package, error) {
+	dir = filepath.Clean(dir)
+	if pkg, ok := m.cache[dir]; ok {
+		return pkg, nil
+	}
+	if m.loading[dir] {
+		return nil, fmt.Errorf("lint: import cycle through %s", dir)
+	}
+	m.loading[dir] = true
+	defer delete(m.loading, dir)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		m.cache[dir] = nil
+		return nil, nil
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	rel, err := filepath.Rel(m.root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := m.modPath
+	if rel != "." {
+		importPath = m.modPath + "/" + filepath.ToSlash(rel)
+	}
+	pkg, err := TypeCheck(m.fset, importPath, files, m)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	m.cache[dir] = pkg
+	return pkg, nil
+}
+
+// TypeCheck type-checks files as one package under importPath, resolving
+// imports through imp (nil means standard library only, from source).
+// Type errors are tolerated: analyzers see whatever facts the checker
+// could compute. The fixture tests use this entry point directly.
+func TypeCheck(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) (*Package, error) {
+	if imp == nil {
+		imp = importer.ForCompiler(fset, "source", nil)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // tolerate type errors; facts stay partial
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The lockbalance analyzer enforces two mutex invariants:
+//
+//   - every sync.Mutex/RWMutex Lock (or RLock) acquired in a function has
+//     a matching Unlock (or RUnlock) on the same receiver somewhere in
+//     that function — as a plain call or a defer. Matching is
+//     function-scoped, not path-sensitive: a lock whose release lives in
+//     a different function (handoff patterns) needs a //lint:ignore with
+//     its justification spelled out.
+//
+//   - locks are never copied: parameters, results, and receivers whose
+//     type holds a sync.Mutex/RWMutex (or WaitGroup/Once/Cond) by value
+//     are flagged — a copied lock guards nothing.
+
+func init() {
+	Register(&Analyzer{
+		Name: "lockbalance",
+		Doc:  "Lock without matching Unlock in the same function; locks passed by value",
+		Run:  runLockBalance,
+	})
+}
+
+// lockPairs maps an acquire method to its release.
+var lockPairs = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func runLockBalance(pass *Pass) {
+	p := pass.Pkg
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			checkBalance(pass, fd.Body)
+			// Function literals get their own scope: a goroutine body that
+			// locks must also unlock.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBalance(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// lockCall decomposes a statement-level call into (receiver key, method)
+// when it invokes a Lock/Unlock-family method on a sync lock.
+func lockCall(p *Package, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isSyncLock(p.typeOf(sel.X)) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// checkBalance walks one function body (skipping nested function
+// literals, which are checked separately) and verifies every acquire has
+// a release on the same receiver key.
+func checkBalance(pass *Pass, body *ast.BlockStmt) {
+	p := pass.Pkg
+	type acquire struct {
+		pos    ast.Node
+		method string
+	}
+	acquires := map[string][]acquire{} // key → acquisitions
+	releases := map[string]map[string]bool{}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			return false // has its own balance scope
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				if key, method, ok := lockCall(p, call); ok {
+					if _, isAcq := lockPairs[method]; isAcq {
+						acquires[key] = append(acquires[key], acquire{call, method})
+					} else {
+						addRelease(releases, key, method)
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if key, method, ok := lockCall(p, stmt.Call); ok {
+				if _, isAcq := lockPairs[method]; !isAcq {
+					addRelease(releases, key, method)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for key, acqs := range acquires {
+		for _, a := range acqs {
+			want := lockPairs[a.method]
+			if !releases[key][want] {
+				pass.Reportf(a.pos.Pos(),
+					"%s.%s with no %s on any path in this function; release it here or //lint:ignore with the handoff protocol",
+					key, a.method, want)
+			}
+		}
+	}
+}
+
+func addRelease(releases map[string]map[string]bool, key, method string) {
+	if releases[key] == nil {
+		releases[key] = map[string]bool{}
+	}
+	releases[key][method] = true
+}
+
+// checkLockCopies flags receivers, parameters, and results whose type
+// copies a lock by value.
+func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
+	p := pass.Pkg
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.typeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				pass.Reportf(field.Pos(),
+					"%s of %s copies a lock by value; use a pointer", kind, fd.Name.Name)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The maporder analyzer catches the classic silent reproducibility
+// killer: Go randomizes map iteration order, so a `for range m` over a
+// map that accumulates into a slice — or prints — without an intervening
+// sort produces different output on every run. It flags:
+//
+//   - appends inside a map-range body to a slice declared outside the
+//     loop, unless the enclosing function later sorts that slice (any
+//     sort.* or slices.Sort* call mentioning the same variable), and
+//   - direct output calls (fmt.Print*/Fprint*) inside a map-range body.
+//
+// The collect-then-sort idiom is recognized and allowed:
+//
+//	for k := range m {
+//	    keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+
+func init() {
+	Register(&Analyzer{
+		Name: "maporder",
+		Doc:  "map iteration that accumulates or prints in randomized order",
+		Run:  runMapOrder,
+	})
+}
+
+func runMapOrder(pass *Pass) {
+	p := pass.Pkg
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := p.typeOf(rng.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return
+			}
+			fn := enclosingFunc(stack)
+			checkMapRangeBody(pass, rng, fn)
+		})
+	}
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, fn ast.Node) {
+	p := pass.Pkg
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(stmt.Lhs) {
+					continue
+				}
+				target := rootIdent(stmt.Lhs[i])
+				if target == nil {
+					continue
+				}
+				obj := p.Info.Uses[target]
+				if obj == nil {
+					obj = p.Info.Defs[target]
+				}
+				if obj == nil {
+					continue
+				}
+				// A slice created inside the loop body is rebuilt per
+				// iteration; order leaks only through outer accumulators.
+				if rng.Body.Pos() <= obj.Pos() && obj.Pos() <= rng.Body.End() {
+					continue
+				}
+				if sortedAfter(p, fn, rng, obj) {
+					continue
+				}
+				pass.Reportf(stmt.Pos(),
+					"append to %q inside map iteration without a later sort: order is randomized per run", target.Name)
+			}
+		case *ast.ExprStmt:
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := p.pkgCall(call); ok && path == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				pass.Reportf(stmt.Pos(),
+					"fmt.%s inside map iteration prints in randomized order; collect and sort first", name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(p *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin || obj == nil
+}
+
+// sortedAfter reports whether, somewhere in fn after the range statement,
+// a sorting call mentions obj.
+func sortedAfter(p *Package, fn ast.Node, rng *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		body = f.Body
+	case *ast.FuncLit:
+		body = f.Body
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		path, name, ok := p.pkgCall(call)
+		if !ok {
+			return true
+		}
+		isSort := path == "sort" || (path == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if p.mentionsObject(arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

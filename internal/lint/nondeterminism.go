@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The nondeterminism analyzer enforces the repo's core reproducibility
+// invariant: simulator and experiment code must be a pure function of its
+// seeds. It flags wall-clock reads (time.Now, time.Since) and calls to
+// math/rand's global, process-seeded top-level functions in two scopes:
+//
+//   - any package under internal/experiments, internal/llm,
+//     internal/serving, or internal/training (the seeded simulators and
+//     the experiment harness that EXPERIMENTS.md's numbers come from), and
+//   - any function, in any package, that takes a *rand.Rand parameter —
+//     accepting a seeded source is a promise to use only that source.
+//
+// rand.New and rand.NewSource are the deterministic constructors and are
+// always allowed.
+
+// seededPkgFragments are the import-path fragments whose packages must be
+// deterministic end to end.
+var seededPkgFragments = []string{
+	"internal/experiments",
+	"internal/llm",
+	"internal/serving",
+	"internal/training",
+}
+
+// randConstructors are the math/rand functions that build seeded
+// generators rather than consult the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "nondeterminism",
+		Doc:  "wall-clock reads and global math/rand calls in seeded code paths",
+		Run:  runNondeterminism,
+	})
+}
+
+func inSeededPackage(importPath string) bool {
+	for _, frag := range seededPkgFragments {
+		if strings.Contains(importPath, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// takesRand reports whether fn declares a parameter of type *rand.Rand
+// (math/rand or math/rand/v2).
+func takesRand(p *Package, fn ast.Node) bool {
+	var params *ast.FieldList
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		params = f.Type.Params
+	case *ast.FuncLit:
+		params = f.Type.Params
+	default:
+		return false
+	}
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		t := p.typeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if s := t.String(); s == "*math/rand.Rand" || s == "*math/rand/v2.Rand" {
+			return true
+		}
+	}
+	return false
+}
+
+func runNondeterminism(pass *Pass) {
+	p := pass.Pkg
+	seededPkg := inSeededPackage(p.ImportPath)
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			path, name, ok := p.pkgCall(call)
+			if !ok {
+				return
+			}
+			seededFn := false
+			if !seededPkg {
+				if fn := enclosingFunc(stack); fn == nil || !takesRand(p, fn) {
+					return
+				}
+				seededFn = true
+			}
+			scope := "seeded package"
+			if seededFn {
+				scope = "function taking *rand.Rand"
+			}
+			switch path {
+			case "time":
+				if name == "Now" || name == "Since" || name == "Until" {
+					pass.Reportf(call.Pos(),
+						"time.%s in %s breaks seed reproducibility; inject a clock or a deterministic cost model", name, scope)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] {
+					pass.Reportf(call.Pos(),
+						"global rand.%s in %s is process-seeded; plumb a seeded *rand.Rand instead", name, scope)
+				}
+			}
+		})
+	}
+}

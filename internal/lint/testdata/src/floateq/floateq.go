@@ -1,0 +1,62 @@
+// Fixture for the floateq analyzer.
+package floateq
+
+import "sort"
+
+func exactCompare(a, b float64) bool {
+	return a == b // want `exact float == comparison`
+}
+
+func exactNotEqual(a float32, b float32) bool {
+	return a != b // want `exact float != comparison`
+}
+
+func mixedWidths(a float64, b int) bool {
+	return a == float64(b) // want `exact float == comparison`
+}
+
+func nanTest(x float64) bool {
+	return x != x // ok: the standard NaN test
+}
+
+func zeroGuard(sum float64) float64 {
+	if sum == 0 { // ok: division guard against exact zero
+		return 0
+	}
+	return 1 / sum
+}
+
+func constFold() bool {
+	const a, b = 0.1, 0.2
+	return a+b == 0.3 // ok: compile-time constants compare exactly
+}
+
+type item struct {
+	score float64
+	id    string
+}
+
+func tieBreak(items []item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].score != items[j].score { // ok: tie-break, same pair ordered below
+			return items[i].score > items[j].score
+		}
+		return items[i].id < items[j].id
+	})
+}
+
+func bestScan(items []item) int {
+	best := 0
+	for i := 1; i < len(items); i++ {
+		if items[i].score > items[best].score ||
+			(items[i].score == items[best].score && items[i].id < items[best].id) { // ok: three-way scan
+			best = i
+		}
+	}
+	return best
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq fixture exercises the suppression path
+	return a == b
+}

@@ -1,0 +1,63 @@
+// Fixture for the lockbalance analyzer.
+package lockbalance
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (b *box) leaks() {
+	b.mu.Lock() // want `b\.mu\.Lock with no Unlock`
+	b.n++
+}
+
+func (b *box) balancedDefer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) balancedInline() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) readLeaks() int {
+	b.rw.RLock() // want `b\.rw\.RLock with no RUnlock`
+	return b.n
+}
+
+func (b *box) wrongFlavor() {
+	b.rw.RLock() // want `b\.rw\.RLock with no RUnlock`
+	b.n++
+	b.rw.Unlock() // an RLock needs RUnlock, not Unlock
+}
+
+func (b *box) goroutineScopes() {
+	go func() {
+		b.mu.Lock() // want `b\.mu\.Lock with no Unlock`
+		b.n++
+	}()
+	// The outer function holds no lock: balanced.
+}
+
+func byValue(b box) int { // want `parameter of byValue copies a lock by value`
+	return b.n
+}
+
+type wrapper struct{ inner box }
+
+func nested(w wrapper) int { // want `parameter of nested copies a lock by value`
+	return w.inner.n
+}
+
+func pointerIsFine(b *box) int { return b.n }
+
+func (b *box) suppressedHandoff() {
+	//lint:ignore lockbalance fixture exercises the suppression path
+	b.mu.Lock()
+}

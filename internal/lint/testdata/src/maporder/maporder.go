@@ -1,0 +1,66 @@
+// Fixture for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func unsortedAccumulate(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside map iteration without a later sort`
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceVariant(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // ok: sort.Slice below mentions vals
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func printsInsideRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside map iteration prints in randomized order`
+	}
+}
+
+func innerSliceIsFine(m map[string][]int) []int {
+	var out []int
+	for k := range m {
+		var local []int
+		local = append(local, len(k)) // ok: rebuilt every iteration
+		out = local
+	}
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore maporder fixture exercises the suppression path
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // ok: slices iterate in order
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Fixture for the nondeterminism analyzer. The harness type-checks this
+// file under the import path "fix/internal/experiments", so the whole
+// package counts as seeded code.
+package experiments
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `time\.Now in seeded package`
+	return t.Unix()
+}
+
+func sinceToo() float64 {
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	return time.Since(start).Seconds() // want `time\.Since in seeded package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn in seeded package`
+}
+
+func seededRand() int {
+	rng := rand.New(rand.NewSource(42)) // constructors are allowed
+	return rng.Intn(10)                 // method on *rand.Rand, not the global
+}
+
+func suppressed() float64 {
+	//lint:ignore nondeterminism fixture exercises the suppression path
+	return rand.Float64()
+}

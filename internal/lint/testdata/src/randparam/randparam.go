@@ -1,0 +1,23 @@
+// Fixture for the nondeterminism analyzer's second scope: the package
+// path ("fix/util") is not a seeded package, but a function that accepts
+// a *rand.Rand has promised determinism and must not consult the global
+// generator or the wall clock.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+func shuffleHalf(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	if rand.Intn(2) == 0 { // want `global rand\.Intn in function taking \*rand\.Rand`
+		xs[0] = 0
+	}
+	_ = time.Now() // want `time\.Now in function taking \*rand\.Rand`
+}
+
+func freeFunction() int {
+	// No *rand.Rand parameter and not a seeded package: out of scope.
+	return rand.Intn(10) + int(time.Now().Unix())
+}

@@ -1,0 +1,51 @@
+// Fixture for the uncheckederr analyzer.
+package uncheckederr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, nil }
+
+func noError() int { return 1 }
+
+func discards() {
+	mayFail() // want `error result of mayFail is discarded`
+	noError() // ok: no error to drop
+}
+
+func discardsTuple(f *os.File) {
+	f.Close()    // want `error result of f\.Close is discarded`
+	twoResults() // want `error result of twoResults is discarded`
+}
+
+func handles() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_, err := twoResults()
+	return err
+}
+
+func explicitBlank() {
+	_ = mayFail() // ok: visible statement of intent
+}
+
+func exemptions(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("stdout errors are not actionable here")
+	buf.WriteString("documented to always return nil")
+	sb.WriteString("same")
+	defer mayFail() // ok: defer results are unobservable
+	go mayFail()    // ok: go results are unobservable
+}
+
+func suppressed() {
+	//lint:ignore uncheckederr fixture exercises the suppression path
+	mayFail()
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The uncheckederr analyzer flags calls whose error result is silently
+// discarded — a call used as a bare statement when its (last) result is
+// an error. As the ROADMAP pushes toward a concurrent serving stack,
+// dropped errors become invisible data corruption; every error is either
+// handled, returned, or explicitly assigned to _ (which at least leaves
+// a grep-able mark of intent).
+//
+// Exemptions, to keep the signal high:
+//   - test files (helpers there fail the test directly),
+//   - fmt.Print/Printf/Println and friends (stdout errors are not
+//     actionable in this codebase),
+//   - methods on strings.Builder and bytes.Buffer, whose errors are
+//     documented to be always nil,
+//   - `go` and `defer` statements (the result is unobservable by
+//     construction; lockbalance relies on `defer mu.Unlock()`).
+
+func init() {
+	Register(&Analyzer{
+		Name: "uncheckederr",
+		Doc:  "call results of type error discarded in non-test code",
+		Run:  runUncheckedErr,
+	})
+}
+
+// errExemptFmt lists fmt functions whose error results are conventionally
+// ignored.
+var errExemptFmt = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runUncheckedErr(pass *Pass) {
+	p := pass.Pkg
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || exemptCall(p, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is discarded; handle it or assign to _", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether call's single or last result is an error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.typeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		return rt.Len() > 0 && isErrorType(rt.At(rt.Len()-1).Type())
+	default:
+		return isErrorType(rt)
+	}
+}
+
+func exemptCall(p *Package, call *ast.CallExpr) bool {
+	if path, name, ok := p.pkgCall(call); ok {
+		return path == "fmt" && errExemptFmt[name]
+	}
+	// Method call: exempt the never-fails writers.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := p.typeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// callName renders a short name for the called function, for messages.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if root := rootIdent(fun.X); root != nil {
+			return root.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

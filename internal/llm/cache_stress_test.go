@@ -1,0 +1,121 @@
+package llm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// These stress tests exist so `go test -race ./...` actually exercises
+// the mutexes in cache.go: many goroutines hammering the same few cache
+// keys forces hit/miss races, double-insert races, and concurrent meter
+// updates that a sequential test never reaches.
+
+func TestCacheParallelComplete(t *testing.T) {
+	c := NewCache(NewSimulator(LargeModel(), 7))
+	const (
+		workers = 8
+		rounds  = 200
+		keys    = 16 // few keys → heavy contention on the same entries
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				prompt := fmt.Sprintf("stress prompt %d", (w+i)%keys)
+				r, err := c.Complete(Request{Prompt: prompt, MaxTokens: 32})
+				if err != nil {
+					t.Errorf("Complete: %v", err)
+					return
+				}
+				if r.Text == "" {
+					t.Error("empty response text")
+					return
+				}
+				// Interleave reads of the shared counters.
+				c.Stats()
+				c.Usage()
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != workers*rounds {
+		t.Fatalf("hits(%d)+misses(%d) = %d, want %d", hits, misses, hits+misses, workers*rounds)
+	}
+	// Each distinct prompt misses at least once; it may miss more than
+	// once when two goroutines race past the lookup before either
+	// inserts, but hits must dominate with this much key reuse.
+	if misses < keys {
+		t.Fatalf("misses = %d, want >= %d distinct prompts", misses, keys)
+	}
+	if hits == 0 {
+		t.Fatal("no cache hits under heavy key reuse")
+	}
+}
+
+func TestCacheParallelDeterministicResponses(t *testing.T) {
+	// Responses served concurrently must equal the sequential responses:
+	// the cache must never hand one prompt's response to another.
+	ref := NewSimulator(LargeModel(), 7)
+	want := map[string]string{}
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("determinism %d", i)
+		r, err := ref.Complete(Request{Prompt: p, MaxTokens: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p] = r.Text
+	}
+	c := NewCache(NewSimulator(LargeModel(), 7))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p := fmt.Sprintf("determinism %d", i%8)
+				r, err := c.Complete(Request{Prompt: p, MaxTokens: 32})
+				if err != nil {
+					t.Errorf("Complete: %v", err)
+					return
+				}
+				if r.Text != want[p] {
+					t.Errorf("prompt %q: got %q, want %q", p, r.Text, want[p])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCascadeParallelComplete(t *testing.T) {
+	cas := NewCascade(NewSimulator(SmallModel(), 3), NewSimulator(LargeModel(), 4), 0.5)
+	const workers, rounds = 8, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				_, err := cas.Complete(Request{Prompt: fmt.Sprintf("cascade %d/%d", w, i), MaxTokens: 16})
+				if err != nil {
+					t.Errorf("Complete: %v", err)
+					return
+				}
+				cas.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	escalated, total := cas.Stats()
+	if total != workers*rounds {
+		t.Fatalf("total = %d, want %d", total, workers*rounds)
+	}
+	if escalated < 0 || escalated > total {
+		t.Fatalf("escalated = %d out of %d", escalated, total)
+	}
+}

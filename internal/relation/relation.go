@@ -276,6 +276,7 @@ func valueEq(a, b Value) bool {
 	af, aIsNum := toFloat(a)
 	bf, bIsNum := toFloat(b)
 	if aIsNum && bIsNum {
+		//lint:ignore floateq SQL equality semantics are exact: WHERE v = 3 must match the stored 3.0, not a neighborhood of it
 		return af == bf
 	}
 	return a == b

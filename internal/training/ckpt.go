@@ -192,6 +192,7 @@ func Diff(base, cur []float32) (idx []int, vals []float32, err error) {
 		return nil, nil, fmt.Errorf("%w: diff length mismatch %d vs %d", ErrCheckpoint, len(base), len(cur))
 	}
 	for i := range cur {
+		//lint:ignore floateq change detection must be exact: an ulp-sized update is still an update the diff must carry
 		if cur[i] != base[i] {
 			idx = append(idx, i)
 			vals = append(vals, cur[i])

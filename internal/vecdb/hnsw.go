@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"dataai/internal/embed"
 )
@@ -30,7 +31,11 @@ type HNSW struct {
 	// tombstones marks deleted nodes: they still route searches but are
 	// excluded from results (see delete.go).
 	tombstones map[int]bool
+	dists      atomic.Uint64
 }
+
+// DistComps implements DistCounter.
+func (h *HNSW) DistComps() uint64 { return h.dists.Load() }
 
 type hnswNode struct {
 	id    string
@@ -150,10 +155,12 @@ type scored struct {
 func (h *HNSW) greedyClosest(vec []float32, ep, l int) int {
 	cur := ep
 	curDot := embed.Dot(vec, h.nodes[cur].vec)
+	dots := uint64(1)
 	for {
 		improved := false
 		node := h.nodes[cur]
 		if l < len(node.links) {
+			dots += uint64(len(node.links[l]))
 			for _, nb := range node.links[l] {
 				if d := embed.Dot(vec, h.nodes[nb].vec); d > curDot {
 					cur, curDot = nb, d
@@ -162,6 +169,7 @@ func (h *HNSW) greedyClosest(vec []float32, ep, l int) int {
 			}
 		}
 		if !improved {
+			h.dists.Add(dots)
 			return cur
 		}
 	}
@@ -172,6 +180,8 @@ func (h *HNSW) greedyClosest(vec []float32, ep, l int) int {
 func (h *HNSW) searchLayer(vec []float32, ep, ef, l int) []scored {
 	visited := map[int]bool{ep: true}
 	epDot := embed.Dot(vec, h.nodes[ep].vec)
+	dots := uint64(1)
+	defer func() { h.dists.Add(dots) }()
 	cand := &maxHeap{{ep, epDot}}
 	result := &minHeap{{ep, epDot}}
 	for cand.Len() > 0 {
@@ -188,6 +198,7 @@ func (h *HNSW) searchLayer(vec []float32, ep, ef, l int) []scored {
 				continue
 			}
 			visited[nb] = true
+			dots++
 			d := embed.Dot(vec, h.nodes[nb].vec)
 			if result.Len() < ef || d > (*result)[0].dot {
 				heap.Push(cand, scored{nb, d})
@@ -220,6 +231,7 @@ func (h *HNSW) selectNeighbors(cands []scored, max int) []int {
 // shrink re-selects the best max links for a node whose list overflowed.
 func (h *HNSW) shrink(vec []float32, links []int, max int) []int {
 	cands := make([]scored, len(links))
+	h.dists.Add(uint64(len(links)))
 	for i, nb := range links {
 		cands[i] = scored{nb, embed.Dot(vec, h.nodes[nb].vec)}
 	}

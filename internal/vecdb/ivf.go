@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dataai/internal/embed"
 )
@@ -25,7 +26,11 @@ type IVF struct {
 	cells     [][]entry // cells[c] holds entries assigned to centroid c
 	pending   []entry   // buffered before training
 	ids       map[string]bool
+	dists     atomic.Uint64
 }
+
+// DistComps implements DistCounter.
+func (iv *IVF) DistComps() uint64 { return iv.dists.Load() }
 
 type entry struct {
 	id  string
@@ -127,6 +132,7 @@ func (iv *IVF) Train(iters int) error {
 	assign := make([]int, len(all))
 	for it := 0; it < iters; it++ {
 		changed := false
+		iv.dists.Add(uint64(len(all)) * uint64(k))
 		for i, e := range all {
 			best, bestDot := 0, float32(-1<<30)
 			for c, cent := range cents {
@@ -187,6 +193,7 @@ func (iv *IVF) nearestCentroid(vec []float32) int {
 			best, bestDot = c, d
 		}
 	}
+	iv.dists.Add(uint64(len(iv.centroids)))
 	return best
 }
 
@@ -206,9 +213,17 @@ func (iv *IVF) Search(query []float32, k int) ([]Result, error) {
 		for _, e := range iv.pending {
 			h.offer(Result{ID: e.id, Score: embed.Dot(query, e.vec)})
 		}
+		iv.dists.Add(uint64(len(iv.pending)))
 		return h.sorted(), nil
 	}
-	if iv.Len() == 0 {
+	// Count stored entries inline: calling Len() here would re-acquire
+	// the read lock, which deadlocks against a writer queued between the
+	// two acquisitions.
+	stored := 0
+	for _, c := range iv.cells {
+		stored += len(c)
+	}
+	if stored == 0 {
 		return nil, ErrEmptyIndex
 	}
 	// Rank cells by centroid similarity, probe the top nprobe.
@@ -225,10 +240,13 @@ func (iv *IVF) Search(query []float32, k int) ([]Result, error) {
 	if probes > len(ranked) {
 		probes = len(ranked)
 	}
+	dots := uint64(len(iv.centroids))
 	for i := 0; i < probes; i++ {
 		for _, e := range iv.cells[ranked[i].cell] {
+			dots++
 			h.offer(Result{ID: e.id, Score: embed.Dot(query, e.vec)})
 		}
 	}
+	iv.dists.Add(dots)
 	return h.sorted(), nil
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dataai/internal/embed"
 )
@@ -62,14 +63,30 @@ type Index interface {
 	Dim() int
 }
 
+// DistCounter is implemented by every index in this package: a running
+// count of inner-product evaluations. It is the deterministic cost proxy
+// experiment E16 reports instead of wall-clock QPS — identical across
+// runs and machines, which wall time never is, and the quantity ANN
+// papers themselves use to compare search effort.
+type DistCounter interface {
+	// DistComps returns the cumulative number of inner products computed
+	// by this index across Add, Train, and Search. Callers measuring one
+	// phase snapshot before and after and subtract.
+	DistComps() uint64
+}
+
 // Flat is an exact brute-force index. It is safe for concurrent use.
 type Flat struct {
-	mu   sync.RWMutex
-	dim  int
-	ids  []string
-	vecs [][]float32
-	pos  map[string]int
+	mu    sync.RWMutex
+	dim   int
+	ids   []string
+	vecs  [][]float32
+	pos   map[string]int
+	dists atomic.Uint64
 }
+
+// DistComps implements DistCounter.
+func (f *Flat) DistComps() uint64 { return f.dists.Load() }
 
 // NewFlat returns an empty exact index for dim-dimensional vectors.
 func NewFlat(dim int) *Flat {
@@ -133,12 +150,15 @@ func (f *Flat) SearchFilter(query []float32, k int, keep func(id string) bool) (
 		return nil, ErrEmptyIndex
 	}
 	h := newTopK(k)
+	var dots uint64
 	for i, v := range f.vecs {
 		if keep != nil && !keep(f.ids[i]) {
 			continue
 		}
+		dots++
 		h.offer(Result{ID: f.ids[i], Score: embed.Dot(query, v)})
 	}
+	f.dists.Add(dots)
 	return h.sorted(), nil
 }
 

@@ -1,0 +1,36 @@
+package dataai
+
+import (
+	"testing"
+
+	"dataai/internal/lint"
+)
+
+// TestLintSelfCheck runs the full static-analysis suite (internal/lint)
+// over every package in the module, exactly as `go run ./cmd/dataailint
+// ./...` does. Its presence makes the determinism, error-handling, and
+// concurrency invariants part of tier-1 verification: introducing a
+// time.Now into internal/experiments, an unchecked error, or an
+// unbalanced mutex fails `go test ./...`, not just a CI step someone has
+// to remember to run.
+func TestLintSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module lint in -short mode")
+	}
+	pkgs, err := lint.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		// The module has ~25 packages; a short list means the loader
+		// silently missed most of the tree and the gate is not gating.
+		t.Fatalf("loaded only %d packages; loader lost the module tree", len(pkgs))
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("run `go run ./cmd/dataailint ./...` locally; suppress a justified finding with //lint:ignore <check> <reason>")
+	}
+}

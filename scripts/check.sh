@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The single local CI entrypoint: formatting, vet, build, the repo's own
+# static-analysis suite (cmd/dataailint), and the full test suite under
+# the race detector. ROADMAP.md's tier-1 line points here; a clean run of
+# this script is the definition of "no worse than the seed".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== dataailint ./..."
+go run ./cmd/dataailint ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "OK"
