@@ -3,21 +3,32 @@
 //
 // Usage:
 //
-//	benchall            # run all experiments
-//	benchall E11 E12    # run selected experiments
-//	benchall -list      # list experiment IDs and titles
+//	benchall                # run all experiments
+//	benchall E11 E12        # run selected experiments
+//	benchall -parallel 8    # run experiments concurrently (0 = GOMAXPROCS)
+//	benchall -list          # list experiment IDs and titles
+//
+// Output is byte-identical at every -parallel value: each experiment's
+// stdout section is rendered into a private buffer and the buffers are
+// flushed in id order, so concurrency changes wall-clock only (the
+// golden test in main_test.go pins this).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"dataai/internal/experiments"
+	"dataai/internal/par"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -30,23 +41,65 @@ func main() {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
-	failed := 0
+	// Validate the whole id list before running anything: a typo half
+	// way through the list should not cost the minutes of experiments
+	// before it.
+	var unknown []string
 	for _, id := range ids {
-		fmt.Printf("=== %s: %s\n", id, experiments.Title(id))
+		if !experiments.Known(id) {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "benchall: unknown experiment id(s): %s\nvalid ids: %s\n",
+			strings.Join(unknown, ", "), strings.Join(experiments.IDs(), " "))
+		os.Exit(2)
+	}
+	os.Exit(runAll(ids, *parallel, os.Stdout, os.Stderr))
+}
+
+// section is one experiment's buffered output: the stdout bytes (header
+// plus rendered table), the stderr bytes (failure message, if any), and
+// whether the experiment failed.
+type section struct {
+	out    []byte
+	errOut []byte
+	failed bool
+}
+
+// runAll runs ids on up to workers goroutines (workers <= 0 means
+// GOMAXPROCS) and flushes each experiment's buffered output in id-list
+// order, producing the same stdout and stderr bytes as the serial loop.
+// It returns the process exit code: 1 if any experiment failed, else 0.
+func runAll(ids []string, workers int, stdout, stderr io.Writer) int {
+	secs := par.Map(len(ids), workers, func(i int) section {
+		id := ids[i]
+		var out, errOut bytes.Buffer
+		fmt.Fprintf(&out, "=== %s: %s\n", id, experiments.Title(id))
 		tbl, err := experiments.Run(id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
-			failed++
-			continue
+			fmt.Fprintf(&errOut, "%s failed: %v\n", id, err)
+			return section{out: out.Bytes(), errOut: errOut.Bytes(), failed: true}
 		}
-		if err := tbl.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "%s render: %v\n", id, err)
-			failed++
-			continue
+		if err := tbl.Render(&out); err != nil {
+			fmt.Fprintf(&errOut, "%s render: %v\n", id, err)
+			return section{out: out.Bytes(), errOut: errOut.Bytes(), failed: true}
 		}
-		fmt.Println()
+		fmt.Fprintln(&out)
+		return section{out: out.Bytes()}
+	})
+	failed := 0
+	for _, s := range secs {
+		fmt.Fprintf(stdout, "%s", s.out)
+		if len(s.errOut) > 0 {
+			fmt.Fprintf(stderr, "%s", s.errOut)
+		}
+		if s.failed {
+			failed++
+		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

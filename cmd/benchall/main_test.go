@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dataai/internal/experiments"
+)
+
+// goldenIDs is the experiment set the golden test runs. Under the race
+// detector the long E16 recall/cost sweep (a minute of brute-force
+// scans before the ~10x race slowdown) is excluded; every other
+// experiment stays in both modes.
+func goldenIDs() []string {
+	ids := experiments.IDs()
+	if !raceEnabled {
+		return ids
+	}
+	out := ids[:0]
+	for _, id := range ids {
+		if id != "E16" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestParallelOutputMatchesSerial is the golden determinism gate for
+// the concurrent benchall: running every experiment at -parallel 8
+// must produce byte-identical stdout, stderr, and exit code to the
+// serial run. Experiments fan out internally too (vecdb sharded scans,
+// embed batches), so this exercises the whole stack's determinism
+// contract, not just the output buffering.
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	ids := goldenIDs()
+	var serialOut, serialErr bytes.Buffer
+	serialCode := runAll(ids, 1, &serialOut, &serialErr)
+	var parOut, parErr bytes.Buffer
+	parCode := runAll(ids, 8, &parOut, &parErr)
+
+	if parCode != serialCode {
+		t.Errorf("exit code: parallel %d, serial %d", parCode, serialCode)
+	}
+	if serialErr.Len() != 0 || parErr.Len() != 0 {
+		t.Errorf("experiments failed: serial stderr %q, parallel stderr %q",
+			serialErr.String(), parErr.String())
+	}
+	if !bytes.Equal(parOut.Bytes(), serialOut.Bytes()) {
+		t.Fatalf("parallel stdout differs from serial:\n%s",
+			firstDiff(serialOut.String(), parOut.String()))
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  serial:   %s\n  parallel: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length mismatch: serial %d lines, parallel %d lines", len(al), len(bl))
+}
+
+// TestRunAllValidatesFailure: a failing experiment id inside runAll
+// (reachable only if validation were bypassed) reports exit code 1 and
+// writes its error to stderr without disturbing other sections.
+func TestRunAllUnknownIDFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := runAll([]string{"E1", "EX"}, 2, &out, &errOut)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "EX failed:") {
+		t.Errorf("stderr %q lacks EX failure", errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "=== E1: ") {
+		t.Errorf("stdout %q lacks E1 section", out.String())
+	}
+	if !strings.Contains(out.String(), "=== EX: \n") {
+		t.Errorf("stdout %q lacks EX header", out.String())
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package main
+
+// raceEnabled is false outside `go test -race`; see race_on.go.
+const raceEnabled = false

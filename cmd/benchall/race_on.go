@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled lets the golden test shrink its experiment set under the
+// race detector, whose ~10x slowdown would push the long-running E16
+// sweep past any reasonable test budget.
+const raceEnabled = true

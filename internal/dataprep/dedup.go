@@ -3,6 +3,7 @@ package dataprep
 import (
 	"fmt"
 
+	"dataai/internal/par"
 	"dataai/internal/token"
 )
 
@@ -93,7 +94,12 @@ type MinHasher struct {
 	Bands int
 	// ShingleSize is the n-gram width hashed into the signature.
 	ShingleSize int
-	seed        uint64
+	// Workers bounds the goroutines Dedup uses for its signature pass;
+	// <= 0 means GOMAXPROCS. Signature is a pure function of the
+	// document, so the worker count never changes which documents are
+	// kept or removed.
+	Workers int
+	seed    uint64
 }
 
 // NewMinHasher validates the configuration. numHashes must be divisible
@@ -163,10 +169,13 @@ func (m *MinHasher) EstimateJaccard(a, b []uint64) float64 {
 // clustered; only each cluster's first document survives. Returns the
 // kept documents and the indices of removed ones.
 func (m *MinHasher) Dedup(docs []string, threshold float64) (kept []string, removed []int) {
-	sigs := make([][]uint64, len(docs))
-	for i, d := range docs {
-		sigs[i] = m.Signature(d)
-	}
+	// The signature pass dominates Dedup cost and each signature depends
+	// only on its own document, so it fans out; sigs[i] lands at index i
+	// regardless of completion order, and everything after this line is
+	// unchanged serial code.
+	sigs := par.Map(len(docs), m.Workers, func(i int) []uint64 {
+		return m.Signature(docs[i])
+	})
 	rows := m.NumHashes / m.Bands
 	parent := make([]int, len(docs))
 	for i := range parent {

@@ -3,6 +3,7 @@ package dataprep
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -318,5 +319,62 @@ func BenchmarkMinHashDedup1k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Dedup(docs, 0.7)
+	}
+}
+
+// dedupCorpus builds a corpus with planted near-duplicates: every fifth
+// document is a lightly edited copy of the previous one, so Dedup has
+// real clusters to find at any worker count.
+func dedupCorpus(n int) []string {
+	docs := make([]string, n)
+	for i := range docs {
+		if i%5 == 4 {
+			docs[i] = docs[i-1] + " trailing edit"
+			continue
+		}
+		docs[i] = fmt.Sprintf(
+			"report %d covers metric %d for region %d with shared boilerplate text about quarterly performance",
+			i, i%13, i%7)
+	}
+	return docs
+}
+
+// TestDedupParallelMatchesSerial: the parallel signature pass changes
+// only scheduling, so kept documents and removed indices are identical
+// at every worker count.
+func TestDedupParallelMatchesSerial(t *testing.T) {
+	docs := dedupCorpus(200)
+	serial, _ := NewMinHasher(64, 16, 3, 1)
+	serial.Workers = 1
+	wantKept, wantRemoved := serial.Dedup(docs, 0.7)
+	if len(wantRemoved) == 0 {
+		t.Fatal("corpus has no near-duplicates; test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		m, _ := NewMinHasher(64, 16, 3, 1)
+		m.Workers = workers
+		kept, removed := m.Dedup(docs, 0.7)
+		if !reflect.DeepEqual(kept, wantKept) || !reflect.DeepEqual(removed, wantRemoved) {
+			t.Fatalf("workers=%d: Dedup differs from serial (kept %d vs %d, removed %d vs %d)",
+				workers, len(kept), len(wantKept), len(removed), len(wantRemoved))
+		}
+	}
+}
+
+// BenchmarkParDedup: serial vs parallel MinHash dedup at 1/2/4/8
+// workers (`go test -bench=Par -benchtime=1x ./...`).
+func BenchmarkParDedup(b *testing.B) {
+	docs := dedupCorpus(1000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			m, _ := NewMinHasher(64, 16, 3, 1)
+			m.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if kept, _ := m.Dedup(docs, 0.7); len(kept) == 0 {
+					b.Fatal("empty dedup result")
+				}
+			}
+		})
 	}
 }

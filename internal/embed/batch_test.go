@@ -1,0 +1,98 @@
+package embed
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func batchCorpus(n int) []string {
+	texts := make([]string, n)
+	for i := range texts {
+		texts[i] = fmt.Sprintf(
+			"document %d describes the quarterly merger of company%d with partner%d announced by officer%d",
+			i, i%17, i%23, i%7)
+	}
+	return texts
+}
+
+// TestEmbedBatchMatchesSerial: batched embedding is bit-for-bit the
+// serial loop at every worker count.
+func TestEmbedBatchMatchesSerial(t *testing.T) {
+	e := NewHashEmbedder(64)
+	texts := batchCorpus(120)
+	want := make([][]float32, len(texts))
+	for i, s := range texts {
+		want[i] = e.Embed(s)
+	}
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		got := EmbedBatch(e, texts, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: EmbedBatch differs from serial Embed loop", workers)
+		}
+	}
+}
+
+func TestEmbedBatchEmpty(t *testing.T) {
+	e := NewHashEmbedder(16)
+	if got := EmbedBatch(e, nil, 4); got != nil {
+		t.Fatalf("EmbedBatch(nil) = %v, want nil", got)
+	}
+}
+
+// TestEmbedBatchRaceStress runs concurrent batches on one shared
+// embedder — HashEmbedder documents itself safe for concurrent use, and
+// this makes `go test -race` prove it on the batch path.
+func TestEmbedBatchRaceStress(t *testing.T) {
+	t.Parallel()
+	e := NewHashEmbedder(32)
+	texts := batchCorpus(40)
+	want := EmbedBatch(e, texts, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				if got := EmbedBatch(e, texts, 4); !reflect.DeepEqual(got, want) {
+					t.Error("concurrent EmbedBatch produced different vectors")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkParEmbedBatch: serial vs parallel embedding throughput at
+// 1/2/4/8 workers (`go test -bench=Par -benchtime=1x ./...`).
+func BenchmarkParEmbedBatch(b *testing.B) {
+	e := NewHashEmbedder(DefaultDim)
+	texts := batchCorpus(256)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if out := EmbedBatch(e, texts, workers); len(out) != len(texts) {
+					b.Fatal("short batch")
+				}
+			}
+		})
+	}
+}
+
+// TestEmbedCallToCallStable pins the determinism fix: bucket
+// accumulation happens in first-occurrence token order, so repeated
+// Embed calls agree bit-for-bit (randomized map iteration used to
+// reorder float32 additions and wobble the last ulp).
+func TestEmbedCallToCallStable(t *testing.T) {
+	e := NewHashEmbedder(64)
+	text := batchCorpus(4)[3]
+	a := e.Embed(text)
+	for i := 0; i < 50; i++ {
+		if b := e.Embed(text); !reflect.DeepEqual(a, b) {
+			t.Fatalf("iteration %d: Embed not call-to-call stable", i)
+		}
+	}
+}

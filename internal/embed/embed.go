@@ -113,25 +113,45 @@ const subwordWeight = 0.3
 func (e *HashEmbedder) Embed(text string) []float32 {
 	v := make([]float32, e.dim)
 	toks := token.Tokenize(text)
-	weights := make([]float32, len(toks))
-	for i, t := range toks {
-		weights[i] = tokenWeight(t)
-	}
-	for t, tf := range token.Frequencies(toks) {
+	// Visit distinct tokens in first-occurrence order, not map order:
+	// bucket accumulation is float32 addition, and hash collisions put
+	// several features in one bucket, so accumulation order must be
+	// fixed for Embed to be bit-for-bit stable call to call. (Randomized
+	// map iteration here was a latent determinism bug: rendered
+	// experiment tables absorbed the last-ulp noise, but any near-tie
+	// downstream could have flipped between runs.) Each processed token
+	// is deleted from freq, so the map doubles as the seen-set.
+	freq := token.Frequencies(toks)
+	for _, t := range toks {
+		tf, ok := freq[t]
+		if !ok {
+			continue // not the first occurrence
+		}
+		delete(freq, t)
 		w := tokenWeight(t) * float32(1+math.Log(float64(tf)))
 		e.add(v, t, w)
 		if !stopwords[t] && len(t) >= 4 {
+			// Hash character trigrams through a fixed stack buffer
+			// ("##" prefix + 3 bytes) instead of building a string per
+			// trigram — the dominant allocation on this hot path.
+			// Hash64SeedBytes produces the identical hash, so vectors
+			// are bit-for-bit unchanged.
+			var buf [5]byte
+			buf[0], buf[1] = '#', '#'
 			for j := 0; j+3 <= len(t); j++ {
-				e.add(v, "##"+t[j:j+3], subwordWeight*w)
+				buf[2], buf[3], buf[4] = t[j], t[j+1], t[j+2]
+				e.addHash(v, token.Hash64SeedBytes(buf[:], e.seed), subwordWeight*w)
 			}
 		}
 	}
 	if e.bigrams {
-		hashes := token.HashNGrams(toks, 2)
-		for i, h := range hashes {
-			w := weights[i]
-			if weights[i+1] < w {
-				w = weights[i+1]
+		for i, h := range token.HashNGrams(toks, 2) {
+			// Bigram weight is the min of its two token weights,
+			// computed on the fly: tokenWeight is two map lookups,
+			// cheaper than materializing a per-token scratch slice.
+			w := tokenWeight(toks[i])
+			if w2 := tokenWeight(toks[i+1]); w2 < w {
+				w = w2
 			}
 			e.addHash(v, h, 0.5*w)
 		}

@@ -55,6 +55,13 @@ func expNum(id string) int {
 // Title returns the experiment's one-line description.
 func Title(id string) string { return registry[id].title }
 
+// Known reports whether id names a registered experiment, letting
+// callers validate a whole id list before running anything.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
+}
+
 // Run executes one experiment.
 func Run(id string) (*metrics.Table, error) {
 	e, ok := registry[id]

@@ -1,0 +1,200 @@
+// Package par provides the deterministic parallel execution primitives
+// the hot paths of this repository fan out on: a bounded worker pool
+// sized from GOMAXPROCS, an ordered-commit Map, a contiguous-chunk
+// MapChunks, and a sharded Reduce whose merge order is fixed by shard
+// index.
+//
+// The repository's determinism contract (EXPERIMENTS.md, the benchall
+// golden output, the nondeterminism analyzer in internal/lint) requires
+// that parallelism never changes results: the same inputs must produce
+// byte-identical outputs at any worker count, including 1. Every
+// primitive here is deterministic *by construction*, not by luck:
+//
+//   - Map(n, workers, fn) runs fn(i) on up to `workers` goroutines but
+//     each result is committed to slot i of the output slice — the
+//     output is a pure function of the inputs no matter which goroutine
+//     computed which index, or in what order they finished.
+//
+//   - MapChunks(n, workers, fn) splits [0, n) into contiguous chunks
+//     whose boundaries depend only on (n, workers) — never on timing —
+//     and returns the per-chunk results in chunk order. Chunk-local
+//     work observes items in the same relative order as a serial scan.
+//
+//   - Reduce(n, workers, shardFn, merge) folds the MapChunks partials
+//     left-to-right in shard-index order, so floating-point
+//     accumulation and top-k tie-breaking associate exactly the same
+//     way on every run at a given worker count, and callers that need
+//     bit-equality with a serial loop can use order-insensitive merges
+//     (integer sums, total-order selections).
+//
+// Functions run on the calling goroutine when workers or n is 1, so the
+// serial path and the parallel path are the same code. A panic in any
+// fn is re-raised on the calling goroutine after all workers stop.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes
+// workers <= 0: GOMAXPROCS at call time. Tests and benchmarks pass an
+// explicit count instead, which keeps their behaviour identical on any
+// machine.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers resolves a caller-supplied worker count against the work
+// size: non-positive means DefaultWorkers, and there is no point running
+// more workers than items.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// panicBox captures the first panic raised by any worker so it can be
+// re-raised on the calling goroutine. Without this a worker panic would
+// kill the process with a goroutine stack the caller never sees.
+type panicBox struct {
+	once sync.Once
+	val  interface{}
+}
+
+func (p *panicBox) capture() {
+	if r := recover(); r != nil {
+		p.once.Do(func() { p.val = r })
+	}
+}
+
+func (p *panicBox) rethrow() {
+	if p.val != nil {
+		panic(fmt.Sprintf("par: worker panic: %v", p.val))
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the n results committed in input order: out[i] = fn(i). fn
+// must be safe to call concurrently; it may be called from the calling
+// goroutine. Work is handed out index-by-index (dynamic load balancing),
+// which is invisible in the output because each result lands in its own
+// slot. workers <= 0 means DefaultWorkers.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		wg   sync.WaitGroup
+		box  panicBox
+		next atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer box.capture()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	box.rethrow()
+	return out
+}
+
+// ForEach is Map without results: it runs fn(i) for every i in [0, n)
+// on up to workers goroutines and returns when all calls complete.
+func ForEach(n, workers int, fn func(i int)) {
+	Map(n, workers, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}
+
+// Chunks reports the number of chunks MapChunks and Reduce will use for
+// n items at the given worker count — min(workers, n) after defaulting,
+// a pure function of (n, workers).
+func Chunks(n, workers int) int { return clampWorkers(workers, n) }
+
+// ChunkBounds returns the half-open range [lo, hi) of chunk c out of
+// `chunks` over n items. Boundaries are the standard balanced split
+// (sizes differ by at most one) and depend only on (n, chunks, c).
+func ChunkBounds(n, chunks, c int) (lo, hi int) {
+	return c * n / chunks, (c + 1) * n / chunks
+}
+
+// MapChunks splits [0, n) into min(workers, n) contiguous chunks and
+// runs fn(chunk, lo, hi) for each on its own worker, returning the
+// per-chunk results in chunk index order. Chunk boundaries are a pure
+// function of (n, workers), so a caller that scans items lo..hi in
+// order observes exactly the serial visiting order within its shard.
+func MapChunks[T any](n, workers int, fn func(chunk, lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	chunks := clampWorkers(workers, n)
+	if chunks == 1 {
+		return []T{fn(0, 0, n)}
+	}
+	out := make([]T, chunks)
+	var (
+		wg  sync.WaitGroup
+		box panicBox
+	)
+	for c := 0; c < chunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer box.capture()
+			lo, hi := ChunkBounds(n, chunks, c)
+			out[c] = fn(c, lo, hi)
+		}(c)
+	}
+	wg.Wait()
+	box.rethrow()
+	return out
+}
+
+// Reduce computes per-shard partials in parallel with MapChunks and
+// folds them left-to-right in shard-index order:
+//
+//	acc = merge(merge(part[0], part[1]), part[2]) ...
+//
+// The merge order is fixed by shard index — never by completion order —
+// so floating-point accumulation associates identically on every run
+// for a given (n, workers), and merges that are order-insensitive
+// (integer sums, total-order top-k selection) match the serial loop
+// bit-for-bit at every worker count. n == 0 returns the zero value.
+func Reduce[T any](n, workers int, shardFn func(shard, lo, hi int) T, merge func(acc, part T) T) T {
+	var acc T
+	parts := MapChunks(n, workers, shardFn)
+	for i, p := range parts {
+		if i == 0 {
+			acc = p
+			continue
+		}
+		acc = merge(acc, p)
+	}
+	return acc
+}

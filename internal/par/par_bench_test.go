@@ -1,0 +1,51 @@
+package par
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkParMapOverhead measures the fixed cost of the fan-out
+// machinery against a serial loop on trivially small work items — the
+// worst case for any pool. Run with the rest of the Par benchmarks:
+//
+//	go test -bench=Par -benchtime=1x ./...
+func BenchmarkParMapOverhead(b *testing.B) {
+	const n = 4096
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := Map(n, workers, func(i int) int { return i * 31 })
+				if out[n-1] != (n-1)*31 {
+					b.Fatal("bad result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParReduceSum measures the sharded-reduce helper on an
+// integer-sum workload, the shape vecdb's DistComps accounting uses.
+func BenchmarkParReduceSum(b *testing.B) {
+	const n = 1 << 16
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got := Reduce(n, workers,
+					func(_, lo, hi int) uint64 {
+						var s uint64
+						for j := lo; j < hi; j++ {
+							s += uint64(j)
+						}
+						return s
+					},
+					func(acc, part uint64) uint64 { return acc + part })
+				if got != uint64(n)*uint64(n-1)/2 {
+					b.Fatal("bad sum")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,240 @@
+package par
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCommitsInInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		got := Map(100, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(0) = %v, want nil", got)
+	}
+	if got := Map(-3, 4, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(-3) = %v, want nil", got)
+	}
+	// workers <= 0 falls back to DefaultWorkers and still completes.
+	got := Map(5, 0, func(i int) int { return i + 1 })
+	if want := []int{1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Map workers=0 = %v, want %v", got, want)
+	}
+	if w := DefaultWorkers(); w < 1 {
+		t.Fatalf("DefaultWorkers = %d, want >= 1", w)
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the package's core contract:
+// the output is identical at every worker count.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	ref := Map(500, 1, func(i int) string { return fmt.Sprintf("r%03d", i*7%501) })
+	for _, workers := range []int{2, 3, 4, 8, 16} {
+		got := Map(500, workers, func(i int) string { return fmt.Sprintf("r%03d", i*7%501) })
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d output differs from serial", workers)
+		}
+	}
+}
+
+func TestMapChunksOrderAndCoverage(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{1, 1}, {1, 8}, {7, 3}, {100, 4}, {100, 7}, {5, 100},
+	} {
+		covered := make([]bool, tc.n)
+		var mu sync.Mutex
+		parts := MapChunks(tc.n, tc.workers, func(chunk, lo, hi int) [2]int {
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Errorf("n=%d w=%d: index %d covered twice", tc.n, tc.workers, i)
+				}
+				covered[i] = true
+			}
+			mu.Unlock()
+			return [2]int{lo, hi}
+		})
+		if len(parts) != Chunks(tc.n, tc.workers) {
+			t.Fatalf("n=%d w=%d: %d parts, want %d", tc.n, tc.workers, len(parts), Chunks(tc.n, tc.workers))
+		}
+		for i := range covered {
+			if !covered[i] {
+				t.Fatalf("n=%d w=%d: index %d never visited", tc.n, tc.workers, i)
+			}
+		}
+		// Parts arrive in chunk order: each part's lo equals the previous
+		// part's hi.
+		prev := 0
+		for ci, p := range parts {
+			if p[0] != prev {
+				t.Fatalf("n=%d w=%d: chunk %d starts at %d, want %d", tc.n, tc.workers, ci, p[0], prev)
+			}
+			if p[1] < p[0] {
+				t.Fatalf("n=%d w=%d: chunk %d inverted bounds %v", tc.n, tc.workers, ci, p)
+			}
+			prev = p[1]
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d w=%d: chunks end at %d, want %d", tc.n, tc.workers, prev, tc.n)
+		}
+	}
+}
+
+// TestReduceMergeOrderFixedByShard verifies the fold happens in shard
+// index order: a string concatenation (order-sensitive merge) must come
+// out in chunk order at every worker count.
+func TestReduceMergeOrderFixedByShard(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		got := Reduce(len(items), workers,
+			func(_, lo, hi int) string { return strings.Join(items[lo:hi], "") },
+			func(acc, part string) string { return acc + part })
+		if got != "abcdefg" {
+			t.Fatalf("workers=%d: Reduce = %q, want %q", workers, got, "abcdefg")
+		}
+	}
+}
+
+// TestReduceIntegerSumMatchesSerial: integer sums are order-insensitive,
+// so the parallel reduction equals the serial loop exactly — the
+// property vecdb's DistComps accounting relies on.
+func TestReduceIntegerSumMatchesSerial(t *testing.T) {
+	want := uint64(0)
+	for i := 0; i < 1000; i++ {
+		want += uint64(i * i)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := Reduce(1000, workers,
+			func(_, lo, hi int) uint64 {
+				var s uint64
+				for i := lo; i < hi; i++ {
+					s += uint64(i * i)
+				}
+				return s
+			},
+			func(acc, part uint64) uint64 { return acc + part })
+		if got != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(0, 4,
+		func(_, _, _ int) int { t.Error("shardFn called for n=0"); return 1 },
+		func(acc, part int) int { return acc + part })
+	if got != 0 {
+		t.Fatalf("Reduce(0) = %d, want zero value", got)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	ForEach(100, 4, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("ForEach sum = %d, want 4950", got)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if !strings.Contains(fmt.Sprint(r), "boom") {
+					t.Fatalf("workers=%d: panic %v does not mention cause", workers, r)
+				}
+			}()
+			Map(50, workers, func(i int) int {
+				if i == 17 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+// TestMapAllWorkersPanic: every call panics; Map must still return (no
+// deadlock) and re-raise one of the panics.
+func TestMapAllWorkersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	Map(64, 8, func(i int) int { panic(fmt.Sprintf("worker item %d", i)) })
+}
+
+func TestMapChunksPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	MapChunks(50, 4, func(chunk, lo, hi int) int {
+		if chunk == 2 {
+			panic("chunk boom")
+		}
+		return lo
+	})
+}
+
+// TestMapRaceStress hammers Map from multiple goroutines at once — under
+// `go test -race` this proves result commits never collide.
+func TestMapRaceStress(t *testing.T) {
+	t.Parallel()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				n := 64 + g
+				out := Map(n, 4, func(i int) int { return i * (g + 1) })
+				for i, v := range out {
+					if v != i*(g+1) {
+						t.Errorf("g=%d iter=%d: out[%d] = %d", g, iter, i, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestChunkBounds(t *testing.T) {
+	// Balanced split: sizes differ by at most one, cover [0, n).
+	for _, tc := range []struct{ n, chunks int }{{10, 3}, {7, 7}, {100, 8}} {
+		minSize, maxSize := tc.n, 0
+		for c := 0; c < tc.chunks; c++ {
+			lo, hi := ChunkBounds(tc.n, tc.chunks, c)
+			size := hi - lo
+			if size < minSize {
+				minSize = size
+			}
+			if size > maxSize {
+				maxSize = size
+			}
+		}
+		if maxSize-minSize > 1 {
+			t.Fatalf("n=%d chunks=%d: sizes range %d..%d", tc.n, tc.chunks, minSize, maxSize)
+		}
+	}
+}

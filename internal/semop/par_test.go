@@ -1,0 +1,176 @@
+package semop
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dataai/internal/llm"
+	"dataai/internal/relation"
+)
+
+// TestSemFilterParallelMatchesSerial: filter output and executor
+// accounting are identical at every worker count — completeBatch
+// commits results and totals in prompt order regardless of which
+// goroutine ran which call.
+func TestSemFilterParallelMatchesSerial(t *testing.T) {
+	tbl := docsTable(t, 60)
+	serial := NewExecutor(perfectClient(1))
+	want, err := SemFilter{TextCol: "body", Criterion: "contains:merger"}.Apply(serial, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		ex := NewExecutor(perfectClient(1))
+		ex.Workers = workers
+		got, err := SemFilter{TextCol: "body", Criterion: "contains:merger"}.Apply(ex, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("workers=%d: filtered rows differ from serial", workers)
+		}
+		if ex.Calls != serial.Calls || ex.CostUSD != serial.CostUSD || ex.LatencyMS != serial.LatencyMS {
+			t.Errorf("workers=%d: accounting (%d, %v, %v) != serial (%d, %v, %v)",
+				workers, ex.Calls, ex.CostUSD, ex.LatencyMS,
+				serial.Calls, serial.CostUSD, serial.LatencyMS)
+		}
+	}
+}
+
+// TestSemExtractParallelMatchesSerial: extraction adds the same column
+// values in the same row order at every worker count.
+func TestSemExtractParallelMatchesSerial(t *testing.T) {
+	tbl := docsTable(t, 40)
+	serial := NewExecutor(perfectClient(2))
+	op := SemExtract{TextCol: "body", Attribute: "report", As: "rep"}
+	want, err := op.Apply(serial, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		ex := NewExecutor(perfectClient(2))
+		ex.Workers = workers
+		got, err := op.Apply(ex, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("workers=%d: extracted rows differ from serial", workers)
+		}
+		if ex.Calls != serial.Calls || ex.CostUSD != serial.CostUSD {
+			t.Errorf("workers=%d: accounting differs from serial", workers)
+		}
+	}
+}
+
+// flakyClient fails any prompt whose text mentions the trigger string.
+type flakyClient struct {
+	inner   llm.Client
+	trigger string
+}
+
+func (c *flakyClient) Complete(req llm.Request) (llm.Response, error) {
+	if strings.Contains(req.Prompt, c.trigger) {
+		return llm.Response{}, fmt.Errorf("flaky: refused %q", c.trigger)
+	}
+	return c.inner.Complete(req)
+}
+
+// TestSemFilterParallelErrorAccounting: on error the parallel batch
+// reports the first failing prompt by index and accounts exactly the
+// prompts before it — the same totals the serial loop leaves behind.
+func TestSemFilterParallelErrorAccounting(t *testing.T) {
+	tbl := docsTable(t, 20)
+	mk := func(workers int) *Executor {
+		ex := NewExecutor(&flakyClient{inner: perfectClient(3), trigger: "report 7 "})
+		ex.Workers = workers
+		return ex
+	}
+	serial := mk(1)
+	_, serialErr := SemFilter{TextCol: "body", Criterion: "contains:merger"}.Apply(serial, tbl)
+	if serialErr == nil {
+		t.Fatal("serial run did not hit the planted error")
+	}
+	for _, workers := range []int{2, 8} {
+		ex := mk(workers)
+		_, err := SemFilter{TextCol: "body", Criterion: "contains:merger"}.Apply(ex, tbl)
+		if err == nil || err.Error() != serialErr.Error() {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, serialErr)
+		}
+		if ex.Calls != serial.Calls || ex.CostUSD != serial.CostUSD {
+			t.Errorf("workers=%d: error-path accounting (%d, %v) != serial (%d, %v)",
+				workers, ex.Calls, ex.CostUSD, serial.Calls, serial.CostUSD)
+		}
+	}
+}
+
+func TestCompleteBatchEmpty(t *testing.T) {
+	ex := NewExecutor(perfectClient(4))
+	ex.Workers = 4
+	out, err := ex.completeBatch(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("completeBatch(nil) = %v, %v", out, err)
+	}
+	if ex.Calls != 0 {
+		t.Errorf("calls = %d, want 0", ex.Calls)
+	}
+}
+
+// errClient always fails, so a parallel batch's every worker errors —
+// the first prompt's error must still win deterministically.
+type errClient struct{}
+
+func (errClient) Complete(llm.Request) (llm.Response, error) {
+	return llm.Response{}, errors.New("always down")
+}
+
+func TestCompleteBatchAllErrors(t *testing.T) {
+	ex := NewExecutor(errClient{})
+	ex.Workers = 4
+	prompts := []string{"a", "b", "c", "d", "e", "f"}
+	if _, err := ex.completeBatch(prompts); err == nil {
+		t.Fatal("expected error")
+	}
+	if ex.Calls != 0 {
+		t.Errorf("calls = %d, want 0 (no prompt precedes the first failure)", ex.Calls)
+	}
+}
+
+// BenchmarkParSemFilter: serial vs parallel LLM-call fan-out at 1/2/4/8
+// workers (`go test -bench=Par -benchtime=1x ./...`).
+func BenchmarkParSemFilter(b *testing.B) {
+	tbl, err := relation.NewTable("docs", relation.Schema{
+		{Name: "id", Type: relation.Int},
+		{Name: "body", Type: relation.String},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		body := fmt.Sprintf("filing %d reviews routine operations", i)
+		if i%4 == 0 {
+			body = fmt.Sprintf("filing %d describes a merger agreement", i)
+		}
+		tbl.MustInsert(relation.Row{int64(i), body})
+	}
+	op := SemFilter{TextCol: "body", Criterion: "contains:merger"}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ex := NewExecutor(perfectClient(uint64(i)))
+				ex.Workers = workers
+				out, err := op.Apply(ex, tbl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Len() != 128 {
+					b.Fatalf("filtered = %d, want 128", out.Len())
+				}
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"dataai/internal/llm"
+	"dataai/internal/par"
 	"dataai/internal/relation"
 )
 
@@ -33,6 +34,15 @@ var ErrNotText = errors.New("semop: text column must be a string column")
 // Executor runs pipelines against one LLM client and accounts usage.
 type Executor struct {
 	Client llm.Client
+
+	// Workers bounds the goroutines batch operators (SemFilter,
+	// SemExtract) use to issue their deduplicated LLM calls; <= 1 keeps
+	// the serial loop. Parallel issue requires Client to be safe for
+	// concurrent use (every client in package llm is). Results and
+	// accounting are committed in prompt order either way, so the
+	// operator output and Calls/CostUSD/LatencyMS totals are identical
+	// at any worker count.
+	Workers int
 
 	// Calls counts LLM invocations issued by this executor (after
 	// operator-level dedup; cache hits inside the client still count
@@ -57,6 +67,49 @@ func (ex *Executor) complete(prompt string) (llm.Response, error) {
 	ex.CostUSD += resp.CostUSD
 	ex.LatencyMS += resp.LatencyMS
 	return resp, nil
+}
+
+// completeBatch issues one call per prompt and returns responses in
+// prompt order. With Workers <= 1 it is exactly the serial complete
+// loop. Above that, calls go to the Client from up to Workers
+// goroutines, and accounting is then committed serially in prompt order
+// — float accumulation associates the same way as the serial loop, so
+// CostUSD/LatencyMS are bit-identical. On error the first failing
+// prompt (by index) wins and accounting covers exactly the prompts
+// before it, as if the serial loop had stopped there; later prompts may
+// already have reached the Client, which only ever means extra cache
+// warmth on an aborted operator.
+func (ex *Executor) completeBatch(prompts []string) ([]llm.Response, error) {
+	if ex.Workers <= 1 || len(prompts) < 2 {
+		out := make([]llm.Response, len(prompts))
+		for i, p := range prompts {
+			resp, err := ex.complete(p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = resp
+		}
+		return out, nil
+	}
+	type outcome struct {
+		resp llm.Response
+		err  error
+	}
+	res := par.Map(len(prompts), ex.Workers, func(i int) outcome {
+		resp, err := ex.Client.Complete(llm.Request{Prompt: prompts[i]})
+		return outcome{resp, err}
+	})
+	out := make([]llm.Response, len(prompts))
+	for i, r := range res {
+		if r.err != nil {
+			return nil, r.err
+		}
+		ex.Calls++
+		ex.CostUSD += r.resp.CostUSD
+		ex.LatencyMS += r.resp.LatencyMS
+		out[i] = r.resp
+	}
+	return out, nil
 }
 
 // textColumn resolves col as a string column of t.
@@ -131,17 +184,20 @@ func (f SemFilter) Apply(ex *Executor, t *relation.Table) (*relation.Table, erro
 	if err != nil {
 		return nil, err
 	}
-	verdict := make(map[string]bool)
-	for _, r := range t.Rows {
-		text, _ := r[idx].(string)
-		if _, ok := verdict[text]; ok {
-			continue
-		}
-		resp, err := ex.complete(llm.JudgePrompt(f.Criterion, text))
-		if err != nil {
-			return nil, fmt.Errorf("semop: filter: %w", err)
-		}
-		verdict[text] = llm.IsYes(resp.Text)
+	// Unique texts in first-occurrence order — the order the serial
+	// loop issued calls in — then one batched judge pass over them.
+	texts := uniqueTexts(t, idx)
+	prompts := make([]string, len(texts))
+	for i, text := range texts {
+		prompts[i] = llm.JudgePrompt(f.Criterion, text)
+	}
+	resps, err := ex.completeBatch(prompts)
+	if err != nil {
+		return nil, fmt.Errorf("semop: filter: %w", err)
+	}
+	verdict := make(map[string]bool, len(texts))
+	for i, resp := range resps {
+		verdict[texts[i]] = llm.IsYes(resp.Text)
 	}
 	return t.Select(func(r relation.Row) bool {
 		text, _ := r[idx].(string)
@@ -187,24 +243,43 @@ func (e SemExtract) Apply(ex *Executor, t *relation.Table) (*relation.Table, err
 	if err != nil {
 		return nil, fmt.Errorf("semop: extract: %w", err)
 	}
-	extracted := make(map[string]string)
+	texts := uniqueTexts(t, idx)
+	prompts := make([]string, len(texts))
+	for i, text := range texts {
+		prompts[i] = llm.ExtractPrompt(e.Attribute, text)
+	}
+	resps, err := ex.completeBatch(prompts)
+	if err != nil {
+		return nil, fmt.Errorf("semop: extract: %w", err)
+	}
+	extracted := make(map[string]string, len(texts))
+	for i, resp := range resps {
+		extracted[texts[i]] = resp.Text
+	}
 	for _, r := range t.Rows {
 		text, _ := r[idx].(string)
-		val, ok := extracted[text]
-		if !ok {
-			resp, err := ex.complete(llm.ExtractPrompt(e.Attribute, text))
-			if err != nil {
-				return nil, fmt.Errorf("semop: extract: %w", err)
-			}
-			val = resp.Text
-			extracted[text] = val
-		}
-		nr := append(append(relation.Row{}, r...), val)
+		nr := append(append(relation.Row{}, r...), extracted[text])
 		if err := out.Insert(nr); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// uniqueTexts returns column idx's distinct string values in
+// first-occurrence row order.
+func uniqueTexts(t *relation.Table, idx int) []string {
+	seen := make(map[string]bool, len(t.Rows))
+	var texts []string
+	for _, r := range t.Rows {
+		text, _ := r[idx].(string)
+		if seen[text] {
+			continue
+		}
+		seen[text] = true
+		texts = append(texts, text)
+	}
+	return texts
 }
 
 // Semantic implements Op.

@@ -273,6 +273,24 @@ func Hash64Seed(s string, seed uint64) uint64 {
 	return h
 }
 
+// Hash64SeedBytes is Hash64Seed over a byte slice: it lets hot paths
+// hash composed features (prefix + substring) through a reusable stack
+// buffer instead of allocating a string per feature. For any s and
+// seed, Hash64SeedBytes([]byte(s), seed) == Hash64Seed(s, seed).
+func Hash64SeedBytes(b []byte, seed uint64) uint64 {
+	h := fnvOffset ^ (seed * 0x9e3779b97f4a7c15)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // Frequencies counts token occurrences in toks.
 func Frequencies(toks []string) map[string]int {
 	m := make(map[string]int, len(toks))

@@ -269,3 +269,18 @@ func BenchmarkHashNGrams(b *testing.B) {
 		HashNGrams(toks, 5)
 	}
 }
+
+// TestHash64SeedBytesMatchesString: the byte-slice variant must agree
+// with the string variant for every input — embed's no-allocation
+// trigram path depends on this equivalence for bit-identical vectors.
+func TestHash64SeedBytesMatchesString(t *testing.T) {
+	cases := []string{"", "a", "##abc", "##xyz", "the quick brown fox", "##\x00\xff"}
+	seeds := []uint64{0, 1, 0x5eed, ^uint64(0)}
+	for _, s := range cases {
+		for _, seed := range seeds {
+			if got, want := Hash64SeedBytes([]byte(s), seed), Hash64Seed(s, seed); got != want {
+				t.Errorf("Hash64SeedBytes(%q, %#x) = %#x, want %#x", s, seed, got, want)
+			}
+		}
+	}
+}

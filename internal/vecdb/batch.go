@@ -1,0 +1,94 @@
+package vecdb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dataai/internal/par"
+)
+
+// This file implements the batched search API: SearchBatch fans a query
+// slice out across workers while committing per-query results in query
+// order, so a batch is byte-identical to a serial Search loop at every
+// worker count. Parallelism is a scheduling knob, never a semantics
+// knob — the property every later scaling PR (sharding, batching,
+// multi-backend) builds on.
+
+// parallelism carries an index's search worker count. It is embedded in
+// every index type; the zero value means "default", which resolves to
+// GOMAXPROCS at search time.
+type parallelism struct {
+	w atomic.Int32
+}
+
+// SetParallelism sets the worker count used by SearchBatch (and, for
+// Flat, the sharded single-query scan). n <= 0 restores the default:
+// GOMAXPROCS at search time. Worker count never changes search results,
+// only how the same work is scheduled; tests pin it so behaviour is
+// identical on any machine.
+func (p *parallelism) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.w.Store(int32(n))
+}
+
+// searchWorkers resolves the configured worker count.
+func (p *parallelism) searchWorkers() int {
+	if w := p.w.Load(); w > 0 {
+		return int(w)
+	}
+	return par.DefaultWorkers()
+}
+
+// searchBatch fans queries out over workers goroutines through search,
+// committing per-query results in query order. The first failing query
+// (by query index, not completion order) determines the returned error.
+func searchBatch(queries [][]float32, workers int, search func(q []float32) ([]Result, error)) ([][]Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	type qr struct {
+		res []Result
+		err error
+	}
+	outs := par.Map(len(queries), workers, func(i int) qr {
+		r, err := search(queries[i])
+		return qr{res: r, err: err}
+	})
+	results := make([][]Result, len(outs))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("vecdb: batch query %d: %w", i, o.err)
+		}
+		results[i] = o.res
+	}
+	return results, nil
+}
+
+// SearchBatch implements Index. Parallelism is across queries; each
+// query's scan runs serially inside its worker (the sharded single-query
+// scan is for latency on one query, the batch for throughput on many —
+// stacking both would oversubscribe the pool).
+func (f *Flat) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
+	return searchBatch(queries, f.searchWorkers(), func(q []float32) ([]Result, error) {
+		return f.searchOne(q, k, nil, 1)
+	})
+}
+
+// SearchBatch implements Index. Each query takes the read lock
+// independently, so a batch may interleave with concurrent Adds; every
+// individual query still sees one consistent snapshot.
+func (iv *IVF) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
+	return searchBatch(queries, iv.searchWorkers(), func(q []float32) ([]Result, error) {
+		return iv.Search(q, k)
+	})
+}
+
+// SearchBatch implements Index. See IVF.SearchBatch on snapshot
+// semantics under concurrent writes.
+func (h *HNSW) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
+	return searchBatch(queries, h.searchWorkers(), func(q []float32) ([]Result, error) {
+		return h.Search(q, k)
+	})
+}

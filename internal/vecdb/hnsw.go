@@ -15,6 +15,7 @@ import (
 // Yashunin). Inner product is the similarity; construction is
 // deterministic for a given seed and insertion order.
 type HNSW struct {
+	parallelism
 	mu             sync.RWMutex
 	dim            int
 	m              int // max links per node on upper levels

@@ -16,6 +16,7 @@ import (
 // added before training — Train clusters whatever has been buffered, and
 // later Adds assign to the nearest existing centroid.
 type IVF struct {
+	parallelism
 	mu        sync.RWMutex
 	dim       int
 	nlist     int

@@ -1,0 +1,167 @@
+package vecdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dataai/internal/par"
+)
+
+// Serial-vs-parallel benchmarks for the wired search paths, at 1/2/4/8
+// workers (run them all with `go test -bench=Par -benchtime=1x ./...`).
+//
+// Two metrics per run:
+//
+//   - ns/op — wall clock, which is machine-dependent and in particular
+//     shows no speedup on a single-core container (the CI box pins the
+//     process to one CPU);
+//   - critpath-x — the deterministic critical-path speedup: total
+//     distance computations divided by the largest per-worker share.
+//     This is the repo's usual machine-independent cost proxy (exactly
+//     like E16 reporting dist/query instead of QPS) and is what
+//     BENCH_par.json records as the scaling evidence.
+
+// critPathSpeedupShards is total work over the largest contiguous shard
+// (the single-query sharded scan's critical path).
+func critPathSpeedupShards(n, workers int) float64 {
+	chunks := par.Chunks(n, workers)
+	maxShard := 0
+	for c := 0; c < chunks; c++ {
+		lo, hi := par.ChunkBounds(n, chunks, c)
+		if hi-lo > maxShard {
+			maxShard = hi - lo
+		}
+	}
+	return float64(n) / float64(maxShard)
+}
+
+// critPathSpeedupQueries is total work over the largest per-worker
+// query share (the batch path's critical path; queries all cost the
+// same full scan on Flat).
+func critPathSpeedupQueries(nq, workers int) float64 {
+	if workers > nq {
+		workers = nq
+	}
+	perWorker := (nq + workers - 1) / workers
+	return float64(nq) / float64(perWorker)
+}
+
+func benchFlat(b *testing.B, n, dim int) *Flat {
+	b.Helper()
+	f := NewFlat(dim)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if err := f.Add(fmt.Sprintf("v%06d", i), randVec(rng, dim)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f
+}
+
+// BenchmarkParFlatSearch measures the sharded single-query Flat scan.
+func BenchmarkParFlatSearch(b *testing.B) {
+	const n, dim, k = 16384, 64, 10
+	f := benchFlat(b, n, dim)
+	q := randVec(rand.New(rand.NewSource(2)), dim)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			f.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Search(q, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(critPathSpeedupShards(n, workers), "critpath-x")
+		})
+	}
+}
+
+// BenchmarkParFlatSearchBatch measures SearchBatch across queries — the
+// acceptance path: ≥ 2x critical-path speedup at 4 workers.
+func BenchmarkParFlatSearchBatch(b *testing.B) {
+	const n, dim, nq, k = 8192, 64, 32, 10
+	f := benchFlat(b, n, dim)
+	rng := rand.New(rand.NewSource(3))
+	queries := make([][]float32, nq)
+	for i := range queries {
+		queries[i] = randVec(rng, dim)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			f.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.SearchBatch(queries, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(critPathSpeedupQueries(nq, workers), "critpath-x")
+		})
+	}
+}
+
+// BenchmarkParIVFSearchBatch measures the batch path on a trained IVF.
+func BenchmarkParIVFSearchBatch(b *testing.B) {
+	const n, dim, nq, k = 8192, 64, 32, 10
+	iv := NewIVF(dim, 64, 8, 4)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		if err := iv.Add(fmt.Sprintf("v%06d", i), randVec(rng, dim)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := iv.Train(4); err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float32, nq)
+	for i := range queries {
+		queries[i] = randVec(rng, dim)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			iv.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := iv.SearchBatch(queries, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(critPathSpeedupQueries(nq, workers), "critpath-x")
+		})
+	}
+}
+
+// BenchmarkParHNSWSearchBatch measures the batch path on HNSW (smaller
+// index: graph construction dominates setup).
+func BenchmarkParHNSWSearchBatch(b *testing.B) {
+	const n, dim, nq, k = 2048, 64, 32, 10
+	h := NewHNSW(dim, 16, 64, 4)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		if err := h.Add(fmt.Sprintf("v%06d", i), randVec(rng, dim)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := make([][]float32, nq)
+	for i := range queries {
+		queries[i] = randVec(rng, dim)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			h.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.SearchBatch(queries, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(critPathSpeedupQueries(nq, workers), "critpath-x")
+		})
+	}
+}

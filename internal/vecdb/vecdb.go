@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"dataai/internal/embed"
+	"dataai/internal/par"
 )
 
 // Errors returned by index operations. Callers branch on these with
@@ -54,6 +55,17 @@ type Index interface {
 	// most similar first. Fewer than k results are returned when the
 	// index holds fewer vectors. It returns ErrEmptyIndex when empty.
 	Search(query []float32, k int) ([]Result, error)
+	// SearchBatch runs Search for every query, fanning the queries out
+	// across the index's configured parallelism (SetParallelism) and
+	// returning per-query results in query order — identical to calling
+	// Search in a loop. The first per-query error (by query index) is
+	// returned, with no results.
+	SearchBatch(queries [][]float32, k int) ([][]Result, error)
+	// SetParallelism sets the worker count used by SearchBatch (and,
+	// for Flat, the sharded single-query scan). n <= 0 restores the
+	// default: GOMAXPROCS at search time. Parallelism never changes
+	// results — only how the same work is scheduled.
+	SetParallelism(n int)
 	// Delete removes id from the index (tombstoned in HNSW). It returns
 	// ErrNotFound for absent ids.
 	Delete(id string) error
@@ -77,6 +89,7 @@ type DistCounter interface {
 
 // Flat is an exact brute-force index. It is safe for concurrent use.
 type Flat struct {
+	parallelism
 	mu    sync.RWMutex
 	dim   int
 	ids   []string
@@ -140,14 +153,33 @@ func (f *Flat) Search(query []float32, k int) ([]Result, error) {
 // SearchFilter is Search restricted to ids accepted by keep. A nil keep
 // accepts everything. Filtered search supports the data-lake linking
 // experiments, which search within one modality at a time.
+//
+// When the index's parallelism (SetParallelism, default GOMAXPROCS) is
+// above 1 and the index is large enough, the scan shards across workers;
+// keep must then be safe for concurrent calls (the pure closures callers
+// pass already are). Sharding never changes the result: see scanShards.
 func (f *Flat) SearchFilter(query []float32, k int, keep func(id string) bool) ([]Result, error) {
+	return f.searchOne(query, k, keep, f.searchWorkers())
+}
+
+// flatParallelMin is the index size below which a sharded scan is not
+// worth the fan-out overhead; measured crossover is a few thousand
+// 64-dim vectors (see BenchmarkParFlatSearch).
+const flatParallelMin = 4096
+
+// searchOne runs one scan at the given worker count.
+func (f *Flat) searchOne(query []float32, k int, keep func(id string) bool, workers int) ([]Result, error) {
 	if len(query) != f.dim {
 		return nil, fmt.Errorf("%w: got %d want %d", ErrDimension, len(query), f.dim)
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	if len(f.ids) == 0 {
+	n := len(f.ids)
+	if n == 0 {
 		return nil, ErrEmptyIndex
+	}
+	if workers > 1 && n >= flatParallelMin {
+		return f.scanShards(query, k, keep, workers), nil
 	}
 	h := newTopK(k)
 	var dots uint64
@@ -162,7 +194,69 @@ func (f *Flat) SearchFilter(query []float32, k int, keep func(id string) bool) (
 	return h.sorted(), nil
 }
 
-// topK keeps the k best results seen so far using a min-heap on score.
+// flatShard is one shard's contribution to a sharded scan: its local
+// top-k heap and its own count of inner products evaluated.
+type flatShard struct {
+	h    *topK
+	dots uint64
+}
+
+// scanShards is the parallel Flat scan: the vector array is split into
+// contiguous shards, each shard selects its local top-k under the same
+// strict total order the serial scan uses (see beats), and shards merge
+// in shard-index order. Determinism is by construction, not by luck:
+//
+//   - topK selection under a strict total order is a pure function of
+//     the candidate multiset (offer order cannot matter), so merging
+//     the shard-local top-ks yields exactly the serial scan's top-k;
+//   - every stored vector is scored in exactly one shard, and the
+//     per-shard uint64 counts sum — integer addition is associative —
+//     to exactly the serial DistComps increment.
+//
+// Must be called with f.mu read-held.
+func (f *Flat) scanShards(query []float32, k int, keep func(id string) bool, workers int) []Result {
+	parts := par.MapChunks(len(f.vecs), workers, func(_, lo, hi int) flatShard {
+		sh := flatShard{h: newTopK(k)}
+		for i := lo; i < hi; i++ {
+			if keep != nil && !keep(f.ids[i]) {
+				continue
+			}
+			sh.dots++
+			sh.h.offer(Result{ID: f.ids[i], Score: embed.Dot(query, f.vecs[i])})
+		}
+		return sh
+	})
+	h := newTopK(k)
+	var dots uint64
+	for _, sh := range parts {
+		dots += sh.dots
+		for _, r := range sh.h.items {
+			h.offer(r)
+		}
+	}
+	f.dists.Add(dots)
+	return h.sorted()
+}
+
+// beats reports whether a ranks strictly ahead of b in result order:
+// higher score first, score ties by ascending ID. Because IDs are
+// unique within an index, this is a strict total order over candidates
+// — which makes streaming top-k selection a pure function of the
+// candidate multiset, independent of offer order. That property is what
+// lets the sharded parallel scan (scanShards) and the serial scan
+// produce byte-identical results, and it also pins tie behaviour at the
+// k boundary to something principled instead of heap happenstance.
+func beats(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// topK keeps the k best results seen so far using a min-heap under the
+// beats total order (the root is the worst kept candidate). items is
+// preallocated to capacity k so a full search performs exactly one
+// allocation for the heap regardless of how many candidates it sees.
 type topK struct {
 	k     int
 	items []Result
@@ -176,7 +270,7 @@ func newTopK(k int) *topK {
 }
 
 func (h *topK) Len() int           { return len(h.items) }
-func (h *topK) Less(i, j int) bool { return h.items[i].Score < h.items[j].Score }
+func (h *topK) Less(i, j int) bool { return beats(h.items[j], h.items[i]) }
 func (h *topK) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *topK) Push(x interface{}) { h.items = append(h.items, x.(Result)) }
 func (h *topK) Pop() interface{} {
@@ -191,23 +285,18 @@ func (h *topK) offer(r Result) {
 		heap.Push(h, r)
 		return
 	}
-	if r.Score > h.items[0].Score {
+	if beats(r, h.items[0]) {
 		h.items[0] = r
 		heap.Fix(h, 0)
 	}
 }
 
-// sorted drains the heap into a best-first slice. Ties break by ID so
-// results are deterministic.
+// sorted drains the heap into a best-first slice under the same total
+// order selection used, so output order is deterministic too.
 func (h *topK) sorted() []Result {
 	out := make([]Result, len(h.items))
 	copy(out, h.items)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
+	sort.Slice(out, func(i, j int) bool { return beats(out[i], out[j]) })
 	return out
 }
 

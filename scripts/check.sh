@@ -26,4 +26,19 @@ go run ./cmd/dataailint ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bench smoke (every Par benchmark runs once)"
+go test -run '^$' -bench=Par -benchtime=1x ./...
+
+echo "== benchall serial vs parallel (fast subset, byte-identical)"
+# The full-set golden diff runs inside the test suite
+# (cmd/benchall/main_test.go); this end-to-end gate re-checks the built
+# binary on a fast experiment subset so a flag-wiring regression cannot
+# hide behind the in-process test.
+subset="E1 E2 E5 E8 E11 E17 E19"
+go build -o /tmp/dataai_benchall ./cmd/benchall
+/tmp/dataai_benchall $subset > /tmp/dataai_benchall_serial.txt
+/tmp/dataai_benchall -parallel 8 $subset > /tmp/dataai_benchall_par.txt
+diff /tmp/dataai_benchall_serial.txt /tmp/dataai_benchall_par.txt
+rm -f /tmp/dataai_benchall /tmp/dataai_benchall_serial.txt /tmp/dataai_benchall_par.txt
+
 echo "OK"
