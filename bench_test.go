@@ -48,3 +48,4 @@ func BenchmarkE18Parallel3D(b *testing.B) { benchExperiment(b, "E18") }
 func BenchmarkE19Prompting(b *testing.B)  { benchExperiment(b, "E19") }
 func BenchmarkE20Rewrite(b *testing.B)    { benchExperiment(b, "E20") }
 func BenchmarkE21Routing(b *testing.B)    { benchExperiment(b, "E21") }
+func BenchmarkE22Resilience(b *testing.B) { benchExperiment(b, "E22") }

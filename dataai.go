@@ -32,12 +32,14 @@ import (
 	"dataai/internal/docstore"
 	"dataai/internal/embed"
 	"dataai/internal/extract"
+	"dataai/internal/faults"
 	"dataai/internal/lake"
 	"dataai/internal/llm"
 	"dataai/internal/llm/ngram"
 	"dataai/internal/prompting"
 	"dataai/internal/rag"
 	"dataai/internal/relation"
+	"dataai/internal/resilient"
 	"dataai/internal/rewrite"
 	"dataai/internal/semop"
 	"dataai/internal/serving"
@@ -84,6 +86,44 @@ func NewLLMCascade(cheap, expensive LLMClient, threshold float64) *llm.Cascade {
 // NewNGramLM builds the statistical language model used for perplexity
 // scoring and Markov synthesis.
 func NewNGramLM() *ngram.Model { return ngram.New() }
+
+// --- Fault injection and resilience (packages faults, resilient) ---
+
+// FaultPlan sets per-call fault probabilities for the injector;
+// LightFaults/MediumFaults/SevereFaults are the standard presets.
+type FaultPlan = faults.Plan
+
+// LightFaults, MediumFaults, and SevereFaults are the preset fault
+// severities used by experiment E22.
+var (
+	LightFaults  = faults.Light
+	MediumFaults = faults.Medium
+	SevereFaults = faults.Severe
+)
+
+// NewFaultInjector wraps a client with the deterministic seeded fault
+// injector: every fault is a pure function of (prompt, seed, attempt#).
+func NewFaultInjector(inner LLMClient, plan FaultPlan, seed uint64) *faults.Injector {
+	return faults.New(inner, plan, seed)
+}
+
+// ResiliencePolicy configures the resilience middleware; RetryOnly and
+// FullResilience are the standard presets.
+type ResiliencePolicy = resilient.Policy
+
+// RetryOnly and FullResilience are the preset policies used by
+// experiment E22.
+var (
+	RetryOnly      = resilient.RetryOnly
+	FullResilience = resilient.Full
+)
+
+// WrapResilient layers retry/backoff, circuit breaking, hedging, and
+// graceful degradation over any client; all waits are charged to
+// simulated latency, never slept.
+func WrapResilient(inner LLMClient, policy ResiliencePolicy) *resilient.Client {
+	return resilient.Wrap(inner, policy)
+}
 
 // --- Embeddings and vector search (packages embed, vecdb) ---
 

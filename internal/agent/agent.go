@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"dataai/internal/llm"
+	"dataai/internal/resilient"
 )
 
 // Errors callers branch on.
@@ -27,6 +28,10 @@ var (
 	// ErrNoSteps indicates an empty plan.
 	ErrNoSteps = errors.New("agent: empty plan")
 )
+
+// errReflectionReject marks an attempt whose output failed the
+// self-reflection check (as opposed to the tool itself erroring).
+var errReflectionReject = errors.New("agent: output rejected by reflection")
 
 // Tool is an invocable capability (retriever, SQL runner, extractor, ...).
 type Tool interface {
@@ -76,6 +81,9 @@ type Trace struct {
 	Answer string
 	// Failed reports whether execution aborted before the final step.
 	Failed bool
+	// BackoffMS is the total simulated retry backoff charged across
+	// steps (zero unless WithRetryBackoff configured a backoff).
+	BackoffMS float64
 }
 
 // Option configures an Agent.
@@ -83,7 +91,20 @@ type Option func(*Agent)
 
 // WithMaxRetries sets per-step retries after a reflection failure
 // (default 1).
-func WithMaxRetries(n int) Option { return func(a *Agent) { a.maxRetries = n } }
+func WithMaxRetries(n int) Option { return func(a *Agent) { a.retrier.MaxRetries = n } }
+
+// WithRetryBackoff charges capped exponential backoff with seeded
+// jitter between step retries (simulated time, surfaced on
+// Trace.BackoffMS — never slept). Without it retries remain immediate
+// and free, the legacy behaviour.
+func WithRetryBackoff(baseMS, maxMS float64, seed uint64) Option {
+	return func(a *Agent) {
+		a.retrier.BaseBackoffMS = baseMS
+		a.retrier.MaxBackoffMS = maxMS
+		a.retrier.JitterFrac = 0.5
+		a.retrier.Seed = seed
+	}
+}
 
 // WithoutReflection disables the self-reflection check; steps are
 // accepted as-is (the ablation arm of E5).
@@ -91,15 +112,15 @@ func WithoutReflection() Option { return func(a *Agent) { a.reflect = false } }
 
 // Agent executes plans over a tool registry.
 type Agent struct {
-	tools      map[string]Tool
-	order      []string
-	maxRetries int
-	reflect    bool
+	tools   map[string]Tool
+	order   []string
+	retrier resilient.Retrier
+	reflect bool
 }
 
 // New returns an agent with the given tools registered.
 func New(tools []Tool, opts ...Option) (*Agent, error) {
-	a := &Agent{tools: make(map[string]Tool, len(tools)), maxRetries: 1, reflect: true}
+	a := &Agent{tools: make(map[string]Tool, len(tools)), retrier: resilient.Retrier{MaxRetries: 1}, reflect: true}
 	for _, t := range tools {
 		if t.Name() == "" {
 			return nil, fmt.Errorf("agent: tool with empty name")
@@ -149,26 +170,30 @@ func (a *Agent) Run(task string, plan []Action) (Trace, error) {
 
 		step := Step{Action: act, Input: input}
 		var out string
-		var err error
-		for attempt := 0; ; attempt++ {
-			out, err = tool.Invoke(input)
-			if err == nil && (!a.reflect || a.acceptable(out)) {
-				break
+		retries, backMS, err := a.retrier.Do(input, func(int) error {
+			var ierr error
+			out, ierr = tool.Invoke(input)
+			if ierr != nil {
+				return ierr
 			}
-			if attempt >= a.maxRetries {
-				if err == nil {
-					err = fmt.Errorf("%w: step %d output rejected by reflection", ErrStepFailed, i)
-				} else {
-					err = fmt.Errorf("%w: step %d: %v", ErrStepFailed, i, err)
-				}
-				step.Output = out
-				step.Retries = attempt
-				step.Err = err.Error()
-				tr.Steps = append(tr.Steps, step)
-				tr.Failed = true
-				return tr, err
+			if a.reflect && !a.acceptable(out) {
+				return errReflectionReject
 			}
-			step.Retries = attempt + 1
+			return nil
+		})
+		step.Retries = retries
+		tr.BackoffMS += backMS
+		if err != nil {
+			if errors.Is(err, errReflectionReject) {
+				err = fmt.Errorf("%w: step %d output rejected by reflection", ErrStepFailed, i)
+			} else {
+				err = fmt.Errorf("%w: step %d: %v", ErrStepFailed, i, err)
+			}
+			step.Output = out
+			step.Err = err.Error()
+			tr.Steps = append(tr.Steps, step)
+			tr.Failed = true
+			return tr, err
 		}
 		step.Output = out
 		tr.Steps = append(tr.Steps, step)

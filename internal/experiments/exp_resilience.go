@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dataai/internal/corpus"
+	"dataai/internal/docstore"
+	"dataai/internal/embed"
+	"dataai/internal/faults"
+	"dataai/internal/llm"
+	"dataai/internal/metrics"
+	"dataai/internal/rag"
+	"dataai/internal/relation"
+	"dataai/internal/resilient"
+	"dataai/internal/semop"
+	"dataai/internal/vecdb"
+)
+
+func init() {
+	register("E22", "Pipeline reliability under injected LLM faults (§2.2.1 robustness)", runE22)
+}
+
+// resilienceCorpus is a reduced corpus: E22 replays the same workload
+// nine times (three fault levels x three stacks), so it trades corpus
+// size for arm count.
+func resilienceCorpus(seed int64) (*corpus.Corpus, error) {
+	cfg := corpus.DefaultConfig(seed)
+	cfg.EntitiesPerDomain = 12
+	cfg.DocsPerDomainWeight = 20
+	cfg.QACount = 30
+	cfg.MultiHopQACount = 0
+	g, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(), nil
+}
+
+// resilienceTable is the semantic-operator half of the E22 workload.
+func resilienceTable() (*relation.Table, error) {
+	tbl, err := relation.NewTable("docs", relation.Schema{
+		{Name: "id", Type: relation.Int},
+		{Name: "body", Type: relation.String},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 120; i++ {
+		body := fmt.Sprintf("memo %d reviews quarterly earnings in detail", i)
+		if i%3 == 0 {
+			body = fmt.Sprintf("memo %d announces a merger agreement", i)
+		}
+		tbl.MustInsert(relation.Row{int64(i), body})
+	}
+	return tbl, nil
+}
+
+// runE22 runs an identical semop+RAG workload against a fault-injecting
+// client under three stacks — (a) naive passthrough, (b) retry-only,
+// (c) the full resilient middleware (retries + breaker + hedging +
+// fallback + degradation) — at three fault severities. Every stack sees
+// the exact same fault draws (same injector plan and seed, and faults
+// are a pure function of prompt/seed/attempt), so per-query outcomes
+// are directly comparable: any request the naive stack survives, the
+// retry stack survives too.
+func runE22() (*metrics.Table, error) {
+	c, err := resilienceCorpus(2201)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := resilienceTable()
+	if err != nil {
+		return nil, err
+	}
+
+	levels := []struct {
+		name string
+		plan faults.Plan
+	}{
+		{"light", faults.Light()},
+		{"medium", faults.Medium()},
+		{"severe", faults.Severe()},
+	}
+	stacks := []struct {
+		name string
+		wrap func(inner llm.Client) llm.Client
+	}{
+		{"naive", func(inner llm.Client) llm.Client { return inner }},
+		{"retry", func(inner llm.Client) llm.Client {
+			return resilient.Wrap(inner, resilient.RetryOnly(3, 2203))
+		}},
+		{"resilient", func(inner llm.Client) llm.Client {
+			fallback := llm.NewSimulator(llm.SmallModel(), 2202)
+			return resilient.Wrap(inner, resilient.Full(3, 2203, fallback))
+		}},
+	}
+
+	t := metrics.NewTable("E22: pipeline reliability under injected faults",
+		"faults", "stack", "success", "acc", "cost ($)", "wasted tok", "latency (ms)")
+	for _, lv := range levels {
+		for _, st := range stacks {
+			// Fresh base model + injector per arm with identical seeds:
+			// every arm replays the same fault schedule.
+			m := llm.LargeModel()
+			m.ContextWindow = 1 << 20
+			base := llm.NewSimulator(m, 2202)
+			inj := faults.New(base, lv.plan, 2204)
+			client := st.wrap(inj)
+
+			ok, total := 0, 0
+			right := 0
+			var latency float64
+
+			// RAG half: one grounded answer per QA. A failed answer
+			// counts against success and accuracy both.
+			e := embed.NewHashEmbedder(embed.DefaultDim)
+			p, err := rag.New(client, e, vecdb.NewFlat(e.Dim()), rag.WithContextShrink())
+			if err != nil {
+				return nil, err
+			}
+			docs := make([]docstore.Document, len(c.Docs))
+			for i, d := range c.Docs {
+				docs[i] = docstore.Document{ID: d.ID, Text: d.Text}
+			}
+			if err := p.Ingest(docs); err != nil {
+				return nil, err
+			}
+			for _, qa := range c.QAs {
+				total++
+				a, err := p.Answer(qa.Question)
+				if err != nil {
+					continue
+				}
+				ok++
+				latency += a.LatencyMS
+				if a.Text == qa.Answer {
+					right++
+				}
+			}
+
+			// Semop half: four SemFilter batch jobs over table slices.
+			// A batch either completes or counts as one failure.
+			ex := semop.NewExecutor(client)
+			sliceLen := tbl.Len() / 4
+			for j := 0; j < 4; j++ {
+				total++
+				slice := &relation.Table{Name: tbl.Name, Schema: tbl.Schema,
+					Rows: tbl.Rows[j*sliceLen : (j+1)*sliceLen]}
+				f := semop.SemFilter{TextCol: "body", Criterion: "contains:merger"}
+				if _, err := f.Apply(ex, slice); err != nil {
+					continue
+				}
+				ok++
+			}
+			latency += ex.LatencyMS
+
+			fs := inj.Stats()
+			t.AddRowf(lv.name, st.name,
+				float64(ok)/float64(total),
+				float64(right)/float64(len(c.QAs)),
+				base.Usage().CostUSD,
+				fs.WastedPromptTokens,
+				latency)
+		}
+	}
+	return t, nil
+}

@@ -35,6 +35,9 @@ type Results struct {
 	// LLMCalls and CostUSD meter the model usage behind the extraction.
 	LLMCalls int
 	CostUSD  float64
+	// Degraded counts responses a resilience policy produced after the
+	// primary model path failed; zero with an unwrapped client.
+	Degraded int
 }
 
 // Extractor turns a record set into attribute values.
@@ -61,6 +64,9 @@ func (d Direct) Extract(rs *corpus.RecordSet) (*Results, error) {
 				return nil, fmt.Errorf("extract: direct %s/%s: %w", rec.ID, attr, err)
 			}
 			out.LLMCalls++
+			if resp.Degraded {
+				out.Degraded++
+			}
 			out.CostUSD += resp.CostUSD
 			if !llm.IsUnknown(resp.Text) {
 				vals[attr] = resp.Text
@@ -156,6 +162,9 @@ func (e Evaporate) Extract(rs *corpus.RecordSet) (*Results, error) {
 				return nil, fmt.Errorf("extract: evaporate sample %s/%s: %w", rec.ID, attr, err)
 			}
 			out.LLMCalls++
+			if resp.Degraded {
+				out.Degraded++
+			}
 			out.CostUSD += resp.CostUSD
 			if !llm.IsUnknown(resp.Text) {
 				vals[attr] = resp.Text

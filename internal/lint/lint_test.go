@@ -140,6 +140,19 @@ func TestFloatEq(t *testing.T) {
 	runFixture(t, "floateq", "floateq", "fix/floateq")
 }
 
+// TestResilienceFixtureClean runs the ENTIRE analyzer suite over the
+// resilience fixture — a distillation of internal/resilient's breaker
+// locking, seeded-hash jitter, zero-guarded waste accounting, and
+// sorted stats rendering — and requires zero diagnostics. It pins that
+// the resilience layer's core idioms stay expressible without
+// //lint:ignore suppressions.
+func TestResilienceFixtureClean(t *testing.T) {
+	pkg := fixturePackage(t, "resilience", "fix/internal/resilient")
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.Analyzers()) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
 // TestSuiteRegistered pins the analyzer roster: removing a check from the
 // suite should be a deliberate, visible act.
 func TestSuiteRegistered(t *testing.T) {

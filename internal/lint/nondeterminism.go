@@ -23,7 +23,9 @@ import (
 // deterministic end to end.
 var seededPkgFragments = []string{
 	"internal/experiments",
+	"internal/faults",
 	"internal/llm",
+	"internal/resilient",
 	"internal/serving",
 	"internal/training",
 }

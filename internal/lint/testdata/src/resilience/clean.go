@@ -1,0 +1,128 @@
+// Fixture distilling the patterns internal/resilient and
+// internal/faults rely on, type-checked under a seeded import path so
+// every analyzer in the suite runs over it. It carries zero `// want`
+// comments on purpose: the test asserts the whole file is clean,
+// pinning that a breaker-style mutex discipline, seeded-hash jitter,
+// and waste accounting survive all five checks without suppressions.
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// hash64 is a stand-in for the repo's seeded token hash: determinism
+// comes from hashing the inputs, never from math/rand or the clock.
+func hash64(s string, seed uint64) uint64 {
+	h := seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// jitter draws a deterministic uniform in [0,1) from (key, attempt,
+// seed) — the only randomness a resilience policy is allowed.
+func jitter(key string, attempt int, seed uint64) float64 {
+	h := hash64(fmt.Sprintf("%s\x00%d", key, attempt), seed)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// backoffFor is capped exponential backoff with seeded equal-jitter.
+func backoffFor(base, maxMS float64, key string, attempt int, seed uint64) float64 {
+	b := base
+	for i := 1; i < attempt; i++ {
+		b *= 2
+		if b >= maxMS {
+			b = maxMS
+			break
+		}
+	}
+	return b/2 + (b/2)*jitter(key, attempt, seed)
+}
+
+// breaker mirrors the circuit breaker's locking discipline: every
+// method acquires and releases the mutex on all paths.
+type breaker struct {
+	mu          sync.Mutex
+	state       int
+	consecFails int
+	threshold   int
+	clockMS     float64
+	openedAtMS  float64
+	cooldownMS  float64
+}
+
+func (b *breaker) advance(ms float64) {
+	b.mu.Lock()
+	b.clockMS += ms
+	b.mu.Unlock()
+}
+
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == 1 && b.clockMS-b.openedAtMS >= b.cooldownMS {
+		b.state = 2
+		return true
+	}
+	return b.state != 1
+}
+
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	b.consecFails++
+	if b.consecFails >= b.threshold {
+		b.state = 1
+		b.openedAtMS = b.clockMS
+	}
+	b.mu.Unlock()
+}
+
+// waste demonstrates accumulation with a zero-guard: comparisons
+// against constant zero are the one exact float equality floateq
+// permits, and this fixture stays inside that boundary.
+type waste struct{ latencyMS float64 }
+
+func (w *waste) charge(ms float64) {
+	if ms == 0 {
+		return
+	}
+	w.latencyMS += ms
+}
+
+// retry runs fn with bounded retries, checking every error it sees.
+func retry(maxRetries int, key string, seed uint64, fn func(int) error) (float64, error) {
+	var backoffMS float64
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn(attempt)
+		if err == nil || attempt >= maxRetries {
+			return backoffMS, err
+		}
+		if !errors.Is(err, errRetryable) {
+			return backoffMS, err
+		}
+		backoffMS += backoffFor(50, 2000, key, attempt+1, seed)
+	}
+}
+
+var errRetryable = errors.New("retryable")
+
+// statsByKind renders a tally map in sorted key order — the maporder
+// discipline for anything that reaches output.
+func statsByKind(counts map[string]int64) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d;", k, counts[k])
+	}
+	return out
+}

@@ -18,10 +18,19 @@ type Cache struct {
 
 	mu     sync.Mutex
 	m      map[uint64]Response
+	flight map[uint64]*flightCall
 	hits   int64
 	misses int64
 
 	meter usageMeter
+}
+
+// flightCall is one in-progress inner call that concurrent identical
+// misses wait on instead of re-issuing (single-flight deduplication).
+type flightCall struct {
+	done chan struct{}
+	r    Response
+	err  error
 }
 
 // CacheLookupLatencyMS is the simulated latency of serving a hit.
@@ -29,34 +38,64 @@ const CacheLookupLatencyMS = 0.01
 
 // NewCache wraps inner with a response cache.
 func NewCache(inner Client) *Cache {
-	return &Cache{inner: inner, m: make(map[uint64]Response)}
+	return &Cache{inner: inner, m: make(map[uint64]Response), flight: make(map[uint64]*flightCall)}
 }
 
-// Complete implements Client.
+// Complete implements Client. Concurrent identical misses are
+// deduplicated: the first caller (the leader) issues the inner call and
+// every other caller waits for its result, so N racing misses cost one
+// inner invocation instead of N. Waiters are accounted as hits — they
+// were served without spending tokens, exactly like a lookup hit.
 func (c *Cache) Complete(req Request) (Response, error) {
 	key := token.Hash64Seed(req.Prompt, uint64(req.MaxTokens)+1)
 	c.mu.Lock()
 	if r, ok := c.m[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		r.Cached = true
-		r.CostUSD = 0
-		r.LatencyMS = CacheLookupLatencyMS
-		c.meter.record(r)
-		return r, nil
+		return c.serveHit(r), nil
 	}
+	if f, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		c.mu.Lock()
+		if f.err != nil {
+			// The shared call failed: the waiter observed a miss and
+			// inherits the leader's error.
+			c.misses++
+			c.mu.Unlock()
+			return f.r, f.err
+		}
+		c.hits++
+		c.mu.Unlock()
+		return c.serveHit(f.r), nil
+	}
+	f := &flightCall{done: make(chan struct{})}
+	c.flight[key] = f
 	c.misses++
 	c.mu.Unlock()
 
-	r, err := c.inner.Complete(req)
-	if err != nil {
-		return r, err
-	}
+	f.r, f.err = c.inner.Complete(req)
 	c.mu.Lock()
-	c.m[key] = r
+	delete(c.flight, key) // an errored flight must not poison later calls
+	if f.err == nil {
+		c.m[key] = f.r
+	}
 	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return f.r, f.err
+	}
+	c.meter.record(f.r)
+	return f.r, nil
+}
+
+// serveHit marks and meters a response served without an inner call.
+func (c *Cache) serveHit(r Response) Response {
+	r.Cached = true
+	r.CostUSD = 0
+	r.LatencyMS = CacheLookupLatencyMS
 	c.meter.record(r)
-	return r, nil
+	return r
 }
 
 // Stats reports cache hits and misses.
@@ -92,15 +131,20 @@ func NewCascade(cheap, expensive Client, threshold float64) *Cascade {
 }
 
 // Complete implements Client. The returned response carries the combined
-// cost and latency of every model consulted.
+// cost and latency of every model consulted — including on the error
+// path: when the expensive model fails after a cheap-model miss, the
+// cheap call's spend rides on the returned response so caller-side
+// metering still sees it as waste.
 func (c *Cascade) Complete(req Request) (Response, error) {
 	r1, err := c.Cheap.Complete(req)
-	if err != nil {
-		return r1, err
-	}
+	// Every call counts toward total, errored or not, so Stats()
+	// denominators are consistent with the number of Complete calls.
 	c.mu.Lock()
 	c.total++
 	c.mu.Unlock()
+	if err != nil {
+		return r1, err
+	}
 	if r1.Confidence >= c.Threshold {
 		return r1, nil
 	}
@@ -108,13 +152,13 @@ func (c *Cascade) Complete(req Request) (Response, error) {
 	c.escalated++
 	c.mu.Unlock()
 	r2, err := c.Expensive.Complete(req)
-	if err != nil {
-		return r2, err
-	}
 	r2.CostUSD += r1.CostUSD
 	r2.LatencyMS += r1.LatencyMS
 	r2.PromptTokens += r1.PromptTokens
 	r2.CompletionTokens += r1.CompletionTokens
+	if err != nil {
+		return r2, err
+	}
 	return r2, nil
 }
 

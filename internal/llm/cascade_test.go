@@ -1,0 +1,72 @@
+package llm
+
+import (
+	"errors"
+	"testing"
+)
+
+// fixedClient returns a canned response or error.
+type fixedClient struct {
+	r   Response
+	err error
+}
+
+func (f fixedClient) Complete(Request) (Response, error) { return f.r, f.err }
+
+// Regression: when the expensive model errors after a cheap-model miss,
+// the returned response must still carry the cheap call's spend so
+// caller-side metering sees it as waste, and the errored call must
+// count toward Stats() total.
+func TestCascadeExpensiveErrorCarriesCheapSpend(t *testing.T) {
+	cheap := fixedClient{r: Response{
+		Text: "maybe", Confidence: 0.1,
+		PromptTokens: 10, CompletionTokens: 3, CostUSD: 0.002, LatencyMS: 12,
+	}}
+	boom := errors.New("expensive model down")
+	cas := NewCascade(cheap, fixedClient{err: boom}, 0.5)
+
+	r, err := cas.Complete(Request{Prompt: "q"})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if r.CostUSD != 0.002 || r.LatencyMS != 12 {
+		t.Fatalf("error response lost cheap spend: cost=%v latency=%v", r.CostUSD, r.LatencyMS)
+	}
+	if r.PromptTokens != 10 || r.CompletionTokens != 3 {
+		t.Fatalf("error response lost cheap tokens: %d/%d", r.PromptTokens, r.CompletionTokens)
+	}
+	escalated, total := cas.Stats()
+	if escalated != 1 || total != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", escalated, total)
+	}
+}
+
+// Regression: a cheap-model error must still count toward total so the
+// Stats() denominator matches the number of Complete calls.
+func TestCascadeCheapErrorCountsTowardTotal(t *testing.T) {
+	boom := errors.New("cheap model down")
+	cas := NewCascade(fixedClient{err: boom}, fixedClient{r: Response{Text: "yes", Confidence: 1}}, 0.5)
+	if _, err := cas.Complete(Request{Prompt: "q"}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	escalated, total := cas.Stats()
+	if total != 1 {
+		t.Fatalf("total = %d, want 1 (errored calls count)", total)
+	}
+	if escalated != 0 {
+		t.Fatalf("escalated = %d, want 0", escalated)
+	}
+}
+
+// A confident cheap answer must not pick up phantom spend.
+func TestCascadeNoEscalationUnchanged(t *testing.T) {
+	cheap := fixedClient{r: Response{Text: "yes", Confidence: 0.9, CostUSD: 0.001, LatencyMS: 5}}
+	cas := NewCascade(cheap, fixedClient{err: errors.New("never called")}, 0.5)
+	r, err := cas.Complete(Request{Prompt: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CostUSD != 0.001 || r.LatencyMS != 5 || r.Text != "yes" {
+		t.Fatalf("unexpected response: %+v", r)
+	}
+}

@@ -1,0 +1,64 @@
+package llm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Failure taxonomy for the call path. Real LLM endpoints fail in ways the
+// paper's orchestrators (§2.2) silently assume away: connections flap,
+// providers rate-limit, requests time out after burning prefill tokens.
+// These sentinels classify those failures so middleware (package
+// resilient) and fault injectors (package faults) agree on semantics
+// without importing each other.
+var (
+	// ErrTransient indicates a momentary failure (connection reset,
+	// 5xx); an immediate or backed-off retry is expected to succeed.
+	ErrTransient = errors.New("llm: transient failure")
+	// ErrRateLimited indicates the endpoint refused the call to shed
+	// load (429). Errors wrapping it may carry a retry-after hint via
+	// RateLimitError.
+	ErrRateLimited = errors.New("llm: rate limited")
+	// ErrTimeout indicates the call consumed its deadline without an
+	// answer. Unlike ErrTransient the request was sent, so its prompt
+	// tokens and latency are already spent (wasted work the resilience
+	// layer meters).
+	ErrTimeout = errors.New("llm: request timed out")
+)
+
+// RateLimitError wraps ErrRateLimited with the endpoint's retry-after
+// hint, mirroring the Retry-After header real providers return.
+type RateLimitError struct {
+	// RetryAfterMS is the simulated wait the endpoint requests before
+	// the next attempt.
+	RetryAfterMS float64
+}
+
+// Error implements error.
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("llm: rate limited (retry after %.0fms)", e.RetryAfterMS)
+}
+
+// Unwrap makes errors.Is(e, ErrRateLimited) true.
+func (e *RateLimitError) Unwrap() error { return ErrRateLimited }
+
+// RetryAfter extracts the retry-after hint from an error chain; ok is
+// false when err carries no hint.
+func RetryAfter(err error) (ms float64, ok bool) {
+	var rl *RateLimitError
+	if errors.As(err, &rl) {
+		return rl.RetryAfterMS, true
+	}
+	return 0, false
+}
+
+// IsRetryable reports whether err names a failure a retry can fix:
+// transient errors, rate limits, and timeouts. Malformed prompts and
+// context overflows are not retryable — resending the same request
+// deterministically fails again; those need degradation (shrink the
+// context, fall back to a larger-window model) instead.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrTransient) ||
+		errors.Is(err, ErrRateLimited) ||
+		errors.Is(err, ErrTimeout)
+}

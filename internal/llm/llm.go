@@ -117,6 +117,12 @@ type Response struct {
 	// Cached reports whether the response was served from a cache
 	// without invoking the model.
 	Cached bool
+	// Degraded reports that a resilience policy produced this response
+	// after the primary path failed — a fallback model answered, or the
+	// failure was converted into an explicit refusal so the rest of the
+	// batch could proceed. Callers use it to separate "the model said
+	// unknown" from "the serving path gave up".
+	Degraded bool
 }
 
 // Client is anything that can complete prompts: the simulator, a cache

@@ -40,6 +40,12 @@ type Answer struct {
 	// CostUSD and LatencyMS total the LLM calls behind this answer.
 	CostUSD   float64
 	LatencyMS float64
+	// Shrinks counts context halvings forced by llm.ErrContextOverflow
+	// (only under WithContextShrink).
+	Shrinks int
+	// Degraded reports that a resilience policy in the client produced
+	// this answer after the primary model path failed.
+	Degraded bool
 }
 
 // Option configures a Pipeline.
@@ -58,6 +64,14 @@ func WithRerank() Option { return func(p *Pipeline) { p.rerank = true } }
 // SentenceChunker with a 48-token budget).
 func WithChunker(c docstore.Chunker) Option { return func(p *Pipeline) { p.chunker = c } }
 
+// WithContextShrink enables graceful degradation on context overflow:
+// when the model rejects the assembled prompt with
+// llm.ErrContextOverflow, the pipeline halves the retrieved context and
+// retries until the prompt fits (or no context remains) instead of
+// failing the answer. Off by default — without it, behaviour is
+// unchanged and overflow errors propagate as before.
+func WithContextShrink() Option { return func(p *Pipeline) { p.shrink = true } }
+
 // Pipeline is a configured RAG stack.
 type Pipeline struct {
 	client  llm.Client
@@ -67,6 +81,7 @@ type Pipeline struct {
 	chunker docstore.Chunker
 	topK    int
 	rerank  bool
+	shrink  bool
 }
 
 // New assembles a pipeline from its parts. index must be empty and match
@@ -189,6 +204,22 @@ func rerankByOverlap(query string, cands []Retrieved) []Retrieved {
 	return out
 }
 
+// grounded issues the final answer call over ctx, applying the
+// WithContextShrink degradation policy: each llm.ErrContextOverflow
+// halves the context and retries until the prompt fits or no context
+// remains. Without the option it is a single Complete call.
+func (p *Pipeline) grounded(question string, ctx []string) (llm.Response, int, error) {
+	shrinks := 0
+	for {
+		resp, err := p.client.Complete(llm.Request{Prompt: llm.AnswerPrompt(question, ctx)})
+		if err == nil || !p.shrink || !errors.Is(err, llm.ErrContextOverflow) || len(ctx) == 0 {
+			return resp, shrinks, err
+		}
+		ctx = ctx[:len(ctx)/2]
+		shrinks++
+	}
+}
+
 // Answer runs one retrieval round and asks the model with the retrieved
 // context.
 func (p *Pipeline) Answer(question string) (Answer, error) {
@@ -200,7 +231,7 @@ func (p *Pipeline) Answer(question string) (Answer, error) {
 	for i, h := range hits {
 		ctx[i] = h.Chunk.Text
 	}
-	resp, err := p.client.Complete(llm.Request{Prompt: llm.AnswerPrompt(question, ctx)})
+	resp, shrinks, err := p.grounded(question, ctx)
 	if err != nil {
 		return Answer{}, fmt.Errorf("rag: answer: %w", err)
 	}
@@ -211,6 +242,8 @@ func (p *Pipeline) Answer(question string) (Answer, error) {
 		Hops:       1,
 		CostUSD:    resp.CostUSD,
 		LatencyMS:  resp.LatencyMS,
+		Shrinks:    shrinks,
+		Degraded:   resp.Degraded,
 	}, nil
 }
 
@@ -257,7 +290,7 @@ func (p *Pipeline) AnswerIterative(question string) (Answer, error) {
 		}
 	}
 
-	resp, err := p.client.Complete(llm.Request{Prompt: llm.AnswerPrompt(question, ctx)})
+	resp, shrinks, err := p.grounded(question, ctx)
 	if err != nil {
 		return Answer{}, fmt.Errorf("rag: answer: %w", err)
 	}
@@ -268,6 +301,8 @@ func (p *Pipeline) AnswerIterative(question string) (Answer, error) {
 		Hops:       hops,
 		CostUSD:    cost + resp.CostUSD,
 		LatencyMS:  lat + resp.LatencyMS,
+		Shrinks:    shrinks,
+		Degraded:   resp.Degraded,
 	}, nil
 }
 

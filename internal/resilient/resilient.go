@@ -1,0 +1,389 @@
+// Package resilient provides middleware over llm.Client that keeps
+// pipelines working when the endpoint does not: retry with capped
+// exponential backoff and seeded deterministic jitter, retry-after-aware
+// rate-limit handling, a circuit breaker with half-open probes, optional
+// hedged requests, and graceful degradation (fallback model, explicit
+// Degraded refusals instead of failing a whole batch).
+//
+// Two invariants distinguish this from a production retry library:
+//
+//   - No wall-clock time is ever consumed. Backoff, retry-after waits,
+//     hedge offsets, and breaker cooldowns all run on a simulated clock:
+//     the wait is *charged* to the returned Response.LatencyMS (and to
+//     the breaker's clock), never slept. Experiments measure the latency
+//     a real deployment would pay without paying it themselves.
+//
+//   - Every stochastic choice (jitter) derives from a seeded hash of
+//     (prompt, attempt, seed) — never math/rand's global state — so a
+//     run is a pure function of its inputs, matching the repo's
+//     byte-identical determinism contract.
+//
+// Everything the middleware spends is metered: attempts, retries,
+// wasted tokens/cost/latency from failed attempts, hedges, fallback and
+// refusal degradations, and breaker transitions, all visible through
+// Stats() so experiment E22 can report waste alongside success rate.
+//
+// The breaker and the stats are shared mutable state. With a
+// deterministic inner client the *responses* stay a pure function of
+// each prompt, but breaker fast-fail decisions depend on the order
+// concurrent calls observe the shared state; callers that need
+// bit-identical parallel-vs-serial behaviour (semop's Workers path)
+// should use breakerless policies or serial execution, as E22 does.
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dataai/internal/llm"
+	"dataai/internal/token"
+)
+
+// ErrCircuitOpen is returned (wrapped) when the circuit breaker rejects
+// a call without consulting the inner client. It is deliberately not
+// retryable: the point of the breaker is to stop retrying a dead
+// endpoint; degradation policies still apply.
+var ErrCircuitOpen = errors.New("resilient: circuit open")
+
+// Policy configures the middleware. The zero value retries nothing and
+// degrades nothing — Wrap with a zero Policy is a transparent pass-through.
+type Policy struct {
+	// MaxRetries is how many times a retryable failure is retried
+	// after the first attempt.
+	MaxRetries int
+	// BaseBackoffMS is the first retry's backoff (default 50 when
+	// retries are enabled); backoff doubles per attempt, capped at
+	// MaxBackoffMS (default 2000).
+	BaseBackoffMS float64
+	MaxBackoffMS  float64
+	// JitterFrac in [0,1] is the fraction of each backoff randomized
+	// by the seeded jitter hash (default 0.5). Zero keeps full
+	// deterministic backoff without jitter.
+	JitterFrac float64
+	// Seed drives the jitter hash.
+	Seed uint64
+	// HedgeAfterMS, when positive, models a hedged request racing the
+	// primary from that offset: a timed-out attempt charges only
+	// HedgeAfterMS of serial latency (the hedge overlapped the
+	// timeout's tail) and retries immediately without backoff.
+	HedgeAfterMS float64
+	// Breaker, when non-nil, trips after consecutive failures and
+	// fast-fails calls until cooldown expires on the simulated clock.
+	Breaker *BreakerPolicy
+	// Fallback, when non-nil, answers calls whose primary path
+	// exhausted its retries (graceful degradation to a cheaper or
+	// healthier model). Fallback responses are marked Degraded.
+	Fallback llm.Client
+	// DegradeToRefusal converts a still-failing call into an explicit
+	// Degraded refusal (llm.Unknown) instead of an error, so one bad
+	// call cannot abort a whole batch.
+	DegradeToRefusal bool
+}
+
+// RetryOnly returns a policy with retry/backoff only — the middle arm
+// of E22.
+func RetryOnly(maxRetries int, seed uint64) Policy {
+	return Policy{MaxRetries: maxRetries, Seed: seed}
+}
+
+// Full returns the complete resilient stack: retries, hedging, breaker,
+// fallback, and refusal degradation.
+func Full(maxRetries int, seed uint64, fallback llm.Client) Policy {
+	return Policy{
+		MaxRetries:       maxRetries,
+		Seed:             seed,
+		HedgeAfterMS:     300,
+		Breaker:          &BreakerPolicy{},
+		Fallback:         fallback,
+		DegradeToRefusal: true,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxRetries > 0 {
+		if p.BaseBackoffMS <= 0 {
+			p.BaseBackoffMS = 50
+		}
+		if p.MaxBackoffMS <= 0 {
+			p.MaxBackoffMS = 2000
+		}
+		// Zero means "default"; pass a negative JitterFrac for
+		// explicit no-jitter backoff.
+		if p.JitterFrac == 0 {
+			p.JitterFrac = 0.5
+		}
+		if p.JitterFrac < 0 {
+			p.JitterFrac = 0
+		}
+		if p.JitterFrac > 1 {
+			p.JitterFrac = 1
+		}
+	}
+	return p
+}
+
+// Stats is the middleware's consumption and decision tally.
+type Stats struct {
+	// Calls counts Complete invocations; Attempts counts inner-client
+	// invocations (Attempts - Calls = retries + hedge re-issues).
+	Calls    int64
+	Attempts int64
+	Retries  int64
+	// RateLimitWaits counts retry-after hints honored; BackoffMS is
+	// the total simulated wait charged (backoff + retry-after).
+	RateLimitWaits int64
+	BackoffMS      float64
+	// Hedges counts timed-out attempts absorbed by the hedged request.
+	Hedges int64
+	// Wasted* total what failed attempts consumed before the call
+	// finally succeeded, degraded, or gave up.
+	WastedPromptTokens     int64
+	WastedCompletionTokens int64
+	WastedCostUSD          float64
+	WastedLatencyMS        float64
+	// FallbackCalls and DegradedRefusals count the degradation paths.
+	FallbackCalls    int64
+	DegradedRefusals int64
+	// Breaker reports the circuit's transition counts (zero without a
+	// breaker policy).
+	Breaker BreakerStats
+	// Failures counts calls that still returned an error after every
+	// policy was applied.
+	Failures int64
+}
+
+// Client is the resilience middleware. Construct with Wrap; safe for
+// concurrent use.
+type Client struct {
+	inner   llm.Client
+	policy  Policy
+	breaker *breaker
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Wrap builds a resilient Client over inner with the given policy.
+func Wrap(inner llm.Client, policy Policy) *Client {
+	c := &Client{inner: inner, policy: policy.withDefaults()}
+	if policy.Breaker != nil {
+		c.breaker = newBreaker(*policy.Breaker)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the middleware tally.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	s := c.stats
+	c.mu.Unlock()
+	if c.breaker != nil {
+		_, s.Breaker = c.breaker.snapshot()
+	}
+	return s
+}
+
+// BreakerState reports the circuit's current position (BreakerClosed
+// when no breaker is configured).
+func (c *Client) BreakerState() BreakerState {
+	if c.breaker == nil {
+		return BreakerClosed
+	}
+	st, _ := c.breaker.snapshot()
+	return st
+}
+
+// jitter returns a deterministic uniform in [0,1) for (key, attempt).
+func jitter(key string, attempt int, seed uint64) float64 {
+	h := token.Hash64Seed(fmt.Sprintf("%s\x00backoff\x00%d", key, attempt), seed)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// backoffFor computes the simulated wait before retry `attempt`
+// (1-based): capped exponential with seeded equal-jitter.
+func backoffFor(base, maxMS, jitterFrac float64, key string, attempt int, seed uint64) float64 {
+	b := base
+	for i := 1; i < attempt; i++ {
+		b *= 2
+		if b >= maxMS {
+			b = maxMS
+			break
+		}
+	}
+	if b > maxMS {
+		b = maxMS
+	}
+	return b*(1-jitterFrac) + b*jitterFrac*jitter(key, attempt, seed)
+}
+
+// Complete implements llm.Client.
+func (c *Client) Complete(req llm.Request) (llm.Response, error) {
+	c.count(func(s *Stats) { s.Calls++ })
+
+	// waste accumulates what the failed attempts consumed; a final
+	// success (or degraded answer) carries it so callers metering the
+	// returned response see the true cost of the call, mirroring how
+	// llm.Cascade charges the cheap tier's spend to the escalated
+	// response.
+	var waste llm.Response
+	var lastErr error
+
+	if c.breaker != nil {
+		if ok, fastFailMS := c.breaker.allow(); !ok {
+			waste.LatencyMS += fastFailMS
+			lastErr = fmt.Errorf("%w (cooldown pending)", ErrCircuitOpen)
+			return c.degrade(req, waste, lastErr)
+		}
+	}
+
+	maxAttempts := 1 + c.policy.MaxRetries
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			wait, hedged := c.retryWait(req.Prompt, attempt, lastErr)
+			waste.LatencyMS += wait
+			c.count(func(s *Stats) {
+				s.Retries++
+				s.BackoffMS += wait
+				if hedged {
+					s.Hedges++
+				}
+			})
+		}
+		c.count(func(s *Stats) { s.Attempts++ })
+		resp, err := c.inner.Complete(req)
+		if c.breaker != nil {
+			c.breaker.advance(resp.LatencyMS)
+		}
+		if err == nil {
+			if c.breaker != nil {
+				c.breaker.onSuccess()
+			}
+			c.chargeWaste(waste)
+			return merge(resp, waste), nil
+		}
+		// The failed attempt's charged work (a timeout's prompt tokens
+		// and deadline latency) is waste the final answer must carry.
+		waste = merge(waste, resp)
+		lastErr = err
+		if !llm.IsRetryable(err) {
+			break
+		}
+	}
+	if c.breaker != nil {
+		c.breaker.onFailure()
+	}
+	return c.degrade(req, waste, lastErr)
+}
+
+// retryWait computes the simulated wait charged before a retry, and
+// whether the hedging model absorbed it. Precedence: a timed-out
+// attempt under hedging charges only the hedge offset (the hedge was
+// already racing when the timeout fired); a rate-limit with a
+// retry-after hint charges the hint; everything else charges the
+// jittered exponential backoff.
+func (c *Client) retryWait(prompt string, attempt int, lastErr error) (waitMS float64, hedged bool) {
+	if c.policy.HedgeAfterMS > 0 && errors.Is(lastErr, llm.ErrTimeout) {
+		return c.policy.HedgeAfterMS, true
+	}
+	if ms, ok := llm.RetryAfter(lastErr); ok {
+		c.count(func(s *Stats) { s.RateLimitWaits++ })
+		return ms, false
+	}
+	return backoffFor(c.policy.BaseBackoffMS, c.policy.MaxBackoffMS, c.policy.JitterFrac,
+		prompt, attempt, c.policy.Seed), false
+}
+
+// degrade applies the degradation ladder once the primary path has
+// failed: fallback client, then explicit refusal, then the error.
+func (c *Client) degrade(req llm.Request, waste llm.Response, lastErr error) (llm.Response, error) {
+	if c.policy.Fallback != nil {
+		resp, err := c.policy.Fallback.Complete(req)
+		if err == nil {
+			resp.Degraded = true
+			c.count(func(s *Stats) { s.FallbackCalls++ })
+			c.chargeWaste(waste)
+			return merge(resp, waste), nil
+		}
+		waste = merge(waste, resp)
+		lastErr = err
+	}
+	if c.policy.DegradeToRefusal {
+		c.count(func(s *Stats) { s.DegradedRefusals++ })
+		c.chargeWaste(waste)
+		out := waste
+		out.Text = llm.Unknown
+		out.Confidence = 0
+		out.Degraded = true
+		return out, nil
+	}
+	c.count(func(s *Stats) { s.Failures++ })
+	c.chargeWaste(waste)
+	// Return the accumulated charged work alongside the error so
+	// callers that meter error responses still see the waste.
+	return waste, fmt.Errorf("resilient: %w", lastErr)
+}
+
+// chargeWaste folds the accumulated failed-attempt spend into Stats.
+func (c *Client) chargeWaste(w llm.Response) {
+	if w.PromptTokens == 0 && w.CompletionTokens == 0 && w.CostUSD == 0 && w.LatencyMS == 0 {
+		return
+	}
+	c.count(func(s *Stats) {
+		s.WastedPromptTokens += int64(w.PromptTokens)
+		s.WastedCompletionTokens += int64(w.CompletionTokens)
+		s.WastedCostUSD += w.CostUSD
+		s.WastedLatencyMS += w.LatencyMS
+	})
+}
+
+// merge adds b's metered spend to a, keeping a's answer fields.
+func merge(a, b llm.Response) llm.Response {
+	a.PromptTokens += b.PromptTokens
+	a.CompletionTokens += b.CompletionTokens
+	a.CostUSD += b.CostUSD
+	a.LatencyMS += b.LatencyMS
+	return a
+}
+
+func (c *Client) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// Retrier applies the same bounded-retry discipline to arbitrary step
+// functions — the agent's tool-invocation loop uses it in place of its
+// former ad-hoc loop. Backoff is charged, not slept, exactly as in
+// Client; a zero BaseBackoffMS charges nothing, preserving legacy
+// behaviour.
+type Retrier struct {
+	// MaxRetries is how many times fn is re-run after its first
+	// failure.
+	MaxRetries int
+	// BaseBackoffMS / MaxBackoffMS / JitterFrac / Seed mirror Policy;
+	// all-zero means retry immediately with no charged wait.
+	BaseBackoffMS float64
+	MaxBackoffMS  float64
+	JitterFrac    float64
+	Seed          uint64
+}
+
+// Do runs fn(attempt) until it returns nil or the retry budget is
+// exhausted. It reports the number of retries performed, the total
+// simulated backoff charged, and fn's final error (nil on success).
+func (r Retrier) Do(key string, fn func(attempt int) error) (retries int, backoffMS float64, err error) {
+	maxMS := r.MaxBackoffMS
+	if maxMS <= 0 {
+		maxMS = r.BaseBackoffMS
+	}
+	for attempt := 0; ; attempt++ {
+		err = fn(attempt)
+		if err == nil || attempt >= r.MaxRetries {
+			return attempt, backoffMS, err
+		}
+		if r.BaseBackoffMS > 0 {
+			backoffMS += backoffFor(r.BaseBackoffMS, maxMS, r.JitterFrac, key, attempt+1, r.Seed)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"dataai/internal/llm"
 	"dataai/internal/relation"
+	"dataai/internal/resilient"
 )
 
 // TestSemFilterParallelMatchesSerial: filter output and executor
@@ -136,6 +137,86 @@ func TestCompleteBatchAllErrors(t *testing.T) {
 	}
 	if ex.Calls != 0 {
 		t.Errorf("calls = %d, want 0 (no prompt precedes the first failure)", ex.Calls)
+	}
+}
+
+// TestSemFilterParallelErrorAtLastPrompt: when the planted failure is
+// the batch's last unique prompt, both the serial loop and the parallel
+// path issue every prompt before reporting it, so not just the
+// executor's accounting but the *inner client's* Usage() tally must be
+// exactly equal at every worker count.
+func TestSemFilterParallelErrorAtLastPrompt(t *testing.T) {
+	tbl := docsTable(t, 20)
+	mk := func(workers int) (*Executor, *llm.Simulator) {
+		sim := perfectClient(3)
+		ex := NewExecutor(&flakyClient{inner: sim, trigger: "report 19 "})
+		ex.Workers = workers
+		return ex, sim
+	}
+	serialEx, serialSim := mk(1)
+	_, serialErr := SemFilter{TextCol: "body", Criterion: "contains:merger"}.Apply(serialEx, tbl)
+	if serialErr == nil {
+		t.Fatal("serial run did not hit the planted error")
+	}
+	serialUsage := serialSim.Usage()
+	if serialUsage.Calls != 19 {
+		t.Fatalf("serial inner calls = %d, want 19 (every prompt before the last)", serialUsage.Calls)
+	}
+	for _, workers := range []int{2, 8} {
+		ex, sim := mk(workers)
+		_, err := SemFilter{TextCol: "body", Criterion: "contains:merger"}.Apply(ex, tbl)
+		if err == nil || err.Error() != serialErr.Error() {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, serialErr)
+		}
+		if ex.Calls != serialEx.Calls || ex.CostUSD != serialEx.CostUSD || ex.LatencyMS != serialEx.LatencyMS {
+			t.Errorf("workers=%d: executor accounting differs from serial", workers)
+		}
+		if got := sim.Usage(); got != serialUsage {
+			t.Errorf("workers=%d: inner Usage %+v != serial %+v", workers, got, serialUsage)
+		}
+	}
+}
+
+// TestSemFilterParallelDegradedParity: a resilient client in refusal
+// mode never errors, so there is no abort path at all — rows, executor
+// accounting, the Degraded tally, and the inner client's Usage() must
+// be bit-identical between serial and every worker count.
+func TestSemFilterParallelDegradedParity(t *testing.T) {
+	tbl := docsTable(t, 30)
+	mk := func(workers int) (*Executor, *llm.Simulator) {
+		sim := perfectClient(5)
+		flaky := &flakyClient{inner: sim, trigger: "report 7 "}
+		ex := NewExecutor(resilient.Wrap(flaky, resilient.Policy{DegradeToRefusal: true}))
+		ex.Workers = workers
+		return ex, sim
+	}
+	serialEx, serialSim := mk(1)
+	want, err := SemFilter{TextCol: "body", Criterion: "contains:merger"}.Apply(serialEx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialEx.Degraded != 1 {
+		t.Fatalf("serial Degraded = %d, want 1 (the refused prompt)", serialEx.Degraded)
+	}
+	serialUsage := serialSim.Usage()
+	for _, workers := range []int{2, 4, 8} {
+		ex, sim := mk(workers)
+		got, err := SemFilter{TextCol: "body", Criterion: "contains:merger"}.Apply(ex, tbl)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("workers=%d: rows differ from serial", workers)
+		}
+		if ex.Calls != serialEx.Calls || ex.CostUSD != serialEx.CostUSD ||
+			ex.LatencyMS != serialEx.LatencyMS || ex.Degraded != serialEx.Degraded {
+			t.Errorf("workers=%d: accounting (%d, %v, %v, degraded %d) != serial (%d, %v, %v, degraded %d)",
+				workers, ex.Calls, ex.CostUSD, ex.LatencyMS, ex.Degraded,
+				serialEx.Calls, serialEx.CostUSD, serialEx.LatencyMS, serialEx.Degraded)
+		}
+		if got := sim.Usage(); got != serialUsage {
+			t.Errorf("workers=%d: inner Usage %+v != serial %+v", workers, got, serialUsage)
+		}
 	}
 }
 

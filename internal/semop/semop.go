@@ -48,6 +48,10 @@ type Executor struct {
 	// operator-level dedup; cache hits inside the client still count
 	// here as issued calls).
 	Calls int
+	// Degraded counts responses a resilience policy produced after the
+	// primary model path failed (resilient.Client fallback or refusal);
+	// zero whenever the client carries no such policy.
+	Degraded int
 	// CostUSD and LatencyMS accumulate the client-reported totals.
 	CostUSD   float64
 	LatencyMS float64
@@ -64,6 +68,9 @@ func (ex *Executor) complete(prompt string) (llm.Response, error) {
 		return resp, err
 	}
 	ex.Calls++
+	if resp.Degraded {
+		ex.Degraded++
+	}
 	ex.CostUSD += resp.CostUSD
 	ex.LatencyMS += resp.LatencyMS
 	return resp, nil
@@ -105,6 +112,9 @@ func (ex *Executor) completeBatch(prompts []string) ([]llm.Response, error) {
 			return nil, r.err
 		}
 		ex.Calls++
+		if r.resp.Degraded {
+			ex.Degraded++
+		}
 		ex.CostUSD += r.resp.CostUSD
 		ex.LatencyMS += r.resp.LatencyMS
 		out[i] = r.resp

@@ -26,6 +26,14 @@ go run ./cmd/dataailint ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== resilience stress under race (repeated runs)"
+# The fault injector, resilient middleware, and single-flight cache are
+# the repo's most mutex-dense code; hammer them a few extra times under
+# the race detector so scheduling-dependent interleavings get more
+# chances to surface.
+go test -race -count=3 ./internal/faults ./internal/resilient
+go test -race -count=3 -run 'SingleFlight|Parallel' ./internal/llm ./internal/semop
+
 echo "== bench smoke (every Par benchmark runs once)"
 go test -run '^$' -bench=Par -benchtime=1x ./...
 
@@ -34,7 +42,7 @@ echo "== benchall serial vs parallel (fast subset, byte-identical)"
 # (cmd/benchall/main_test.go); this end-to-end gate re-checks the built
 # binary on a fast experiment subset so a flag-wiring regression cannot
 # hide behind the in-process test.
-subset="E1 E2 E5 E8 E11 E17 E19"
+subset="E1 E2 E5 E8 E11 E17 E19 E22"
 go build -o /tmp/dataai_benchall ./cmd/benchall
 /tmp/dataai_benchall $subset > /tmp/dataai_benchall_serial.txt
 /tmp/dataai_benchall -parallel 8 $subset > /tmp/dataai_benchall_par.txt
