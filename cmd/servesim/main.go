@@ -7,6 +7,7 @@
 //	servesim -policy chunked -chunk 128
 //	servesim -policy disagg -prefill 2 -decode 2
 //	servesim -policy static -batch 16
+//	servesim -policy routed -instances 4 -router breaker-aware -faults severe
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("servesim: ")
-	policy := flag.String("policy", "continuous", "static | continuous | chunked | disagg")
+	policy := flag.String("policy", "continuous", "static | continuous | chunked | disagg | routed")
 	n := flag.Int("n", 400, "number of requests")
 	rate := flag.Float64("rate", 50, "arrival rate (req/s)")
 	seed := flag.Int64("seed", 1, "trace seed")
@@ -31,6 +32,10 @@ func main() {
 	chunk := flag.Int("chunk", 128, "chunked prefill chunk tokens")
 	prefill := flag.Int("prefill", 2, "disagg: prefill GPUs")
 	decode := flag.Int("decode", 2, "disagg: decode GPUs")
+	instances := flag.Int("instances", 4, "routed: cluster instance count")
+	router := flag.String("router", "round-robin", "routed: round-robin | cache-aware | breaker-aware")
+	faultsArg := flag.String("faults", "none", "routed: cluster fault plan (none | medium | severe)")
+	faultSeed := flag.Uint64("fault-seed", 7, "routed: fault plan seed")
 	ttftSLO := flag.Float64("slo-ttft", 1000, "TTFT SLO (ms)")
 	tbtSLO := flag.Float64("slo-tbt", 12, "TBT SLO (ms)")
 	flag.Parse()
@@ -42,6 +47,7 @@ func main() {
 	gpu := serving.DefaultGPU()
 
 	var rep *serving.Report
+	var routed *serving.RoutedReport
 	switch *policy {
 	case "static":
 		rep, err = serving.RunStatic(gpu, reqs, *batch)
@@ -54,6 +60,32 @@ func main() {
 			PrefillGPUs: *prefill, DecodeGPUs: *decode,
 			TransferMSPerToken: 0.005, OverlapTransfer: true,
 		})
+	case "routed":
+		var pol serving.RouterPolicy
+		switch *router {
+		case "round-robin":
+			pol = serving.RoundRobin
+		case "cache-aware":
+			pol = serving.CacheAware
+		case "breaker-aware":
+			pol = serving.BreakerAware
+		default:
+			log.Fatalf("unknown router %q", *router)
+		}
+		var plan *serving.FaultPlan
+		switch *faultsArg {
+		case "none":
+		case "medium":
+			plan = serving.MediumFaultPlan(*faultSeed)
+		case "severe":
+			plan = serving.SevereFaultPlan(*faultSeed)
+		default:
+			log.Fatalf("unknown fault plan %q", *faultsArg)
+		}
+		routed, err = serving.RunRoutedFaults(gpu, reqs, *instances, pol, serving.ContinuousOpts{ChunkTokens: *chunk}, plan)
+		if routed != nil {
+			rep = &routed.Report
+		}
 	default:
 		log.Fatalf("unknown policy %q", *policy)
 	}
@@ -72,6 +104,12 @@ func main() {
 	t.AddRowf(fmt.Sprintf("goodput @ (%.0f, %.0f)ms", *ttftSLO, *tbtSLO), rep.Goodput(*ttftSLO, *tbtSLO))
 	t.AddRowf("peak KV blocks", rep.PeakKVBlocks)
 	t.AddRowf("rejected", rep.Rejected)
+	if routed != nil {
+		t.AddRowf("preemptions", routed.Preemptions)
+		t.AddRowf("prefix hits/misses", fmt.Sprintf("%d/%d", routed.PrefixHits, routed.PrefixMisses))
+		t.AddRowf("rerouted", routed.Rerouted)
+		t.AddRowf("crashes", routed.Crashes)
+	}
 	if err := t.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -331,11 +331,21 @@ var (
 
 // Serving simulation.
 type (
-	ServingGPU     = serving.GPUConfig
-	ServingReport  = serving.Report
-	ServingRequest = workload.Request
-	ContinuousOpts = serving.ContinuousOpts
-	DisaggOpts     = serving.DisaggOpts
+	ServingGPU       = serving.GPUConfig
+	ServingReport    = serving.Report
+	ServingRequest   = workload.Request
+	ContinuousOpts   = serving.ContinuousOpts
+	DisaggOpts       = serving.DisaggOpts
+	RouterPolicy     = serving.RouterPolicy
+	RoutedReport     = serving.RoutedReport
+	ServingFaultPlan = serving.FaultPlan
+)
+
+// Routing policies for multi-instance serving.
+const (
+	RouteRoundRobin   = serving.RoundRobin
+	RouteCacheAware   = serving.CacheAware
+	RouteBreakerAware = serving.BreakerAware
 )
 
 // Serving entry points.
@@ -345,6 +355,9 @@ var (
 	RunContinuous     = serving.RunContinuous
 	RunDisaggregated  = serving.RunDisaggregated
 	RunRouted         = serving.RunRouted
+	RunRoutedFaults   = serving.RunRoutedFaults
+	MediumFaultPlan   = serving.MediumFaultPlan
+	SevereFaultPlan   = serving.SevereFaultPlan
 	GenerateTrace     = workload.Generate
 	DefaultTrace      = workload.DefaultTrace
 )

@@ -55,6 +55,85 @@ func resilienceTable() (*relation.Table, error) {
 	return tbl, nil
 }
 
+// resilienceArm replays the shared E22 workload (RAG half + semop half)
+// through one stack under one fault plan and returns the metric cells
+// for its table row. Every arm builds a fresh base model + injector with
+// identical seeds, so every arm replays the same fault schedule and
+// per-query outcomes are directly comparable.
+func resilienceArm(c *corpus.Corpus, tbl *relation.Table, plan faults.Plan,
+	wrap func(inner llm.Client) (llm.Client, func() resilient.Stats)) ([]interface{}, error) {
+	m := llm.LargeModel()
+	m.ContextWindow = 1 << 20
+	base := llm.NewSimulator(m, 2202)
+	inj := faults.New(base, plan, 2204)
+	client, stats := wrap(inj)
+
+	ok, total := 0, 0
+	right := 0
+	var latency float64
+	var perQA metrics.Summary
+
+	// RAG half: one grounded answer per QA. A failed answer counts
+	// against success and accuracy both; per-answer latencies feed the
+	// tail summary the hedge sweep reads.
+	e := embed.NewHashEmbedder(embed.DefaultDim)
+	p, err := rag.New(client, e, vecdb.NewFlat(e.Dim()), rag.WithContextShrink())
+	if err != nil {
+		return nil, err
+	}
+	docs := make([]docstore.Document, len(c.Docs))
+	for i, d := range c.Docs {
+		docs[i] = docstore.Document{ID: d.ID, Text: d.Text}
+	}
+	if err := p.Ingest(docs); err != nil {
+		return nil, err
+	}
+	for _, qa := range c.QAs {
+		total++
+		a, err := p.Answer(qa.Question)
+		if err != nil {
+			continue
+		}
+		ok++
+		latency += a.LatencyMS
+		perQA.Add(a.LatencyMS)
+		if a.Text == qa.Answer {
+			right++
+		}
+	}
+
+	// Semop half: four SemFilter batch jobs over table slices.
+	// A batch either completes or counts as one failure.
+	ex := semop.NewExecutor(client)
+	sliceLen := tbl.Len() / 4
+	for j := 0; j < 4; j++ {
+		total++
+		slice := &relation.Table{Name: tbl.Name, Schema: tbl.Schema,
+			Rows: tbl.Rows[j*sliceLen : (j+1)*sliceLen]}
+		f := semop.SemFilter{TextCol: "body", Criterion: "contains:merger"}
+		if _, err := f.Apply(ex, slice); err != nil {
+			continue
+		}
+		ok++
+	}
+	latency += ex.LatencyMS
+
+	// "wasted tok" sums the injector's fault-charged prompt tokens with
+	// the duplicate prefills of hedges the primary outran (the latter
+	// never reach the injector — they are modelled in the middleware).
+	fs := inj.Stats()
+	rs := stats()
+	return []interface{}{
+		float64(ok) / float64(total),
+		float64(right) / float64(len(c.QAs)),
+		base.Usage().CostUSD,
+		fs.WastedPromptTokens + rs.HedgeWastedTokens,
+		latency,
+		perQA.P99(),
+		fmt.Sprintf("%d/%d", rs.Hedges, rs.HedgesLost),
+	}, nil
+}
+
 // runE22 runs an identical semop+RAG workload against a fault-injecting
 // client under three stacks — (a) naive passthrough, (b) retry-only,
 // (c) the full resilient middleware (retries + breaker + hedging +
@@ -63,6 +142,11 @@ func resilienceTable() (*relation.Table, error) {
 // are a pure function of prompt/seed/attempt), so per-query outcomes
 // are directly comparable: any request the naive stack survives, the
 // retry stack survives too.
+//
+// The tail rows sweep the full stack's HedgeAfterMS offset at severe
+// faults: a lower offset truncates timeout tails harder (lower p99 and
+// total latency) but fires more losing hedges, whose duplicate prefills
+// show up as wasted tokens — the hedge policy's trade-off curve.
 func runE22() (*metrics.Table, error) {
 	c, err := resilienceCorpus(2201)
 	if err != nil {
@@ -81,87 +165,57 @@ func runE22() (*metrics.Table, error) {
 		{"medium", faults.Medium()},
 		{"severe", faults.Severe()},
 	}
+	noStats := func() resilient.Stats { return resilient.Stats{} }
 	stacks := []struct {
 		name string
-		wrap func(inner llm.Client) llm.Client
+		wrap func(inner llm.Client) (llm.Client, func() resilient.Stats)
 	}{
-		{"naive", func(inner llm.Client) llm.Client { return inner }},
-		{"retry", func(inner llm.Client) llm.Client {
-			return resilient.Wrap(inner, resilient.RetryOnly(3, 2203))
+		{"naive", func(inner llm.Client) (llm.Client, func() resilient.Stats) {
+			return inner, noStats
 		}},
-		{"resilient", func(inner llm.Client) llm.Client {
+		{"retry", func(inner llm.Client) (llm.Client, func() resilient.Stats) {
+			rc := resilient.Wrap(inner, resilient.RetryOnly(3, 2203))
+			return rc, rc.Stats
+		}},
+		{"resilient", func(inner llm.Client) (llm.Client, func() resilient.Stats) {
 			fallback := llm.NewSimulator(llm.SmallModel(), 2202)
-			return resilient.Wrap(inner, resilient.Full(3, 2203, fallback))
+			rc := resilient.Wrap(inner, resilient.Full(3, 2203, fallback))
+			return rc, rc.Stats
 		}},
 	}
 
 	t := metrics.NewTable("E22: pipeline reliability under injected faults",
-		"faults", "stack", "success", "acc", "cost ($)", "wasted tok", "latency (ms)")
+		"faults", "stack", "success", "acc", "cost ($)", "wasted tok", "latency (ms)", "p99 QA lat", "hedges won/lost")
 	for _, lv := range levels {
 		for _, st := range stacks {
-			// Fresh base model + injector per arm with identical seeds:
-			// every arm replays the same fault schedule.
-			m := llm.LargeModel()
-			m.ContextWindow = 1 << 20
-			base := llm.NewSimulator(m, 2202)
-			inj := faults.New(base, lv.plan, 2204)
-			client := st.wrap(inj)
-
-			ok, total := 0, 0
-			right := 0
-			var latency float64
-
-			// RAG half: one grounded answer per QA. A failed answer
-			// counts against success and accuracy both.
-			e := embed.NewHashEmbedder(embed.DefaultDim)
-			p, err := rag.New(client, e, vecdb.NewFlat(e.Dim()), rag.WithContextShrink())
+			row, err := resilienceArm(c, tbl, lv.plan, st.wrap)
 			if err != nil {
 				return nil, err
 			}
-			docs := make([]docstore.Document, len(c.Docs))
-			for i, d := range c.Docs {
-				docs[i] = docstore.Document{ID: d.ID, Text: d.Text}
-			}
-			if err := p.Ingest(docs); err != nil {
-				return nil, err
-			}
-			for _, qa := range c.QAs {
-				total++
-				a, err := p.Answer(qa.Question)
-				if err != nil {
-					continue
-				}
-				ok++
-				latency += a.LatencyMS
-				if a.Text == qa.Answer {
-					right++
-				}
-			}
-
-			// Semop half: four SemFilter batch jobs over table slices.
-			// A batch either completes or counts as one failure.
-			ex := semop.NewExecutor(client)
-			sliceLen := tbl.Len() / 4
-			for j := 0; j < 4; j++ {
-				total++
-				slice := &relation.Table{Name: tbl.Name, Schema: tbl.Schema,
-					Rows: tbl.Rows[j*sliceLen : (j+1)*sliceLen]}
-				f := semop.SemFilter{TextCol: "body", Criterion: "contains:merger"}
-				if _, err := f.Apply(ex, slice); err != nil {
-					continue
-				}
-				ok++
-			}
-			latency += ex.LatencyMS
-
-			fs := inj.Stats()
-			t.AddRowf(lv.name, st.name,
-				float64(ok)/float64(total),
-				float64(right)/float64(len(c.QAs)),
-				base.Usage().CostUSD,
-				fs.WastedPromptTokens,
-				latency)
+			t.AddRowf(append([]interface{}{lv.name, st.name}, row...)...)
 		}
+	}
+
+	// Hedge-offset sweep: the full stack at severe faults, HedgeAfterMS
+	// from "never hedge" down through ever-more-aggressive offsets (the
+	// base "resilient" rows above sit at Full's default of 300ms).
+	for _, offset := range []float64{0, 400, 100, 25, 20, 16} {
+		name := "no hedge"
+		if offset > 0 {
+			name = fmt.Sprintf("hedge@%.0fms", offset)
+		}
+		row, err := resilienceArm(c, tbl, faults.Severe(),
+			func(inner llm.Client) (llm.Client, func() resilient.Stats) {
+				fallback := llm.NewSimulator(llm.SmallModel(), 2202)
+				pol := resilient.Full(3, 2203, fallback)
+				pol.HedgeAfterMS = offset
+				rc := resilient.Wrap(inner, pol)
+				return rc, rc.Stats
+			})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(append([]interface{}{"severe", name}, row...)...)
 	}
 	return t, nil
 }

@@ -15,6 +15,7 @@ func init() {
 	register("E14", "KV store eviction policies and hierarchy (AttentionStore, §2.3.2)", runE14)
 	register("E15", "KV cache vs per-step recomputation (§2.3.2)", runE15)
 	register("E21", "KV-cache-aware request routing (Mooncake, §2.3.2)", runE21)
+	register("E23", "Routing policies under cluster fault plans (§2.3.2)", runE23)
 }
 
 func runE11() (*metrics.Table, error) {
@@ -200,7 +201,7 @@ func runE21() (*metrics.Table, error) {
 	}
 	t := metrics.NewTable("E21: multi-instance routing (4 instances, 8 shared prefixes)",
 		"router", "prefix hit rate", "prefill tokens", "mean TTFT (ms)", "p95 TTFT")
-	for _, pol := range []serving.RouterPolicy{serving.RoundRobin, serving.CacheAware} {
+	for _, pol := range []serving.RouterPolicy{serving.RoundRobin, serving.CacheAware, serving.BreakerAware} {
 		rep, err := serving.RunRouted(gpu, reqs, 4, pol, serving.ContinuousOpts{})
 		if err != nil {
 			return nil, err
@@ -210,6 +211,47 @@ func runE21() (*metrics.Table, error) {
 			hitRate = float64(rep.PrefixHits) / float64(rep.PrefixHits+rep.PrefixMisses)
 		}
 		t.AddRowf(pol.String(), hitRate, rep.PrefillTokens, rep.TTFT.Mean(), rep.TTFT.P95())
+	}
+	return t, nil
+}
+
+func runE23() (*metrics.Table, error) {
+	// The same trace under three routing policies and three cluster fault
+	// plans, on the shared discrete-event clock. Goodput is the DistServe
+	// measure at SLO(TTFT<=1500ms, TBT<=25ms); faults are pure functions
+	// of (plan seed, instance, window), so every cell is reproducible.
+	gpu := serving.DefaultGPU()
+	cfg := workload.DefaultTrace(2301, 600, 60)
+	cfg.SharedPrefixes = 8
+	cfg.SharedPrefixTokens = 192
+	cfg.SharedPrefixProb = 0.6
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const ttftSLO, tbtSLO = 1500, 25
+	t := metrics.NewTable(
+		fmt.Sprintf("E23: routing under cluster faults (4 instances, 600 reqs @ 60/s, SLO TTFT<=%.0fms TBT<=%.0fms)",
+			float64(ttftSLO), float64(tbtSLO)),
+		"faults", "router", "goodput", "p50 TTFT (ms)", "p99 TTFT", "p99 TBT", "preempt", "rerouted", "crashes")
+	plans := []struct {
+		name string
+		plan *serving.FaultPlan
+	}{
+		{"none", nil},
+		{"medium", serving.MediumFaultPlan(2303)},
+		{"severe", serving.SevereFaultPlan(2303)},
+	}
+	for _, pc := range plans {
+		for _, pol := range []serving.RouterPolicy{serving.RoundRobin, serving.CacheAware, serving.BreakerAware} {
+			rep, err := serving.RunRoutedFaults(gpu, reqs, 4, pol, serving.ContinuousOpts{ChunkTokens: 256}, pc.plan)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowf(pc.name, pol.String(), rep.Goodput(ttftSLO, tbtSLO),
+				rep.TTFT.P50(), rep.TTFT.P99(), rep.TBT.P99(),
+				rep.Preemptions, rep.Rerouted, rep.Crashes)
+		}
 	}
 	return t, nil
 }

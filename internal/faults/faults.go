@@ -133,10 +133,11 @@ func (in *Injector) Stats() Stats {
 }
 
 // draw returns a deterministic uniform in [0,1) for (prompt, seed,
-// attempt, salt) — the injector's only source of randomness.
+// attempt, salt) — the injector's only source of randomness. It is
+// Uniform over the injector's historical key format, so existing
+// experiment outputs are unchanged.
 func (in *Injector) draw(prompt string, attempt int, salt string) float64 {
-	h := token.Hash64Seed(fmt.Sprintf("%s\x00%d\x00%s", prompt, attempt, salt), in.seed)
-	return float64(h>>11) / float64(1<<53)
+	return Uniform(in.seed, fmt.Sprintf("%s\x00%d\x00%s", prompt, attempt, salt))
 }
 
 // Complete implements llm.Client.

@@ -153,6 +153,20 @@ func TestResilienceFixtureClean(t *testing.T) {
 	}
 }
 
+// TestSimFixtureClean runs the ENTIRE analyzer suite over the simengine
+// fixture — a distillation of internal/sim's (time, seq)-ordered event
+// heap, logical-clock clamping, seeded fault-window draws, and sorted
+// report rendering — under a seeded import path ("fix/internal/sim"),
+// and requires zero diagnostics. It pins that the discrete-event
+// engine's core idioms (including the exact-float tie-break in the heap
+// comparator) stay expressible without //lint:ignore suppressions.
+func TestSimFixtureClean(t *testing.T) {
+	pkg := fixturePackage(t, "simengine", "fix/internal/sim")
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.Analyzers()) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
 // TestSuiteRegistered pins the analyzer roster: removing a check from the
 // suite should be a deliberate, visible act.
 func TestSuiteRegistered(t *testing.T) {

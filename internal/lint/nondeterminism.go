@@ -11,8 +11,9 @@ import (
 // math/rand's global, process-seeded top-level functions in two scopes:
 //
 //   - any package under internal/experiments, internal/llm,
-//     internal/serving, or internal/training (the seeded simulators and
-//     the experiment harness that EXPERIMENTS.md's numbers come from), and
+//     internal/serving, internal/sim, or internal/training (the seeded
+//     simulators, the discrete-event engine they run on, and the
+//     experiment harness that EXPERIMENTS.md's numbers come from), and
 //   - any function, in any package, that takes a *rand.Rand parameter —
 //     accepting a seeded source is a promise to use only that source.
 //
@@ -27,6 +28,7 @@ var seededPkgFragments = []string{
 	"internal/llm",
 	"internal/resilient",
 	"internal/serving",
+	"internal/sim",
 	"internal/training",
 }
 

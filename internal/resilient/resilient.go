@@ -66,7 +66,13 @@ type Policy struct {
 	// HedgeAfterMS, when positive, models a hedged request racing the
 	// primary from that offset: a timed-out attempt charges only
 	// HedgeAfterMS of serial latency (the hedge overlapped the
-	// timeout's tail) and retries immediately without backoff.
+	// timeout's tail) and retries immediately without backoff. The race
+	// is not free: a primary that succeeds *after* the offset has
+	// already triggered its hedge, and the cancelled duplicate's prompt
+	// spend is charged as waste (Stats.HedgesLost/HedgeWastedTokens) —
+	// lower offsets buy shorter tails with more duplicate work. The
+	// duplicate is modelled analytically rather than issued to the inner
+	// client, so fault draws and attempt counts are unperturbed.
 	HedgeAfterMS float64
 	// Breaker, when non-nil, trips after consecutive failures and
 	// fast-fails calls until cooldown expires on the simulated clock.
@@ -134,8 +140,14 @@ type Stats struct {
 	// the total simulated wait charged (backoff + retry-after).
 	RateLimitWaits int64
 	BackoffMS      float64
-	// Hedges counts timed-out attempts absorbed by the hedged request.
-	Hedges int64
+	// Hedges counts timed-out attempts absorbed by the hedged request
+	// (the hedge won the race). HedgesLost counts hedges that fired but
+	// were cancelled when the primary succeeded first;
+	// HedgeWastedTokens totals the duplicate prompt tokens those
+	// cancelled hedges consumed (also folded into Wasted*).
+	Hedges            int64
+	HedgesLost        int64
+	HedgeWastedTokens int64
 	// Wasted* total what failed attempts consumed before the call
 	// finally succeeded, degraded, or gave up.
 	WastedPromptTokens     int64
@@ -258,6 +270,23 @@ func (c *Client) Complete(req llm.Request) (llm.Response, error) {
 		if err == nil {
 			if c.breaker != nil {
 				c.breaker.onSuccess()
+			}
+			// A success slower than the hedge offset already triggered
+			// its hedge; the cancelled duplicate's prefill is waste. No
+			// serial latency is charged — the race overlapped the
+			// primary — and the cancelled request never emitted output,
+			// so it costs the prompt tokens and the prompt's share of
+			// the call price.
+			if c.policy.HedgeAfterMS > 0 && resp.LatencyMS > c.policy.HedgeAfterMS {
+				dup := llm.Response{PromptTokens: resp.PromptTokens}
+				if tot := resp.PromptTokens + resp.CompletionTokens; tot > 0 {
+					dup.CostUSD = resp.CostUSD * float64(resp.PromptTokens) / float64(tot)
+				}
+				c.count(func(s *Stats) {
+					s.HedgesLost++
+					s.HedgeWastedTokens += int64(dup.PromptTokens)
+				})
+				waste = merge(waste, dup)
 			}
 			c.chargeWaste(waste)
 			return merge(resp, waste), nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dataai/internal/sim"
 	"dataai/internal/workload"
 )
 
@@ -19,45 +20,69 @@ type DisaggOpts struct {
 	// OverlapTransfer hides transmission behind prefill computation
 	// (layer-wise streaming), the common optimization of [19, 45].
 	OverlapTransfer bool
+	// Faults, when non-nil, draws per-transfer KV-shipping failures from
+	// the plan's seed: a failed transfer is retried after paying the full
+	// (unoverlapped) transfer time again. Nil disables injection.
+	Faults *FaultPlan
 }
 
 // RunColocated serves the trace on n identical GPUs, each running
 // continuous batching over a round-robin share — the baseline where
 // every GPU interleaves prefill and decode and prefills stall decodes.
+// All instances run as event processes on one shared sim.Engine clock.
 func RunColocated(gpu GPUConfig, reqs []workload.Request, n int, opts ContinuousOpts) (*Report, error) {
+	if err := gpu.Validate(); err != nil {
+		return nil, err
+	}
 	if n < 1 {
 		return nil, fmt.Errorf("%w: gpus %d", ErrConfig, n)
 	}
-	shares := make([][]workload.Request, n)
 	ordered := append([]workload.Request(nil), reqs...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
+
+	eng := sim.NewEngine()
+	perInst := make([][]Result, n)
+	insts := make([]*instance, n)
+	shares := make([][]workload.Request, n)
+	for i := range insts {
+		i := i
+		shareOpts := opts
+		shareOpts.KV = nil // each GPU owns its cache
+		insts[i] = newInstance(i, gpu, shareOpts, eng, func(_ float64, r Result) { perInst[i] = append(perInst[i], r) })
+	}
 	for i, r := range ordered {
 		shares[i%n] = append(shares[i%n], r)
 	}
+	for i, share := range shares {
+		i := i
+		scheduleArrivals(eng, gpu, share, insts[i], func(r Result) { perInst[i] = append(perInst[i], r) })
+	}
+	eng.Run()
+
 	var all []Result
 	peak := 0
-	for _, share := range shares {
-		if len(share) == 0 {
-			continue
+	preemptions := 0
+	for i, inst := range insts {
+		for _, s := range inst.waiting {
+			perInst[i] = append(perInst[i], Result{Req: s.req, Rejected: true})
 		}
-		shareOpts := opts
-		shareOpts.KV = nil // each GPU owns its cache
-		rep, err := RunContinuous(gpu, share, shareOpts)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, rep.Results...)
-		peak += rep.PeakKVBlocks
+		all = append(all, perInst[i]...)
+		peak += inst.kv.PeakBlocks()
+		preemptions += inst.preemptions
 	}
 	rep := buildReport(all)
 	rep.PeakKVBlocks = peak
+	rep.Preemptions = preemptions
 	return rep, nil
 }
 
 // RunDisaggregated serves the trace with prefill and decode on separate
 // GPU pools. Prefill instances each process one prompt at a time FCFS;
-// finished KV ships to the least-loaded decode instance, which batches
-// decodes continuously and is never stalled by a prefill.
+// finished KV ships to decode instances round-robin in readiness order;
+// decode GPUs batch continuously and are never stalled by a prefill.
+// Both pools run on one shared sim.Engine clock: arrivals claim the
+// earliest-available prefill GPU, and each transfer-completion event
+// hands the sequence to the decode pool.
 func RunDisaggregated(gpu GPUConfig, reqs []workload.Request, opts DisaggOpts) (*Report, error) {
 	if err := gpu.Validate(); err != nil {
 		return nil, err
@@ -68,132 +93,178 @@ func RunDisaggregated(gpu GPUConfig, reqs []workload.Request, opts DisaggOpts) (
 	ordered := append([]workload.Request(nil), reqs...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
 
-	// Phase 1: prefill pool. Each GPU serves prompts FCFS.
-	prefillFree := make([]float64, opts.PrefillGPUs)
-	jobs := make([]decodeJob, 0, len(ordered))
-	for _, r := range ordered {
-		// Earliest-available prefill GPU.
-		g := 0
-		for i := 1; i < len(prefillFree); i++ {
-			if prefillFree[i] < prefillFree[g] {
-				g = i
-			}
+	eng := sim.NewEngine()
+	perPool := make([][]Result, opts.DecodeGPUs)
+	pools := make([]*decodeInstance, opts.DecodeGPUs)
+	for i := range pools {
+		i := i
+		pools[i] = &decodeInstance{
+			id: i, gpu: gpu, kv: NewPagedKV(gpu), eng: eng,
+			onFinish: func(_ float64, r Result) { perPool[i] = append(perPool[i], r) },
 		}
-		start := r.ArrivalMS
-		if prefillFree[g] > start {
-			start = prefillFree[g]
-		}
-		end := start + gpu.prefillMS(r.PromptTokens)
-		prefillFree[g] = end
-		transfer := float64(r.PromptTokens) * opts.TransferMSPerToken
-		if opts.OverlapTransfer {
-			transfer = 0 // streamed layer-wise during prefill
-		}
-		jobs = append(jobs, decodeJob{req: r, firstToken: end, readyMS: end + transfer})
 	}
 
-	// Phase 2: decode pool. Assign jobs round-robin by readiness order,
-	// then run a decode-only continuous loop per GPU.
-	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].readyMS < jobs[j].readyMS })
-	pools := make([][]decodeJob, opts.DecodeGPUs)
-	for i, j := range jobs {
-		pools[i%opts.DecodeGPUs] = append(pools[i%opts.DecodeGPUs], j)
+	// Prefill pool state: per-GPU next-free time, advanced in arrival
+	// order (the engine fires arrivals in exactly that order).
+	prefillFree := make([]float64, opts.PrefillGPUs)
+	nextPool := 0
+	var deliver func(job decodeJob, attempt int)
+	deliver = func(job decodeJob, attempt int) {
+		eng.At(job.readyMS, func(now float64) {
+			if opts.Faults != nil && opts.Faults.transferFails(job.req.ID, attempt) {
+				// The shipment was lost: resend, paying the full transfer
+				// time (a retry cannot hide behind the finished prefill).
+				retry := job
+				retry.readyMS = now + float64(job.req.PromptTokens)*opts.TransferMSPerToken
+				deliver(retry, attempt+1)
+				return
+			}
+			p := pools[nextPool%len(pools)]
+			nextPool++
+			p.arrive(now, job)
+		})
 	}
+	for _, r := range ordered {
+		r := r
+		eng.At(r.ArrivalMS, func(now float64) {
+			// Earliest-available prefill GPU.
+			g := 0
+			for i := 1; i < len(prefillFree); i++ {
+				if prefillFree[i] < prefillFree[g] {
+					g = i
+				}
+			}
+			start := now
+			if prefillFree[g] > start {
+				start = prefillFree[g]
+			}
+			end := start + gpu.prefillMS(r.PromptTokens)
+			prefillFree[g] = end
+			transfer := float64(r.PromptTokens) * opts.TransferMSPerToken
+			if opts.OverlapTransfer {
+				transfer = 0 // streamed layer-wise during prefill
+			}
+			deliver(decodeJob{req: r, firstToken: end, readyMS: end + transfer}, 0)
+		})
+	}
+	eng.Run()
+
 	var results []Result
 	peak := 0
-	for _, pool := range pools {
-		res, peakBlocks := runDecodePool(gpu, pool)
-		results = append(results, res...)
-		peak += peakBlocks
+	for i, pool := range pools {
+		for _, d := range pool.waiting {
+			perPool[i] = append(perPool[i], Result{Req: d.job.req, Rejected: true})
+		}
+		results = append(results, perPool[i]...)
+		peak += pool.kv.PeakBlocks()
 	}
 	rep := buildReport(results)
 	rep.PeakKVBlocks = peak
 	return rep, nil
 }
 
-// runDecodePool batches decode iterations over jobs on one decode GPU.
-func runDecodePool(gpu GPUConfig, jobs []decodeJob) ([]Result, int) {
-	kv := NewPagedKV(gpu)
-	var results []Result
-	type dstate struct {
-		job       decodeJob
-		generated int
-		finishMS  float64
-	}
-	clock := 0.0
-	next := 0
-	var running []*dstate
-	var waiting []*dstate
+// decodeInstance is one decode-pool GPU as an event process: it batches
+// decode-only iterations over sequences whose KV arrived by transfer,
+// reproducing the historical per-pool loop step for step.
+type decodeInstance struct {
+	id  int
+	gpu GPUConfig
+	kv  KVManager
+	eng *sim.Engine
 
-	finish := func(d *dstate) {
-		kv.Free(d.job.req.ID)
-		r := Result{
-			Req:             d.job.req,
-			FinishMS:        d.finishMS,
-			TTFTms:          d.job.firstToken - d.job.req.ArrivalMS,
-			PrefilledTokens: d.job.req.PromptTokens,
-		}
-		if d.job.req.OutputTokens > 1 {
-			r.TBTms = (d.finishMS - d.job.firstToken) / float64(d.job.req.OutputTokens-1)
-		}
-		results = append(results, r)
-	}
+	waiting []*dstate
+	running []*dstate
+	busy    bool
 
-	for next < len(jobs) || len(waiting) > 0 || len(running) > 0 {
-		for next < len(jobs) && jobs[next].readyMS <= clock {
-			d := &dstate{job: jobs[next], generated: 1} // token 1 came from prefill
-			if d.job.req.OutputTokens <= 1 {
-				d.finishMS = d.job.firstToken
-				kv.Alloc(d.job.req.ID, 0)
-				finish(d)
-			} else {
-				waiting = append(waiting, d)
-			}
-			next++
-		}
-		admitted := waiting[:0]
-		for _, d := range waiting {
-			if (gpu.MaxBatch == 0 || len(running) < gpu.MaxBatch) &&
-				kv.Alloc(d.job.req.ID, d.job.req.PromptTokens+d.job.req.OutputTokens) {
-				running = append(running, d)
-				continue
-			}
-			admitted = append(admitted, d)
-		}
-		waiting = admitted
-
-		if len(running) == 0 {
-			if next < len(jobs) {
-				clock = jobs[next].readyMS
-				continue
-			}
-			if len(waiting) > 0 {
-				// Blocked on KV space with nothing running: impossible
-				// to progress; mark rejected.
-				for _, d := range waiting {
-					results = append(results, Result{Req: d.job.req, Rejected: true})
-				}
-				waiting = nil
-			}
-			break
-		}
-		clock += gpu.decodeIterMS(len(running))
-		still := running[:0]
-		for _, d := range running {
-			d.generated++
-			d.finishMS = clock
-			if d.generated >= d.job.req.OutputTokens {
-				finish(d)
-				continue
-			}
-			still = append(still, d)
-		}
-		running = still
-	}
-	return results, kv.PeakBlocks()
+	onFinish func(now float64, r Result)
 }
 
-// decodeJob is shared between RunDisaggregated and runDecodePool.
+type dstate struct {
+	job       decodeJob
+	generated int
+	finishMS  float64
+}
+
+func (di *decodeInstance) finish(d *dstate) {
+	di.kv.Free(d.job.req.ID)
+	r := Result{
+		Req:             d.job.req,
+		FinishMS:        d.finishMS,
+		TTFTms:          d.job.firstToken - d.job.req.ArrivalMS,
+		PrefilledTokens: d.job.req.PromptTokens,
+		Instance:        di.id,
+	}
+	if d.job.req.OutputTokens > 1 {
+		r.TBTms = (d.finishMS - d.job.firstToken) / float64(d.job.req.OutputTokens-1)
+	}
+	di.onFinish(d.finishMS, r)
+}
+
+// arrive queues a transferred sequence. An idle instance defers its wake
+// to a same-instant event so that simultaneous transfers are all queued
+// before the boundary runs — exactly the historical loop's clock jump.
+func (di *decodeInstance) arrive(now float64, job decodeJob) {
+	di.waiting = append(di.waiting, &dstate{job: job, generated: 1}) // token 1 came from prefill
+	if !di.busy {
+		di.busy = true
+		di.eng.After(0, func(t float64) {
+			di.busy = false
+			di.step(t)
+		})
+	}
+}
+
+// step runs an iteration boundary: finalize zero-decode sequences, admit
+// what fits, then start the next decode iteration or go idle.
+func (di *decodeInstance) step(now float64) {
+	keep := di.waiting[:0]
+	for _, d := range di.waiting {
+		if d.job.req.OutputTokens <= 1 {
+			// The prefill's token was the whole output.
+			d.finishMS = d.job.firstToken
+			di.kv.Alloc(d.job.req.ID, 0)
+			di.finish(d)
+			continue
+		}
+		keep = append(keep, d)
+	}
+	di.waiting = keep
+
+	admitted := di.waiting[:0]
+	for _, d := range di.waiting {
+		if (di.gpu.MaxBatch == 0 || len(di.running) < di.gpu.MaxBatch) &&
+			di.kv.Alloc(d.job.req.ID, d.job.req.PromptTokens+d.job.req.OutputTokens) {
+			di.running = append(di.running, d)
+			continue
+		}
+		admitted = append(admitted, d)
+	}
+	di.waiting = admitted
+
+	if len(di.running) == 0 {
+		di.busy = false
+		return // idle: the next transfer re-kicks; stuck waiters reject at drain
+	}
+	di.busy = true
+	di.eng.At(now+di.gpu.decodeIterMS(len(di.running)), func(end float64) { di.endIter(end) })
+}
+
+func (di *decodeInstance) endIter(now float64) {
+	still := di.running[:0]
+	for _, d := range di.running {
+		d.generated++
+		d.finishMS = now
+		if d.generated >= d.job.req.OutputTokens {
+			di.finish(d)
+			continue
+		}
+		still = append(still, d)
+	}
+	di.running = still
+	di.step(now)
+}
+
+// decodeJob is a prefilled sequence in flight to the decode pool.
 type decodeJob struct {
 	req        workload.Request
 	firstToken float64

@@ -1,0 +1,127 @@
+package serving
+
+import (
+	"fmt"
+
+	"dataai/internal/faults"
+)
+
+// FaultPlan injects cluster-side faults into a routed serving run. It is
+// the serving-layer sibling of the call-path faults.Injector: every
+// fault is a pure function of (Seed, instance, time-window) drawn
+// through faults.Uniform, so a run is byte-identical across repetitions
+// and worker counts — faults never depend on wall time or event
+// interleaving, only on which window of the logical clock an instance is
+// in.
+//
+// Three fault kinds, all optional:
+//
+//   - Crashes: at the start of a window whose crash draw fires, the
+//     instance goes down for CrashDownMS, dropping every in-flight
+//     sequence (their KV and GPU-resident caches die with the device);
+//     after DetectMS the router observes the failure and re-routes the
+//     dropped sequences to surviving instances.
+//   - Stragglers: during a window whose straggler draw fires, the
+//     instance's iteration costs are scaled by StragglerFactor — the
+//     GPU is alive but slow (thermal throttling, a noisy neighbour).
+//   - KV-transfer failures (disagg path): a transfer draw can lose a
+//     prefill→decode shipment, which is retried at full transfer cost.
+type FaultPlan struct {
+	// Seed drives every draw.
+	Seed uint64
+	// WindowMS is the fault-window width (default 2000).
+	WindowMS float64
+	// CrashProb is the per-(instance, window) probability of a crash at
+	// the window boundary.
+	CrashProb float64
+	// CrashDownMS is how long a crashed instance stays down (default
+	// 1500).
+	CrashDownMS float64
+	// DetectMS is the failure-detection delay before dropped sequences
+	// are re-routed (default 50).
+	DetectMS float64
+	// StragglerProb is the per-(instance, window) probability the
+	// instance runs slow for that window.
+	StragglerProb float64
+	// StragglerFactor scales iteration cost during straggler windows
+	// (default 2.5; values below 1 are clamped to 1).
+	StragglerFactor float64
+	// TransferFailProb is the per-attempt probability a disagg KV
+	// transfer is lost and must be resent.
+	TransferFailProb float64
+}
+
+// MediumFaultPlan returns a plan with noticeable but survivable cluster
+// failure pressure: occasional crashes, some slow windows.
+func MediumFaultPlan(seed uint64) *FaultPlan {
+	return &FaultPlan{Seed: seed, CrashProb: 0.05, StragglerProb: 0.10, TransferFailProb: 0.02}
+}
+
+// SevereFaultPlan returns a plan modelling a badly degraded cluster:
+// frequent crashes with slow recovery and widespread stragglers.
+func SevereFaultPlan(seed uint64) *FaultPlan {
+	return &FaultPlan{
+		Seed: seed, CrashProb: 0.15, CrashDownMS: 2500,
+		StragglerProb: 0.25, StragglerFactor: 3, TransferFailProb: 0.08,
+	}
+}
+
+func (p *FaultPlan) windowMS() float64 {
+	if p.WindowMS > 0 {
+		return p.WindowMS
+	}
+	return 2000
+}
+
+func (p *FaultPlan) crashDownMS() float64 {
+	if p.CrashDownMS > 0 {
+		return p.CrashDownMS
+	}
+	return 1500
+}
+
+func (p *FaultPlan) detectMS() float64 {
+	if p.DetectMS > 0 {
+		return p.DetectMS
+	}
+	return 50
+}
+
+func (p *FaultPlan) stragglerFactor() float64 {
+	if p.StragglerFactor > 1 {
+		return p.StragglerFactor
+	}
+	if p.StragglerFactor > 0 {
+		return 1
+	}
+	return 2.5
+}
+
+// crashAt reports whether instance crashes at the start of window w.
+func (p *FaultPlan) crashAt(instance, w int) bool {
+	if p == nil || p.CrashProb <= 0 {
+		return false
+	}
+	return faults.Uniform(p.Seed, faults.WindowKey("crash", instance, w)) < p.CrashProb
+}
+
+// slowdownAt reports instance's cost multiplier during window w
+// (1 = healthy).
+func (p *FaultPlan) slowdownAt(instance, w int) float64 {
+	if p == nil || p.StragglerProb <= 0 {
+		return 1
+	}
+	if faults.Uniform(p.Seed, faults.WindowKey("straggler", instance, w)) < p.StragglerProb {
+		return p.stragglerFactor()
+	}
+	return 1
+}
+
+// transferFails reports whether the attempt-th shipment of reqID's KV is
+// lost in transit.
+func (p *FaultPlan) transferFails(reqID string, attempt int) bool {
+	if p == nil || p.TransferFailProb <= 0 {
+		return false
+	}
+	return faults.Uniform(p.Seed, fmt.Sprintf("xfer\x00%s\x00%d", reqID, attempt)) < p.TransferFailProb
+}

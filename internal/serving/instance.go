@@ -1,0 +1,406 @@
+package serving
+
+import (
+	"dataai/internal/sim"
+	"dataai/internal/workload"
+)
+
+// instance is one GPU running iteration-level continuous batching as an
+// event-driven process on a shared sim.Engine. It reproduces, step for
+// step, the scheduling loop RunContinuous historically ran standalone —
+// admission, dedicated vs chunked prefill, OnDemand preemption — so a
+// single instance on a fresh engine yields byte-identical reports; what
+// the engine adds is that many instances (and a router, and fault
+// windows) can now share one cluster-wide clock.
+//
+// The instance schedules exactly one event at a time: the end of its
+// current iteration. Arrivals land in the waiting queue as engine events
+// and are admitted at iteration boundaries, exactly when the historical
+// loop ingested them.
+type instance struct {
+	id   int
+	gpu  GPUConfig
+	opts ContinuousOpts
+	kv   KVManager
+	eng  *sim.Engine
+
+	waiting  []*seqState
+	prefillQ []*seqState
+	running  []*seqState
+
+	// busy is true while an iteration-end event is scheduled.
+	busy bool
+	// down is true inside a crash window (cluster fault plans only).
+	down bool
+	// slow is the straggler cost multiplier (1 = healthy); it scales
+	// every iteration scheduled while active.
+	slow float64
+	// epoch invalidates in-flight iteration events across a crash.
+	epoch uint64
+
+	preemptions int
+
+	// onFinish receives every completed sequence's Result.
+	onFinish func(now float64, r Result)
+	// onDrop receives sequences lost to a crash, for the cluster router
+	// to re-route; nil means standalone runs, which never crash.
+	onDrop func(now float64, s *seqState)
+}
+
+// newInstance builds an idle instance on eng. A nil opts.KV gets a
+// private paged allocator, mirroring RunContinuous's default.
+func newInstance(id int, gpu GPUConfig, opts ContinuousOpts, eng *sim.Engine, onFinish func(float64, Result)) *instance {
+	kv := opts.KV
+	if kv == nil {
+		kv = NewPagedKV(gpu)
+	}
+	return &instance{id: id, gpu: gpu, opts: opts, kv: kv, eng: eng, slow: 1, onFinish: onFinish}
+}
+
+func (in *instance) active() int { return len(in.prefillQ) + len(in.running) }
+
+// queueLoad is the router's live-load signal: tokens of outstanding work
+// (remaining prefill plus remaining decode) across every sequence the
+// instance currently owns, waiting included.
+func (in *instance) queueLoad() int {
+	load := 0
+	add := func(s *seqState) {
+		remaining := s.req.OutputTokens - s.generated
+		if remaining < 0 {
+			remaining = 0
+		}
+		if s.admitted {
+			load += s.prefillLeft + remaining
+		} else {
+			load += s.req.PromptTokens - s.saved + s.generated + remaining
+		}
+	}
+	for _, s := range in.waiting {
+		add(s)
+	}
+	for _, s := range in.prefillQ {
+		add(s)
+	}
+	for _, s := range in.running {
+		add(s)
+	}
+	return load
+}
+
+// queueDepth is the router's congestion signal: sequences owned.
+func (in *instance) queueDepth() int { return len(in.waiting) + in.active() }
+
+// arrive enqueues a routed request. An idle instance defers its wake to
+// a same-instant event, so that simultaneous arrivals are all queued
+// before the boundary runs — the event-driven analogue of the historical
+// loop jumping its clock to the next arrival and ingesting everything due.
+func (in *instance) arrive(now float64, s *seqState) {
+	in.waiting = append(in.waiting, s)
+	in.kick()
+}
+
+// kick schedules an immediate iteration boundary on an idle instance.
+func (in *instance) kick() {
+	if in.busy || in.down {
+		return
+	}
+	in.busy = true
+	epoch := in.epoch
+	in.eng.After(0, func(t float64) {
+		if in.epoch != epoch {
+			return
+		}
+		in.busy = false
+		in.step(t)
+	})
+}
+
+// admit mirrors the historical admission rule: cache lookups happen on
+// first admission only, OnDemand reserves behind the watermark, the
+// default reserves the oracle footprint.
+func (in *instance) admit(now float64, s *seqState) bool {
+	if in.gpu.MaxBatch > 0 && in.active() >= in.gpu.MaxBatch {
+		return false
+	}
+	if !s.admitted { // cache lookups happen once, not on re-admission
+		if in.opts.Prefix != nil {
+			s.saved = in.opts.Prefix.SavedTokens(s.req.PrefixID, s.req.PrefixTokens)
+		}
+		if in.opts.SessionCache != nil {
+			if hit := in.opts.SessionCache.Lookup(now, s.req.Session, s.req.HistoryTokens, s.req.PromptTokens); hit > s.saved {
+				s.saved = hit
+			}
+		}
+		// generated > 0 only for crash-dropped sequences being
+		// re-admitted elsewhere: their emitted tokens' KV must be
+		// recomputed, exactly as after a preemption.
+		s.prefillLeft = s.req.PromptTokens - s.saved + s.generated
+	}
+	if in.opts.OnDemand {
+		// Admit behind the watermark, reserving only what must be
+		// prefilled now (plus already-generated tokens of a resumed
+		// sequence).
+		if float64(in.kv.UsedBlocks()) >= admissionWatermark*float64(in.kv.Capacity()) {
+			return false
+		}
+		if !in.kv.Alloc(s.req.ID, s.prefillLeft+s.generated) {
+			return false
+		}
+	} else {
+		// Oracle reservation of the full eventual footprint.
+		need := s.req.PromptTokens - s.saved + s.req.OutputTokens
+		if !in.kv.Alloc(s.req.ID, need) {
+			return false
+		}
+	}
+	s.admitted = true
+	return true
+}
+
+// preempt frees every block the victim holds (all-or-nothing) and
+// requeues it at the head of the waiting queue; a later prefill
+// recomputes its prompt plus everything it had generated.
+func (in *instance) preempt(v *seqState) {
+	in.kv.Free(v.req.ID)
+	v.prefillLeft = v.req.PromptTokens - v.saved + v.generated
+	in.waiting = append([]*seqState{v}, in.waiting...)
+	in.preemptions++
+}
+
+func (in *instance) finish(now float64, s *seqState) {
+	in.kv.Free(s.req.ID)
+	if in.opts.SessionCache != nil && s.req.Session != "" {
+		in.opts.SessionCache.Store(now, s.req.Session, s.req.PromptTokens+s.req.OutputTokens)
+	}
+	r := s.result()
+	r.Instance = in.id
+	in.onFinish(now, r)
+}
+
+// step runs at an iteration boundary: admit FCFS, then start the next
+// iteration or go idle. One call reproduces one pass of the historical
+// RunContinuous loop; the engine's (time, seq) order delivers arrivals
+// exactly where the loop used to ingest them.
+func (in *instance) step(now float64) {
+	if in.down {
+		in.busy = false
+		return
+	}
+	for len(in.waiting) > 0 && in.admit(now, in.waiting[0]) {
+		in.prefillQ = append(in.prefillQ, in.waiting[0])
+		in.waiting = in.waiting[1:]
+	}
+	if in.active() == 0 {
+		in.busy = false
+		return // idle: the next arrival (or recovery) re-kicks
+	}
+	in.busy = true
+	epoch := in.epoch
+
+	if in.opts.ChunkTokens == 0 && len(in.prefillQ) > 0 {
+		// Dedicated prefill iteration: one whole prompt; decodes stall
+		// behind it. Effects (including the pop) apply at the end so a
+		// crash mid-prefill drops the sequence with everything else.
+		s := in.prefillQ[0]
+		iterMS := in.gpu.prefillMS(s.prefillLeft) * in.slow
+		in.eng.At(now+iterMS, func(end float64) {
+			if in.epoch != epoch {
+				return
+			}
+			in.endPrefill(end, s)
+		})
+		return
+	}
+
+	// One mixed iteration: an optional prefill chunk plus one decode
+	// step for every running sequence. Chunk bookkeeping applies now,
+	// as the historical loop did; decode effects at the iteration end.
+	var iterMS float64
+	completing := false
+	if in.opts.ChunkTokens > 0 && len(in.prefillQ) > 0 {
+		s := in.prefillQ[0]
+		chunk := in.opts.ChunkTokens
+		if chunk > s.prefillLeft {
+			chunk = s.prefillLeft
+		}
+		iterMS += in.gpu.prefillMS(chunk)
+		s.prefillLeft -= chunk
+		s.prefilled += chunk
+		completing = s.prefillLeft == 0 // first token lands at iteration end
+	}
+	if len(in.running) > 0 {
+		iterMS += in.gpu.decodeIterMS(len(in.running))
+	}
+	if iterMS == 0 {
+		iterMS = in.gpu.DecodeBaseMS // defensive: never stall the clock
+	}
+	iterMS *= in.slow
+	in.eng.At(now+iterMS, func(end float64) {
+		if in.epoch != epoch {
+			return
+		}
+		in.endMixed(end, completing)
+	})
+}
+
+// endPrefill applies a dedicated prefill iteration's effects. The
+// prefill emits the first token unless this is a preempted sequence
+// being recomputed, whose first token was already served.
+func (in *instance) endPrefill(now float64, s *seqState) {
+	in.prefillQ = in.prefillQ[1:]
+	s.prefilled += s.prefillLeft
+	s.prefillLeft = 0
+	if s.generated == 0 {
+		s.generated = 1
+		s.firstTokenMS = now
+	}
+	s.finishMS = now
+	if s.req.OutputTokens <= s.generated {
+		in.finish(now, s)
+	} else {
+		in.running = append(in.running, s)
+	}
+	in.step(now)
+}
+
+// endMixed applies a mixed iteration's decode step, including OnDemand
+// growth and all-or-nothing preemption, then the completing prefill's
+// first token.
+func (in *instance) endMixed(now float64, completing bool) {
+	var comp *seqState
+	if completing {
+		comp = in.prefillQ[0]
+		in.prefillQ = in.prefillQ[1:]
+	}
+	preempted := map[*seqState]bool{}
+	stillRunning := in.running[:0]
+	for idx, s := range in.running {
+		if preempted[s] {
+			continue
+		}
+		s.generated++
+		s.finishMS = now
+		if s.generated >= s.req.OutputTokens {
+			in.finish(now, s)
+			continue
+		}
+		if in.opts.OnDemand {
+			ok := true
+			for !in.kv.Extend(s.req.ID, s.req.PromptTokens-s.saved+s.generated) {
+				// Victim: the most recently admitted running sequence
+				// that is not s and not already preempted.
+				var victim *seqState
+				for j := len(in.running) - 1; j > idx; j-- {
+					if !preempted[in.running[j]] {
+						victim = in.running[j]
+						break
+					}
+				}
+				if victim == nil {
+					// No lower-priority sequence to evict: all-or-nothing
+					// now applies to s itself — free everything it holds
+					// and recompute it later.
+					preempted[s] = true
+					in.preempt(s)
+					ok = false
+					break
+				}
+				preempted[victim] = true
+				in.preempt(victim)
+			}
+			if !ok {
+				continue
+			}
+		}
+		stillRunning = append(stillRunning, s)
+	}
+	in.running = stillRunning
+	if comp != nil && !preempted[comp] {
+		if comp.generated == 0 {
+			comp.generated = 1
+			comp.firstTokenMS = now
+		}
+		comp.finishMS = now
+		if comp.req.OutputTokens <= comp.generated {
+			in.finish(now, comp)
+		} else {
+			in.running = append(in.running, comp)
+		}
+	}
+	in.step(now)
+}
+
+// crash drops the instance: every owned sequence (in-flight first, then
+// the waiting queue) is surrendered through onDrop with its KV freed and
+// its cache savings forgotten, the in-flight iteration is invalidated,
+// and GPU-resident cache state (prefix cache, session store GPU tier)
+// dies with the device.
+func (in *instance) crash(now float64) {
+	in.down = true
+	in.busy = false
+	in.epoch++
+	dropped := make([]*seqState, 0, len(in.prefillQ)+len(in.running)+len(in.waiting))
+	for _, s := range in.prefillQ {
+		in.kv.Free(s.req.ID)
+		dropped = append(dropped, s)
+	}
+	for _, s := range in.running {
+		in.kv.Free(s.req.ID)
+		dropped = append(dropped, s)
+	}
+	dropped = append(dropped, in.waiting...) // never admitted: hold no KV
+	in.prefillQ, in.running, in.waiting = nil, nil, nil
+	if in.opts.Prefix != nil {
+		in.opts.Prefix.Invalidate()
+	}
+	if in.opts.SessionCache != nil {
+		in.opts.SessionCache.DropGPU()
+	}
+	for _, s := range dropped {
+		// Emitted tokens were already streamed to the client and are
+		// kept; their KV (and any cache savings) must be recomputed
+		// wherever the sequence lands next.
+		s.admitted = false
+		s.saved = 0
+		s.prefillLeft = 0
+		if in.onDrop != nil {
+			in.onDrop(now, s)
+		}
+	}
+}
+
+// recoverAt brings a crashed instance back empty; anything queued while
+// it was down (routed by a policy that kept trying) starts immediately.
+func (in *instance) recoverAt(now float64) {
+	in.down = false
+	if len(in.waiting) > 0 {
+		in.kick()
+	}
+}
+
+// setSlowdown applies a straggler window's cost factor; it takes effect
+// from the next scheduled iteration.
+func (in *instance) setSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	in.slow = factor
+}
+
+// scheduleArrivals schedules one engine event per request, in stable
+// arrival order, delivering each to inst: requests whose footprint can
+// never fit are rejected at arrival, mirroring the historical loop's
+// ingest check. reqs must already be sorted by ArrivalMS (stable).
+func scheduleArrivals(eng *sim.Engine, gpu GPUConfig, reqs []workload.Request, inst *instance, reject func(Result)) {
+	capacityTokens := inst.kv.Capacity() * gpu.BlockSize
+	for _, r := range reqs {
+		eng.At(r.ArrivalMS, func(now float64) {
+			footprint := r.PromptTokens + r.OutputTokens
+			if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
+				reject(Result{Req: r, Rejected: true})
+				return
+			}
+			inst.arrive(now, &seqState{req: r})
+		})
+	}
+}

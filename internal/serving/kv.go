@@ -198,6 +198,16 @@ func (pc *PrefixCache) Stats() (hits, misses int) {
 	return pc.hits, pc.misses
 }
 
+// Invalidate forgets every cached prefix — an instance crash takes its
+// GPU-resident prefix KV with it. Hit/miss counters survive: they count
+// lookups, not residency.
+func (pc *PrefixCache) Invalidate() {
+	if pc == nil {
+		return
+	}
+	pc.tokensByPrefix = make(map[string]int)
+}
+
 // MaxConcurrent reports how many sequences of the given prompt+output
 // length the manager could hold at once — the E13 concurrency headroom
 // comparison.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"dataai/internal/resilient"
+	"dataai/internal/sim"
 	"dataai/internal/token"
 	"dataai/internal/workload"
 )
@@ -13,13 +15,20 @@ type RouterPolicy int
 
 // Supported routing policies.
 const (
-	// RoundRobin spreads requests evenly, ignoring cache state.
+	// RoundRobin rotates through instances, ignoring cache and health
+	// state — the naive baseline.
 	RoundRobin RouterPolicy = iota
 	// CacheAware routes requests sharing a prefix or session to the
 	// same instance, so its KV cache serves them — the KV-centric
 	// scheduling idea of Mooncake [45]: cache reuse is worth more than
-	// perfect load spread.
+	// perfect load spread. Requests with no affinity go to the instance
+	// with the least outstanding token load.
 	CacheAware
+	// BreakerAware scores instances by live load and cache affinity, but
+	// feeds each instance's circuit-breaker state (resilient.Breaker,
+	// driven by crash detections) into the score so the router steers
+	// around tripped instances and trickles probes at half-open ones.
+	BreakerAware
 )
 
 // String names the policy.
@@ -29,6 +38,8 @@ func (p RouterPolicy) String() string {
 		return "round-robin"
 	case CacheAware:
 		return "cache-aware"
+	case BreakerAware:
+		return "breaker-aware"
 	default:
 		return fmt.Sprintf("router(%d)", int(p))
 	}
@@ -40,45 +51,180 @@ type RoutedReport struct {
 	// PrefixHits and PrefixMisses sum the per-instance prefix caches.
 	PrefixHits   int
 	PrefixMisses int
+	// Rerouted counts sequences re-routed to another instance after a
+	// crash dropped them (each hop counts once).
+	Rerouted int
+	// Crashes counts instance-crash windows the fault plan applied.
+	Crashes int
 }
 
-// RunRouted serves the trace on n instances behind a router. Every
-// instance gets its own prefix cache (and session store when sessions
-// appear in the trace); the routing policy decides which instance's
-// cache a request can hit.
+// clusterTally tracks simultaneous KV occupancy across every instance of
+// a routed run — the true cluster high-water mark, which summing
+// per-instance peaks from unsynchronized runs used to overstate.
+type clusterTally struct{ used, peak int }
+
+// talliedKV wraps one instance's KVManager and mirrors its block deltas
+// into the shared cluster tally.
+type talliedKV struct {
+	KVManager
+	tally *clusterTally
+}
+
+func (t *talliedKV) settle(before int) {
+	t.tally.used += t.KVManager.UsedBlocks() - before
+	if t.tally.used > t.tally.peak {
+		t.tally.peak = t.tally.used
+	}
+}
+
+// Alloc implements KVManager.
+func (t *talliedKV) Alloc(id string, tokens int) bool {
+	before := t.KVManager.UsedBlocks()
+	ok := t.KVManager.Alloc(id, tokens)
+	t.settle(before)
+	return ok
+}
+
+// Extend implements KVManager.
+func (t *talliedKV) Extend(id string, newTotal int) bool {
+	before := t.KVManager.UsedBlocks()
+	ok := t.KVManager.Extend(id, newTotal)
+	t.settle(before)
+	return ok
+}
+
+// Free implements KVManager.
+func (t *talliedKV) Free(id string) {
+	before := t.KVManager.UsedBlocks()
+	t.KVManager.Free(id)
+	t.settle(before)
+}
+
+// Routing-score constants for BreakerAware: an open breaker pushes an
+// instance past any plausible load, a half-open one costs a moderate
+// token handicap (probes trickle back once the healthy instances carry
+// real queues), and cache affinity halves the effective load.
+const (
+	openPenalty     = 1e9
+	halfOpenPenalty = 2000
+	affinityFactor  = 0.5
+)
+
+// cluster is a routed serving run in flight: n instances on one engine,
+// a router making per-arrival decisions from live state, and optional
+// fault windows.
+type cluster struct {
+	eng      *sim.Engine
+	insts    []*instance
+	prefixes []*PrefixCache
+	breakers []*resilient.Breaker
+	policy   RouterPolicy
+
+	rr       int // RoundRobin rotation counter
+	pending  int // requests arrived-or-scheduled and not yet resolved
+	rerouted int
+	crashes  int
+	results  []Result
+}
+
+// affinity returns the instance a request's prefix or session hashes to,
+// or -1 when it has neither.
+func (c *cluster) affinity(r workload.Request) int {
+	n := len(c.insts)
+	if r.PrefixID != "" {
+		return int(token.Hash64(r.PrefixID) % uint64(n))
+	}
+	if r.Session != "" {
+		return int(token.Hash64(r.Session) % uint64(n))
+	}
+	return -1
+}
+
+// leastLoaded returns the instance with the smallest live outstanding
+// token load, skipping exclude (ties break to the lowest index).
+func (c *cluster) leastLoaded(exclude int) int {
+	best := -1
+	for i, in := range c.insts {
+		if i == exclude && len(c.insts) > 1 {
+			continue
+		}
+		if best < 0 || in.queueLoad() < c.insts[best].queueLoad() {
+			best = i
+		}
+	}
+	return best
+}
+
+// route picks the instance for a request arriving now. exclude is the
+// instance a re-routed sequence was just dropped by (-1 for fresh
+// arrivals): sending it straight back would race its own recovery.
+func (c *cluster) route(now float64, r workload.Request, exclude int) int {
+	n := len(c.insts)
+	switch c.policy {
+	case CacheAware:
+		if g := c.affinity(r); g >= 0 && (g != exclude || n == 1) {
+			return g
+		}
+		return c.leastLoaded(exclude)
+	case BreakerAware:
+		aff := c.affinity(r)
+		best, bestScore := -1, 0.0
+		for i, in := range c.insts {
+			if i == exclude && n > 1 {
+				continue
+			}
+			score := float64(in.queueLoad())
+			if i == aff {
+				score *= affinityFactor
+			}
+			switch c.breakers[i].StateAt(now) {
+			case resilient.BreakerOpen:
+				score += openPenalty
+			case resilient.BreakerHalfOpen:
+				score += halfOpenPenalty
+			}
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		return best
+	default: // RoundRobin
+		g := c.rr % n
+		c.rr++
+		if g == exclude && n > 1 {
+			g = c.rr % n
+			c.rr++
+		}
+		return g
+	}
+}
+
+// RunRouted serves the trace on n instances behind an online router:
+// every request is assigned at its arrival instant from the cluster's
+// live state (queue load, breaker state, cache affinity), with all
+// instances sharing one discrete-event clock. Every instance gets its
+// own prefix cache (and session store when sessions appear in the
+// trace); the routing policy decides which instance's cache a request
+// can hit.
 func RunRouted(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts) (*RoutedReport, error) {
+	return RunRoutedFaults(gpu, reqs, n, policy, opts, nil)
+}
+
+// RunRoutedFaults is RunRouted under a cluster fault plan: instances
+// crash and recover on seeded windows (dropping their in-flight
+// sequences back through the router after a detection delay), straggler
+// windows slow them down, and per-instance circuit breakers observe the
+// failures — which the BreakerAware policy folds into its routing score.
+// A nil plan injects nothing.
+func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts, plan *FaultPlan) (*RoutedReport, error) {
+	if err := gpu.Validate(); err != nil {
+		return nil, err
+	}
 	if n < 1 {
 		return nil, fmt.Errorf("%w: instances %d", ErrConfig, n)
 	}
 	ordered := append([]workload.Request(nil), reqs...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
-
-	shares := make([][]workload.Request, n)
-	loads := make([]int, n) // outstanding token load per instance
-	pick := func(r workload.Request) int {
-		if policy == CacheAware {
-			if r.PrefixID != "" {
-				return int(token.Hash64(r.PrefixID) % uint64(n))
-			}
-			if r.Session != "" {
-				return int(token.Hash64(r.Session) % uint64(n))
-			}
-		}
-		// Least-loaded fallback (round-robin degenerate under equal
-		// loads, deterministic tie-break by index).
-		best := 0
-		for i := 1; i < n; i++ {
-			if loads[i] < loads[best] {
-				best = i
-			}
-		}
-		return best
-	}
-	for _, r := range ordered {
-		g := pick(r)
-		shares[g] = append(shares[g], r)
-		loads[g] += r.PromptTokens + r.OutputTokens
-	}
 
 	hasSessions := false
 	for _, r := range ordered {
@@ -88,16 +234,24 @@ func RunRouted(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolic
 		}
 	}
 
-	var all []Result
-	var peak, preemptions, hits, misses int
-	for _, share := range shares {
-		if len(share) == 0 {
-			continue
-		}
-		shareOpts := opts
-		shareOpts.KV = nil
-		pc := NewPrefixCache()
-		shareOpts.Prefix = pc
+	c := &cluster{
+		eng: sim.NewEngine(), policy: policy,
+		insts:    make([]*instance, n),
+		prefixes: make([]*PrefixCache, n),
+		breakers: make([]*resilient.Breaker, n),
+		pending:  len(ordered),
+	}
+	tally := &clusterTally{}
+	cooldown := 1000.0
+	if plan != nil {
+		cooldown = plan.crashDownMS()
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		instOpts := opts
+		instOpts.KV = &talliedKV{KVManager: NewPagedKV(gpu), tally: tally}
+		c.prefixes[i] = NewPrefixCache()
+		instOpts.Prefix = c.prefixes[i]
 		if hasSessions {
 			store, err := NewSessionStore(SessionStoreConfig{
 				GPUCapacityTokens:  gpu.KVBlocks * gpu.BlockSize / 4,
@@ -107,23 +261,91 @@ func RunRouted(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolic
 			if err != nil {
 				return nil, err
 			}
-			shareOpts.SessionCache = store
+			instOpts.SessionCache = store
 		}
-		rep, err := RunContinuous(gpu, share, shareOpts)
-		if err != nil {
-			return nil, err
+		c.breakers[i] = resilient.NewBreaker(resilient.BreakerPolicy{FailureThreshold: 2, CooldownMS: cooldown})
+		c.insts[i] = newInstance(i, gpu, instOpts, c.eng, func(now float64, r Result) {
+			c.results = append(c.results, r)
+			c.breakers[i].OnSuccess(now)
+			c.pending--
+		})
+		c.insts[i].onDrop = func(now float64, s *seqState) {
+			// The router learns of the loss a detection delay later and
+			// re-routes the sequence away from the crashed instance.
+			c.eng.At(now+plan.detectMS(), func(t float64) {
+				c.breakers[i].OnFailure(t)
+				c.rerouted++
+				g := c.route(t, s.req, i)
+				c.insts[g].arrive(t, s)
+			})
 		}
-		all = append(all, rep.Results...)
-		peak += rep.PeakKVBlocks
-		preemptions += rep.Preemptions
-		h, m := pc.Stats()
+	}
+
+	capacityTokens := gpu.KVBlocks * gpu.BlockSize
+	for _, r := range ordered {
+		r := r
+		c.eng.At(r.ArrivalMS, func(now float64) {
+			footprint := r.PromptTokens + r.OutputTokens
+			if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
+				c.results = append(c.results, Result{Req: r, Rejected: true})
+				c.pending--
+				return
+			}
+			g := c.route(now, r, -1)
+			c.insts[g].arrive(now, &seqState{req: r})
+		})
+	}
+
+	if plan != nil {
+		var windowAt func(w int)
+		windowAt = func(w int) {
+			c.eng.At(float64(w)*plan.windowMS(), func(now float64) {
+				if c.pending == 0 {
+					return // trace fully resolved: stop driving windows
+				}
+				for i, in := range c.insts {
+					if in.down {
+						continue
+					}
+					in.setSlowdown(plan.slowdownAt(i, w))
+					if plan.crashAt(i, w) {
+						c.crashes++
+						in.crash(now)
+						c.eng.At(now+plan.detectMS(), func(t float64) {
+							// Health check: the detector notices the dead
+							// instance even when nothing was in flight.
+							c.breakers[i].OnFailure(t)
+						})
+						c.eng.At(now+plan.crashDownMS(), func(t float64) {
+							in.setSlowdown(1)
+							in.recoverAt(t)
+						})
+					}
+				}
+				windowAt(w + 1)
+			})
+		}
+		windowAt(0)
+	}
+
+	c.eng.Run()
+
+	var hits, misses, preemptions int
+	for i, in := range c.insts {
+		for _, s := range in.waiting {
+			c.results = append(c.results, Result{Req: s.req, Rejected: true})
+		}
+		h, m := c.prefixes[i].Stats()
 		hits += h
 		misses += m
+		preemptions += in.preemptions
 	}
-	out := &RoutedReport{Report: *buildReport(all)}
-	out.PeakKVBlocks = peak
+	out := &RoutedReport{Report: *buildReport(c.results)}
+	out.PeakKVBlocks = tally.peak
 	out.Preemptions = preemptions
 	out.PrefixHits = hits
 	out.PrefixMisses = misses
+	out.Rerouted = c.rerouted
+	out.Crashes = c.crashes
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dataai/internal/sim"
 	"dataai/internal/workload"
 )
 
@@ -142,7 +143,10 @@ type ContinuousOpts struct {
 const admissionWatermark = 0.95
 
 // RunContinuous serves the trace with iteration-level (continuous)
-// batching on one GPU.
+// batching on one GPU. Since the event-engine refactor it is a one-
+// instance cluster: the instance runs as a discrete-event process on a
+// private sim.Engine, with identical scheduling (and identical numbers)
+// to the historical standalone loop.
 func RunContinuous(gpu GPUConfig, reqs []workload.Request, opts ContinuousOpts) (*Report, error) {
 	if err := gpu.Validate(); err != nil {
 		return nil, err
@@ -150,218 +154,22 @@ func RunContinuous(gpu GPUConfig, reqs []workload.Request, opts ContinuousOpts) 
 	if opts.ChunkTokens < 0 {
 		return nil, fmt.Errorf("%w: chunk tokens %d", ErrConfig, opts.ChunkTokens)
 	}
-	kv := opts.KV
-	if kv == nil {
-		kv = NewPagedKV(gpu)
-	}
 	ordered := append([]workload.Request(nil), reqs...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
 
+	eng := sim.NewEngine()
 	var results []Result
-	clock := 0.0
-	next := 0 // next arrival index
-	var waiting []*seqState
-	var prefillQ []*seqState // admitted, prefill outstanding
-	var running []*seqState  // decoding
-	active := func() int { return len(prefillQ) + len(running) }
-
-	preemptions := 0
-	admit := func(s *seqState) bool {
-		if gpu.MaxBatch > 0 && active() >= gpu.MaxBatch {
-			return false
-		}
-		if !s.admitted { // cache lookups happen once, not on re-admission
-			if opts.Prefix != nil {
-				s.saved = opts.Prefix.SavedTokens(s.req.PrefixID, s.req.PrefixTokens)
-			}
-			if opts.SessionCache != nil {
-				if hit := opts.SessionCache.Lookup(clock, s.req.Session, s.req.HistoryTokens, s.req.PromptTokens); hit > s.saved {
-					s.saved = hit
-				}
-			}
-			s.prefillLeft = s.req.PromptTokens - s.saved
-		}
-		if opts.OnDemand {
-			// Admit behind the watermark, reserving only what must be
-			// prefilled now (plus already-generated tokens of a resumed
-			// sequence).
-			if float64(kv.UsedBlocks()) >= admissionWatermark*float64(kv.Capacity()) {
-				return false
-			}
-			if !kv.Alloc(s.req.ID, s.prefillLeft+s.generated) {
-				return false
-			}
-		} else {
-			// Oracle reservation of the full eventual footprint.
-			need := s.req.PromptTokens - s.saved + s.req.OutputTokens
-			if !kv.Alloc(s.req.ID, need) {
-				return false
-			}
-		}
-		s.admitted = true
-		return true
-	}
-
-	// preempt frees every block the victim holds (all-or-nothing) and
-	// requeues it at the head of the waiting queue; a later prefill
-	// recomputes its prompt plus everything it had generated.
-	preempt := func(v *seqState, waiting *[]*seqState) {
-		kv.Free(v.req.ID)
-		v.prefillLeft = v.req.PromptTokens - v.saved + v.generated
-		*waiting = append([]*seqState{v}, *waiting...)
-		preemptions++
-	}
-
-	finish := func(s *seqState) {
-		kv.Free(s.req.ID)
-		if opts.SessionCache != nil && s.req.Session != "" {
-			opts.SessionCache.Store(clock, s.req.Session, s.req.PromptTokens+s.req.OutputTokens)
-		}
-		results = append(results, s.result())
-	}
-
-	capacityTokens := kv.Capacity() * gpu.BlockSize
-	for next < len(ordered) || len(waiting) > 0 || active() > 0 {
-		// Move arrivals into the waiting queue, rejecting requests that
-		// can never fit (they would otherwise block the FIFO forever).
-		for next < len(ordered) && ordered[next].ArrivalMS <= clock {
-			r := ordered[next]
-			next++
-			footprint := r.PromptTokens + r.OutputTokens
-			if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
-				results = append(results, Result{Req: r, Rejected: true})
-				continue
-			}
-			waiting = append(waiting, &seqState{req: r})
-		}
-		// Admit FCFS while space permits.
-		for len(waiting) > 0 && admit(waiting[0]) {
-			prefillQ = append(prefillQ, waiting[0])
-			waiting = waiting[1:]
-		}
-
-		if active() == 0 {
-			if next < len(ordered) {
-				clock = ordered[next].ArrivalMS
-				continue
-			}
-			break // nothing active, nothing arriving: waiting can never admit
-		}
-
-		if opts.ChunkTokens == 0 && len(prefillQ) > 0 {
-			// Dedicated prefill iterations: one whole prompt at a time;
-			// decodes stall behind it. The prefill iteration emits the
-			// first token (unless this is a preempted sequence being
-			// recomputed, whose first token was already served).
-			s := prefillQ[0]
-			prefillQ = prefillQ[1:]
-			clock += gpu.prefillMS(s.prefillLeft)
-			s.prefilled += s.prefillLeft
-			s.prefillLeft = 0
-			if s.generated == 0 {
-				s.generated = 1
-				s.firstTokenMS = clock
-			}
-			s.finishMS = clock
-			if s.req.OutputTokens <= s.generated {
-				finish(s)
-			} else {
-				running = append(running, s)
-			}
-			continue
-		}
-
-		// One mixed iteration: an optional prefill chunk plus one decode
-		// step for every running sequence.
-		var iterMS float64
-		var completing *seqState
-		if opts.ChunkTokens > 0 && len(prefillQ) > 0 {
-			s := prefillQ[0]
-			chunk := opts.ChunkTokens
-			if chunk > s.prefillLeft {
-				chunk = s.prefillLeft
-			}
-			iterMS += gpu.prefillMS(chunk)
-			s.prefillLeft -= chunk
-			s.prefilled += chunk
-			if s.prefillLeft == 0 {
-				prefillQ = prefillQ[1:]
-				completing = s // first token lands at this iteration's end
-			}
-		}
-		if len(running) > 0 {
-			iterMS += gpu.decodeIterMS(len(running))
-		}
-		if iterMS == 0 {
-			iterMS = gpu.DecodeBaseMS // defensive: never stall the clock
-		}
-		clock += iterMS
-
-		preempted := map[*seqState]bool{}
-		stillRunning := running[:0]
-		for idx, s := range running {
-			if preempted[s] {
-				continue
-			}
-			s.generated++
-			s.finishMS = clock
-			if s.generated >= s.req.OutputTokens {
-				finish(s)
-				continue
-			}
-			if opts.OnDemand {
-				ok := true
-				for !kv.Extend(s.req.ID, s.req.PromptTokens-s.saved+s.generated) {
-					// Victim: the most recently admitted running sequence
-					// that is not s and not already preempted.
-					var victim *seqState
-					for j := len(running) - 1; j > idx; j-- {
-						if !preempted[running[j]] {
-							victim = running[j]
-							break
-						}
-					}
-					if victim == nil {
-						// No lower-priority sequence to evict: vLLM's
-						// all-or-nothing now applies to s itself — free
-						// everything it holds and recompute it later,
-						// once the earlier sequences release memory.
-						preempted[s] = true
-						preempt(s, &waiting)
-						ok = false
-						break
-					}
-					preempted[victim] = true
-					preempt(victim, &waiting)
-				}
-				if !ok {
-					continue
-				}
-			}
-			stillRunning = append(stillRunning, s)
-		}
-		running = stillRunning
-		if completing != nil && !preempted[completing] {
-			if completing.generated == 0 {
-				completing.generated = 1
-				completing.firstTokenMS = clock
-			}
-			completing.finishMS = clock
-			if completing.req.OutputTokens <= completing.generated {
-				finish(completing)
-			} else {
-				running = append(running, completing)
-			}
-		}
-	}
+	inst := newInstance(0, gpu, opts, eng, func(_ float64, r Result) { results = append(results, r) })
+	scheduleArrivals(eng, gpu, ordered, inst, func(r Result) { results = append(results, r) })
+	eng.Run()
 
 	// Anything still waiting could never be admitted (footprint larger
 	// than the whole cache): report as rejected.
-	for _, s := range waiting {
+	for _, s := range inst.waiting {
 		results = append(results, Result{Req: s.req, Rejected: true})
 	}
 	rep := buildReport(results)
-	rep.PeakKVBlocks = kv.PeakBlocks()
-	rep.Preemptions = preemptions
+	rep.PeakKVBlocks = inst.kv.PeakBlocks()
+	rep.Preemptions = inst.preemptions
 	return rep, nil
 }

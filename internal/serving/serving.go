@@ -108,6 +108,9 @@ type Result struct {
 	// Rejected requests could not be admitted (KV exhaustion with no
 	// possibility of progress).
 	Rejected bool
+	// Instance is the index of the cluster instance that completed the
+	// request (0 for single-instance runs).
+	Instance int
 }
 
 // Report aggregates a simulation.

@@ -256,6 +256,17 @@ func (s *SessionStore) evictCPULRU() bool {
 	return true
 }
 
+// DropGPU wipes the GPU-resident tier — an instance crash loses device
+// memory, while the CPU (host-memory) tier survives and keeps serving
+// transfer-priced hits after recovery. Stats counters are preserved.
+func (s *SessionStore) DropGPU() {
+	if s == nil {
+		return
+	}
+	s.gpu = make(map[string]*storeEntry)
+	s.gpuUsed = 0
+}
+
 // HitRate is hits / (hits + misses).
 func (s *SessionStore) HitRate() float64 {
 	if s.Hits+s.Misses == 0 {

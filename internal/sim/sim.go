@@ -1,0 +1,111 @@
+// Package sim is the shared discrete-event engine the serving simulators
+// run on. It provides a logical-millisecond clock and a deterministic
+// event queue: events fire in (time, seq) total order, where seq is the
+// scheduling order, so two events at the same instant fire in the order
+// they were scheduled. Nothing sleeps and nothing reads wall time — a
+// run is a pure function of the events its processes schedule, which is
+// what lets a whole serving cluster (instances, routers, fault windows)
+// share one clock and still produce byte-identical reports on every run.
+//
+// The engine is deliberately single-threaded: handlers run one at a
+// time, in order, on the caller's goroutine. Determinism comes from the
+// total order, not from locking; concurrency belongs one level up
+// (benchall runs whole experiments in parallel, each on its own engine).
+package sim
+
+import "container/heap"
+
+// Handler is an event callback. now is the event's firing time on the
+// logical clock (always >= every previously fired event's time).
+type Handler func(now float64)
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  uint64
+	fn   Handler
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event loop. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	queue eventHeap
+	seq   uint64
+	now   float64
+	// fired counts delivered events (visible for tests and reports).
+	fired uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now is the current logical time in milliseconds: the firing time of
+// the event being handled (or of the last one handled).
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports how many events have been delivered.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn at absolute time t. Scheduling in the past (t < Now)
+// clamps to Now: the event fires next, after already-queued events at
+// the current instant — time never runs backwards.
+func (e *Engine) At(t float64, fn Handler) {
+	if t < e.now {
+		t = e.now
+	}
+	heap.Push(&e.queue, event{time: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn d milliseconds from Now. Negative d clamps to zero.
+func (e *Engine) After(d float64, fn Handler) {
+	e.At(e.now+d, fn)
+}
+
+// Run fires events in (time, seq) order until the queue is empty.
+// Handlers may schedule further events.
+func (e *Engine) Run() {
+	for len(e.queue) > 0 {
+		e.Step()
+	}
+}
+
+// Step fires the single next event, reporting false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.time
+	e.fired++
+	ev.fn(ev.time)
+	return true
+}

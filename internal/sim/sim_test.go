@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func(now float64) { got = append(got, 3) })
+	e.At(10, func(now float64) { got = append(got, 1) })
+	e.At(20, func(now float64) { got = append(got, 2) })
+	e.Run()
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %v, want 30", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	// Events at the same instant fire in the order they were scheduled —
+	// the (time, seq) total order the serving cluster's determinism
+	// rests on.
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 16; i++ {
+		i := i
+		e.At(5, func(now float64) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie at seq %d fired as %d: %v", i, v, got)
+		}
+	}
+}
+
+func TestHandlersScheduleMoreEvents(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	var chain func(now float64)
+	n := 0
+	chain = func(now float64) {
+		times = append(times, now)
+		n++
+		if n < 4 {
+			e.After(2.5, chain)
+		}
+	}
+	e.At(1, chain)
+	e.Run()
+	if want := []float64{1, 3.5, 6, 8.5}; !reflect.DeepEqual(times, want) {
+		t.Errorf("times = %v, want %v", times, want)
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.At(10, func(now float64) {
+		e.At(3, func(now float64) { at = now }) // in the past: fires at 10
+	})
+	e.Run()
+	if at != 10 {
+		t.Errorf("past event fired at %v, want 10", at)
+	}
+}
+
+func TestPastEventFiresAfterQueuedSameInstant(t *testing.T) {
+	// A clamped-to-now event still respects seq order against events
+	// already queued at the current instant.
+	e := NewEngine()
+	var got []string
+	e.At(10, func(now float64) {
+		e.At(0, func(now float64) { got = append(got, "late") })
+	})
+	e.At(10, func(now float64) { got = append(got, "peer") })
+	e.Run()
+	if want := []string{"peer", "late"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(5, func(now float64) {
+		e.After(-100, func(now float64) { fired = now == 5 })
+	})
+	e.Run()
+	if !fired {
+		t.Error("negative After did not fire at Now")
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty engine reported work")
+	}
+	e.At(1, func(now float64) {})
+	e.At(2, func(now float64) {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	if !e.Step() || e.Pending() != 1 {
+		t.Errorf("after one Step: pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("after Run: pending = %d", e.Pending())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		var times []float64
+		for i := 0; i < 50; i++ {
+			d := float64((i * 37) % 11)
+			e.At(d, func(now float64) { times = append(times, now) })
+		}
+		e.Run()
+		return times
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Error("engine runs diverged")
+	}
+}

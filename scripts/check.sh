@@ -34,6 +34,13 @@ echo "== resilience stress under race (repeated runs)"
 go test -race -count=3 ./internal/faults ./internal/resilient
 go test -race -count=3 -run 'SingleFlight|Parallel' ./internal/llm ./internal/semop
 
+echo "== servesim smoke (routed cluster end-to-end)"
+# One routed run with faults exercises the whole serving stack from the
+# CLI: event engine, online router, fault plan, breakers, re-routing.
+go build -o /tmp/dataai_servesim ./cmd/servesim
+/tmp/dataai_servesim -policy routed -instances 4 -router breaker-aware -faults severe -n 200 -rate 60 > /dev/null
+rm -f /tmp/dataai_servesim
+
 echo "== bench smoke (every Par benchmark runs once)"
 go test -run '^$' -bench=Par -benchtime=1x ./...
 
@@ -42,7 +49,7 @@ echo "== benchall serial vs parallel (fast subset, byte-identical)"
 # (cmd/benchall/main_test.go); this end-to-end gate re-checks the built
 # binary on a fast experiment subset so a flag-wiring regression cannot
 # hide behind the in-process test.
-subset="E1 E2 E5 E8 E11 E17 E19 E22"
+subset="E1 E2 E5 E8 E11 E17 E19 E22 E23"
 go build -o /tmp/dataai_benchall ./cmd/benchall
 /tmp/dataai_benchall $subset > /tmp/dataai_benchall_serial.txt
 /tmp/dataai_benchall -parallel 8 $subset > /tmp/dataai_benchall_par.txt
