@@ -16,12 +16,14 @@ import (
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.Run(id)
+		out, err := experiments.Run(id)
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
-		if tbl.String() == "" {
-			b.Fatalf("%s produced no table", id)
+		for _, tbl := range out.Tables {
+			if tbl.String() == "" {
+				b.Fatalf("%s produced an empty table", id)
+			}
 		}
 	}
 }

@@ -3,32 +3,43 @@
 //
 // Usage:
 //
-//	benchall                # run all experiments
-//	benchall E11 E12        # run selected experiments
-//	benchall -parallel 8    # run experiments concurrently (0 = GOMAXPROCS)
-//	benchall -list          # list experiment IDs and titles
+//	benchall                      # run all experiments
+//	benchall E11 E12              # run selected experiments
+//	benchall -parallel 8          # run experiments concurrently (0 = GOMAXPROCS)
+//	benchall -list                # list experiment IDs and titles
+//	benchall -json results.json   # also write machine-readable results
+//	benchall -trace-dir traces/   # write <id>.json Chrome traces for
+//	                              # experiments that record a timeline
 //
 // Output is byte-identical at every -parallel value: each experiment's
 // stdout section is rendered into a private buffer and the buffers are
 // flushed in id order, so concurrency changes wall-clock only (the
-// golden test in main_test.go pins this).
+// golden test in main_test.go pins this). The -json file serializes the
+// same rendered cells the text tables show, so the two views can never
+// disagree.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dataai/internal/experiments"
+	"dataai/internal/metrics"
+	"dataai/internal/obs"
 	"dataai/internal/par"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write machine-readable results to this path")
+	traceDir := flag.String("trace-dir", "", "write per-experiment Chrome traces (Perfetto-loadable) into this directory")
 	flag.Parse()
 
 	if *list {
@@ -55,38 +66,63 @@ func main() {
 			strings.Join(unknown, ", "), strings.Join(experiments.IDs(), " "))
 		os.Exit(2)
 	}
-	os.Exit(runAll(ids, *parallel, os.Stdout, os.Stderr))
+	os.Exit(runAll(ids, *parallel, os.Stdout, os.Stderr, *jsonPath, *traceDir))
 }
 
 // section is one experiment's buffered output: the stdout bytes (header
-// plus rendered table), the stderr bytes (failure message, if any), and
-// whether the experiment failed.
+// plus rendered tables), the stderr bytes (failure message, if any),
+// whether the experiment failed, and the structured results the -json
+// and -trace-dir sinks serialize.
 type section struct {
+	id     string
 	out    []byte
 	errOut []byte
 	failed bool
+	tables []*metrics.Table
+	trace  *obs.Tracer
+}
+
+// jsonResult is one experiment's entry in the -json file.
+type jsonResult struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Failed bool        `json:"failed,omitempty"`
+	Tables []jsonTable `json:"tables,omitempty"`
+}
+
+// jsonTable mirrors metrics.Table: the headers and the already-formatted
+// cell strings, exactly as the text rendering shows them.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // runAll runs ids on up to workers goroutines (workers <= 0 means
 // GOMAXPROCS) and flushes each experiment's buffered output in id-list
 // order, producing the same stdout and stderr bytes as the serial loop.
-// It returns the process exit code: 1 if any experiment failed, else 0.
-func runAll(ids []string, workers int, stdout, stderr io.Writer) int {
+// When jsonPath is non-empty it also writes the machine-readable result
+// file; when traceDir is non-empty it writes <id>.json Chrome traces for
+// experiments that recorded one. It returns the process exit code: 1 if
+// any experiment (or sink write) failed, else 0.
+func runAll(ids []string, workers int, stdout, stderr io.Writer, jsonPath, traceDir string) int {
 	secs := par.Map(len(ids), workers, func(i int) section {
 		id := ids[i]
 		var out, errOut bytes.Buffer
 		fmt.Fprintf(&out, "=== %s: %s\n", id, experiments.Title(id))
-		tbl, err := experiments.Run(id)
+		res, err := experiments.Run(id)
 		if err != nil {
 			fmt.Fprintf(&errOut, "%s failed: %v\n", id, err)
-			return section{out: out.Bytes(), errOut: errOut.Bytes(), failed: true}
+			return section{id: id, out: out.Bytes(), errOut: errOut.Bytes(), failed: true}
 		}
-		if err := tbl.Render(&out); err != nil {
-			fmt.Fprintf(&errOut, "%s render: %v\n", id, err)
-			return section{out: out.Bytes(), errOut: errOut.Bytes(), failed: true}
+		for _, tbl := range res.Tables {
+			if err := tbl.Render(&out); err != nil {
+				fmt.Fprintf(&errOut, "%s render: %v\n", id, err)
+				return section{id: id, out: out.Bytes(), errOut: errOut.Bytes(), failed: true}
+			}
 		}
 		fmt.Fprintln(&out)
-		return section{out: out.Bytes()}
+		return section{id: id, out: out.Bytes(), tables: res.Tables, trace: res.Trace}
 	})
 	failed := 0
 	for _, s := range secs {
@@ -98,8 +134,55 @@ func runAll(ids []string, workers int, stdout, stderr io.Writer) int {
 			failed++
 		}
 	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, secs); err != nil {
+			fmt.Fprintf(stderr, "benchall: %v\n", err)
+			failed++
+		}
+	}
+	if traceDir != "" {
+		if err := writeTraces(traceDir, secs); err != nil {
+			fmt.Fprintf(stderr, "benchall: %v\n", err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+func writeJSON(path string, secs []section) error {
+	results := make([]jsonResult, 0, len(secs))
+	for _, s := range secs {
+		r := jsonResult{ID: s.id, Title: experiments.Title(s.id), Failed: s.failed}
+		for _, tbl := range s.tables {
+			r.Tables = append(r.Tables, jsonTable{Title: tbl.Title, Headers: tbl.Headers(), Rows: tbl.Rows()})
+		}
+		results = append(results, r)
+	}
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func writeTraces(dir string, secs []section) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range secs {
+		if s.trace == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := s.trace.WriteChrome(&buf); err != nil {
+			return fmt.Errorf("trace %s: %w", s.id, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, s.id+".json"), buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -36,9 +39,9 @@ func goldenIDs() []string {
 func TestParallelOutputMatchesSerial(t *testing.T) {
 	ids := goldenIDs()
 	var serialOut, serialErr bytes.Buffer
-	serialCode := runAll(ids, 1, &serialOut, &serialErr)
+	serialCode := runAll(ids, 1, &serialOut, &serialErr, "", "")
 	var parOut, parErr bytes.Buffer
-	parCode := runAll(ids, 8, &parOut, &parErr)
+	parCode := runAll(ids, 8, &parOut, &parErr, "", "")
 
 	if parCode != serialCode {
 		t.Errorf("exit code: parallel %d, serial %d", parCode, serialCode)
@@ -69,7 +72,7 @@ func firstDiff(a, b string) string {
 // writes its error to stderr without disturbing other sections.
 func TestRunAllUnknownIDFails(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := runAll([]string{"E1", "EX"}, 2, &out, &errOut)
+	code := runAll([]string{"E1", "EX"}, 2, &out, &errOut, "", "")
 	if code != 1 {
 		t.Errorf("exit code = %d, want 1", code)
 	}
@@ -81,5 +84,56 @@ func TestRunAllUnknownIDFails(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "=== EX: \n") {
 		t.Errorf("stdout %q lacks EX header", out.String())
+	}
+}
+
+// TestJSONAndTraceSinks runs one cheap experiment with both sinks and
+// checks the files: the JSON mirrors the rendered table cells, and E23's
+// trace is valid JSON (Perfetto-loadable Chrome events).
+func TestJSONAndTraceSinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E23 run in -short mode")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "results.json")
+	traceDir := filepath.Join(dir, "traces")
+	var out, errOut bytes.Buffer
+	if code := runAll([]string{"E23"}, 1, &out, &errOut, jsonPath, traceDir); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []jsonResult
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatalf("results.json invalid: %v", err)
+	}
+	if len(results) != 1 || results[0].ID != "E23" || results[0].Failed {
+		t.Fatalf("results = %+v", results)
+	}
+	if len(results[0].Tables) != 2 {
+		t.Fatalf("E23 tables = %d, want main + breakdown", len(results[0].Tables))
+	}
+	// Every JSON cell appears verbatim in the text rendering.
+	for _, cell := range results[0].Tables[0].Rows[0] {
+		if !strings.Contains(out.String(), cell) {
+			t.Errorf("JSON cell %q missing from text output", cell)
+		}
+	}
+
+	traceRaw, err := os.ReadFile(filepath.Join(traceDir, "E23.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceRaw, &trace); err != nil {
+		t.Fatalf("E23 trace invalid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("E23 trace has no events")
 	}
 }

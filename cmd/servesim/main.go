@@ -8,15 +8,26 @@
 //	servesim -policy disagg -prefill 2 -decode 2
 //	servesim -policy static -batch 16
 //	servesim -policy routed -instances 4 -router breaker-aware -faults severe
+//	servesim -policy routed -faults severe -trace out.json -parallel 8
+//
+// -trace writes the run's request timeline as Chrome trace-event JSON
+// (load it at https://ui.perfetto.dev). The trace is checked against the
+// structural invariants in internal/obs before it is written. -parallel N
+// runs N identical replicas concurrently and verifies their traces are
+// byte-identical — the simulator's determinism contract — before emitting
+// replica 0's bytes.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"dataai/internal/metrics"
+	"dataai/internal/obs"
+	"dataai/internal/par"
 	"dataai/internal/serving"
 	"dataai/internal/workload"
 )
@@ -38,6 +49,8 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 7, "routed: fault plan seed")
 	ttftSLO := flag.Float64("slo-ttft", 1000, "TTFT SLO (ms)")
 	tbtSLO := flag.Float64("slo-tbt", 12, "TBT SLO (ms)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
+	replicas := flag.Int("parallel", 1, "with -trace: identical replicas to run concurrently for the byte-identity self-check")
 	flag.Parse()
 
 	reqs, err := workload.Generate(workload.DefaultTrace(*seed, *n, *rate))
@@ -46,51 +59,71 @@ func main() {
 	}
 	gpu := serving.DefaultGPU()
 
+	runOnce := func(tr *obs.Tracer) (*serving.Report, *serving.RoutedReport, error) {
+		switch *policy {
+		case "static":
+			if tr != nil {
+				return nil, nil, fmt.Errorf("-trace is not supported for the static policy (no event engine)")
+			}
+			rep, err := serving.RunStatic(gpu, reqs, *batch)
+			return rep, nil, err
+		case "continuous":
+			rep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{Trace: tr})
+			return rep, nil, err
+		case "chunked":
+			rep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{ChunkTokens: *chunk, Trace: tr})
+			return rep, nil, err
+		case "disagg":
+			rep, err := serving.RunDisaggregated(gpu, reqs, serving.DisaggOpts{
+				PrefillGPUs: *prefill, DecodeGPUs: *decode,
+				TransferMSPerToken: 0.005, OverlapTransfer: true, Trace: tr,
+			})
+			return rep, nil, err
+		case "routed":
+			var pol serving.RouterPolicy
+			switch *router {
+			case "round-robin":
+				pol = serving.RoundRobin
+			case "cache-aware":
+				pol = serving.CacheAware
+			case "breaker-aware":
+				pol = serving.BreakerAware
+			default:
+				return nil, nil, fmt.Errorf("unknown router %q", *router)
+			}
+			var plan *serving.FaultPlan
+			switch *faultsArg {
+			case "none":
+			case "medium":
+				plan = serving.MediumFaultPlan(*faultSeed)
+			case "severe":
+				plan = serving.SevereFaultPlan(*faultSeed)
+			default:
+				return nil, nil, fmt.Errorf("unknown fault plan %q", *faultsArg)
+			}
+			routed, err := serving.RunRoutedFaults(gpu, reqs, *instances, pol,
+				serving.ContinuousOpts{ChunkTokens: *chunk, Trace: tr}, plan)
+			if routed != nil {
+				return &routed.Report, routed, err
+			}
+			return nil, nil, err
+		default:
+			return nil, nil, fmt.Errorf("unknown policy %q", *policy)
+		}
+	}
+
 	var rep *serving.Report
 	var routed *serving.RoutedReport
-	switch *policy {
-	case "static":
-		rep, err = serving.RunStatic(gpu, reqs, *batch)
-	case "continuous":
-		rep, err = serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{})
-	case "chunked":
-		rep, err = serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{ChunkTokens: *chunk})
-	case "disagg":
-		rep, err = serving.RunDisaggregated(gpu, reqs, serving.DisaggOpts{
-			PrefillGPUs: *prefill, DecodeGPUs: *decode,
-			TransferMSPerToken: 0.005, OverlapTransfer: true,
-		})
-	case "routed":
-		var pol serving.RouterPolicy
-		switch *router {
-		case "round-robin":
-			pol = serving.RoundRobin
-		case "cache-aware":
-			pol = serving.CacheAware
-		case "breaker-aware":
-			pol = serving.BreakerAware
-		default:
-			log.Fatalf("unknown router %q", *router)
+	if *tracePath == "" {
+		rep, routed, err = runOnce(nil)
+		if err != nil {
+			log.Fatal(err)
 		}
-		var plan *serving.FaultPlan
-		switch *faultsArg {
-		case "none":
-		case "medium":
-			plan = serving.MediumFaultPlan(*faultSeed)
-		case "severe":
-			plan = serving.SevereFaultPlan(*faultSeed)
-		default:
-			log.Fatalf("unknown fault plan %q", *faultsArg)
+	} else {
+		rep, routed, err = runTraced(runOnce, *tracePath, *replicas)
+		if err != nil {
+			log.Fatal(err)
 		}
-		routed, err = serving.RunRoutedFaults(gpu, reqs, *instances, pol, serving.ContinuousOpts{ChunkTokens: *chunk}, plan)
-		if routed != nil {
-			rep = &routed.Report
-		}
-	default:
-		log.Fatalf("unknown policy %q", *policy)
-	}
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	t := metrics.NewTable(fmt.Sprintf("servesim: %s (%d reqs @ %.0f/s)", *policy, *n, *rate),
@@ -113,4 +146,49 @@ func main() {
 	if err := t.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runTraced runs `replicas` identical traced replicas concurrently,
+// verifies every replica exported byte-identical trace JSON and that the
+// trace passes the structural invariant checker, then writes replica 0's
+// bytes to path.
+func runTraced(runOnce func(*obs.Tracer) (*serving.Report, *serving.RoutedReport, error), path string, replicas int) (*serving.Report, *serving.RoutedReport, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	type replica struct {
+		rep    *serving.Report
+		routed *serving.RoutedReport
+		trace  []byte
+		err    error
+	}
+	runs := par.Map(replicas, replicas, func(i int) replica {
+		tr := obs.NewTracer()
+		rep, routed, err := runOnce(tr)
+		if err != nil {
+			return replica{err: err}
+		}
+		if err := tr.Check(); err != nil {
+			return replica{err: fmt.Errorf("trace invariants: %w", err)}
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			return replica{err: err}
+		}
+		return replica{rep: rep, routed: routed, trace: buf.Bytes()}
+	})
+	for i, r := range runs {
+		if r.err != nil {
+			return nil, nil, fmt.Errorf("replica %d: %w", i, r.err)
+		}
+		if !bytes.Equal(r.trace, runs[0].trace) {
+			return nil, nil, fmt.Errorf("determinism violation: replica %d trace differs from replica 0", i)
+		}
+	}
+	if err := os.WriteFile(path, runs[0].trace, 0o644); err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "servesim: wrote %s (%d bytes, %d replica(s) byte-identical)\n",
+		path, len(runs[0].trace), replicas)
+	return runs[0].rep, runs[0].routed, nil
 }

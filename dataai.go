@@ -36,6 +36,7 @@ import (
 	"dataai/internal/lake"
 	"dataai/internal/llm"
 	"dataai/internal/llm/ngram"
+	"dataai/internal/obs"
 	"dataai/internal/prompting"
 	"dataai/internal/rag"
 	"dataai/internal/relation"
@@ -360,6 +361,22 @@ var (
 	SevereFaultPlan   = serving.SevereFaultPlan
 	GenerateTrace     = workload.Generate
 	DefaultTrace      = workload.DefaultTrace
+)
+
+// Observability: logical-clock spans, a counter/gauge registry, and
+// Perfetto-exportable Chrome traces. Attach a Tracer through
+// ContinuousOpts.Trace / DisaggOpts.Trace (serving) or SetObs (LLM
+// middleware); a nil Tracer costs nothing.
+type (
+	Tracer      = obs.Tracer
+	TraceSpan   = obs.Span
+	TraceMetric = obs.Metric
+)
+
+// Observability entry points.
+var (
+	NewTracer      = obs.NewTracer
+	PhaseBreakdown = obs.PhaseBreakdown
 )
 
 // --- Core orchestration (package core) ---

@@ -11,21 +11,45 @@ import (
 	"sort"
 
 	"dataai/internal/metrics"
+	"dataai/internal/obs"
 )
 
 // Runner produces one experiment's table.
 type Runner func() (*metrics.Table, error)
+
+// Output is everything one experiment produced: one or more tables
+// (rendered in order by cmd/benchall) and, for experiments that record
+// a request timeline, the tracer whose Chrome-trace export benchall's
+// -trace-dir flag writes.
+type Output struct {
+	Tables []*metrics.Table
+	Trace  *obs.Tracer
+}
+
+// RunnerX is the extended runner shape for experiments with multiple
+// tables or a trace; single-table experiments keep the plain Runner.
+type RunnerX func() (*Output, error)
 
 // registry maps experiment IDs to runners; populated by init functions
 // in the per-area files.
 var registry = map[string]entry{}
 
 type entry struct {
-	runner Runner
+	runner RunnerX
 	title  string
 }
 
 func register(id, title string, r Runner) {
+	registerX(id, title, func() (*Output, error) {
+		tbl, err := r()
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*metrics.Table{tbl}}, nil
+	})
+}
+
+func registerX(id, title string, r RunnerX) {
 	registry[id] = entry{runner: r, title: title}
 }
 
@@ -62,11 +86,19 @@ func Known(id string) bool {
 	return ok
 }
 
-// Run executes one experiment.
-func Run(id string) (*metrics.Table, error) {
+// Run executes one experiment. The returned Output always carries at
+// least one table on success.
+func Run(id string) (*Output, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q", id)
 	}
-	return e.runner()
+	out, err := e.runner()
+	if err != nil {
+		return nil, err
+	}
+	if out == nil || len(out.Tables) == 0 {
+		return nil, fmt.Errorf("experiments: %s produced no table", id)
+	}
+	return out, nil
 }

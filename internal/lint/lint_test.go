@@ -167,6 +167,20 @@ func TestSimFixtureClean(t *testing.T) {
 	}
 }
 
+// TestObstraceFixtureClean runs the ENTIRE analyzer suite over the
+// obstrace fixture — a distillation of internal/obs's mutex-guarded
+// span ingestion, (time, seq)-ordered export with its exact-float
+// tie-break, sorted counter rendering, and error-checked trace writing
+// — under a seeded import path ("fix/internal/obs"), and requires zero
+// diagnostics. It pins that the observability layer's core idioms stay
+// expressible without //lint:ignore suppressions.
+func TestObstraceFixtureClean(t *testing.T) {
+	pkg := fixturePackage(t, "obstrace", "fix/internal/obs")
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.Analyzers()) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
 // TestSuiteRegistered pins the analyzer roster: removing a check from the
 // suite should be a deliberate, visible act.
 func TestSuiteRegistered(t *testing.T) {

@@ -26,6 +26,7 @@ var seededPkgFragments = []string{
 	"internal/experiments",
 	"internal/faults",
 	"internal/llm",
+	"internal/obs",
 	"internal/resilient",
 	"internal/serving",
 	"internal/sim",

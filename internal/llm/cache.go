@@ -3,6 +3,7 @@ package llm
 import (
 	"sync"
 
+	"dataai/internal/obs"
 	"dataai/internal/token"
 )
 
@@ -21,6 +22,12 @@ type Cache struct {
 	flight map[uint64]*flightCall
 	hits   int64
 	misses int64
+
+	// obsClockMS is the cache's logical clock when tracing: accumulated
+	// simulated latency of the responses it served. obsHits/obsMisses
+	// mirror the stats counters into a tracer's registry (nil = off).
+	obsClockMS         float64
+	obsHits, obsMisses *obs.Metric
 
 	meter usageMeter
 }
@@ -41,6 +48,18 @@ func NewCache(inner Client) *Cache {
 	return &Cache{inner: inner, m: make(map[uint64]Response), flight: make(map[uint64]*flightCall)}
 }
 
+// SetObs mirrors the cache's hit/miss tallies into tr's metric registry
+// as the cache/hits and cache/misses counters, timestamped on a logical
+// clock of accumulated simulated latency. Call before issuing requests;
+// a nil tracer (or never calling SetObs) leaves the cache untraced.
+func (c *Cache) SetObs(tr *obs.Tracer) {
+	reg := tr.Registry()
+	c.mu.Lock()
+	c.obsHits = reg.Counter("cache/hits")
+	c.obsMisses = reg.Counter("cache/misses")
+	c.mu.Unlock()
+}
+
 // Complete implements Client. Concurrent identical misses are
 // deduplicated: the first caller (the leader) issues the inner call and
 // every other caller waits for its result, so N racing misses cost one
@@ -51,6 +70,7 @@ func (c *Cache) Complete(req Request) (Response, error) {
 	c.mu.Lock()
 	if r, ok := c.m[key]; ok {
 		c.hits++
+		c.obsHit(CacheLookupLatencyMS)
 		c.mu.Unlock()
 		return c.serveHit(r), nil
 	}
@@ -62,10 +82,12 @@ func (c *Cache) Complete(req Request) (Response, error) {
 			// The shared call failed: the waiter observed a miss and
 			// inherits the leader's error.
 			c.misses++
+			c.obsMiss(f.r.LatencyMS)
 			c.mu.Unlock()
 			return f.r, f.err
 		}
 		c.hits++
+		c.obsHit(CacheLookupLatencyMS)
 		c.mu.Unlock()
 		return c.serveHit(f.r), nil
 	}
@@ -80,6 +102,7 @@ func (c *Cache) Complete(req Request) (Response, error) {
 	if f.err == nil {
 		c.m[key] = f.r
 	}
+	c.obsMiss(f.r.LatencyMS) // the leader's miss, charged at call end
 	c.mu.Unlock()
 	close(f.done)
 	if f.err != nil {
@@ -87,6 +110,25 @@ func (c *Cache) Complete(req Request) (Response, error) {
 	}
 	c.meter.record(f.r)
 	return f.r, nil
+}
+
+// obsHit / obsMiss advance the observability clock by the latency the
+// caller is charged and record the counter point. Both require c.mu and
+// no-op when SetObs was never called.
+func (c *Cache) obsHit(latencyMS float64) {
+	if c.obsHits == nil {
+		return
+	}
+	c.obsClockMS += latencyMS
+	c.obsHits.Add(c.obsClockMS, 1)
+}
+
+func (c *Cache) obsMiss(latencyMS float64) {
+	if c.obsMisses == nil {
+		return
+	}
+	c.obsClockMS += latencyMS
+	c.obsMisses.Add(c.obsClockMS, 1)
 }
 
 // serveHit marks and meters a response served without an inner call.
@@ -123,11 +165,27 @@ type Cascade struct {
 	mu        sync.Mutex
 	escalated int64
 	total     int64
+
+	// Observability mirror of the tallies, on an accumulated-latency
+	// logical clock (see Cache). Nil metrics mean tracing is off.
+	obsClockMS               float64
+	obsCalls, obsEscalations *obs.Metric
 }
 
 // NewCascade builds a cascade router.
 func NewCascade(cheap, expensive Client, threshold float64) *Cascade {
 	return &Cascade{Cheap: cheap, Expensive: expensive, Threshold: threshold}
+}
+
+// SetObs mirrors the cascade's call/escalation tallies into tr's metric
+// registry as the cascade/calls and cascade/escalations counters. Call
+// before issuing requests; a nil tracer leaves the cascade untraced.
+func (c *Cascade) SetObs(tr *obs.Tracer) {
+	reg := tr.Registry()
+	c.mu.Lock()
+	c.obsCalls = reg.Counter("cascade/calls")
+	c.obsEscalations = reg.Counter("cascade/escalations")
+	c.mu.Unlock()
 }
 
 // Complete implements Client. The returned response carries the combined
@@ -141,6 +199,10 @@ func (c *Cascade) Complete(req Request) (Response, error) {
 	// denominators are consistent with the number of Complete calls.
 	c.mu.Lock()
 	c.total++
+	if c.obsCalls != nil {
+		c.obsClockMS += r1.LatencyMS
+		c.obsCalls.Add(c.obsClockMS, 1)
+	}
 	c.mu.Unlock()
 	if err != nil {
 		return r1, err
@@ -150,8 +212,16 @@ func (c *Cascade) Complete(req Request) (Response, error) {
 	}
 	c.mu.Lock()
 	c.escalated++
+	if c.obsEscalations != nil {
+		c.obsEscalations.Add(c.obsClockMS, 1)
+	}
 	c.mu.Unlock()
 	r2, err := c.Expensive.Complete(req)
+	c.mu.Lock()
+	if c.obsCalls != nil {
+		c.obsClockMS += r2.LatencyMS // the escalated tier's own latency
+	}
+	c.mu.Unlock()
 	r2.CostUSD += r1.CostUSD
 	r2.LatencyMS += r1.LatencyMS
 	r2.PromptTokens += r1.PromptTokens

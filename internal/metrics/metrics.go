@@ -155,7 +155,7 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // AddRowf appends a row of formatted values: each value is rendered with
-// %v for strings/ints and %.3g for floats.
+// %v for strings/ints and %.4g for floats.
 func (t *Table) AddRowf(cells ...interface{}) {
 	strs := make([]string, len(cells))
 	for i, c := range cells {
@@ -169,6 +169,20 @@ func (t *Table) AddRowf(cells ...interface{}) {
 		}
 	}
 	t.AddRow(strs...)
+}
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string { return append([]string(nil), t.headers...) }
+
+// Rows returns a copy of the rendered cell rows (formatting already
+// applied), in insertion order — the machine-readable view cmd/benchall
+// -json serializes.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
 }
 
 // Render writes the table to w.

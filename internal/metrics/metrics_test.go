@@ -184,3 +184,73 @@ func BenchmarkSummaryPercentile(b *testing.B) {
 		s.Percentile(99)
 	}
 }
+
+func TestAddRowfFormatPinned(t *testing.T) {
+	// The %.4g float rendering is part of the repo's byte-identical
+	// output contract: EXPERIMENTS.md transcripts and golden benchall
+	// tests depend on it. Pin it here so a drive-by format change fails
+	// loudly instead of silently invalidating every golden file.
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.AddRowf(1234.5678, 0.000123456, float32(2.5), 7)
+	row := tb.Rows()[0]
+	want := []string{"1235", "0.0001235", "2.5", "7"}
+	for i, w := range want {
+		if row[i] != w {
+			t.Errorf("cell %d = %q, want %q (AddRowf must keep %%.4g)", i, row[i], w)
+		}
+	}
+}
+
+func TestHeadersAndRowsAreCopies(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRow("1", "2")
+	h := tb.Headers()
+	r := tb.Rows()
+	h[0] = "mutated"
+	r[0][0] = "mutated"
+	if tb.Headers()[0] != "x" || tb.Rows()[0][0] != "1" {
+		t.Error("Headers/Rows must return copies, not aliases")
+	}
+}
+
+func TestStddevNoSamples(t *testing.T) {
+	var s Summary
+	if s.Stddev() != 0 {
+		t.Error("empty-summary stddev should be 0")
+	}
+}
+
+func TestPercentileFractionalRank(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i))
+	}
+	// rank(25) = 0.75 -> 1.75; rank(75) = 2.25 -> 3.25.
+	if got := s.Percentile(25); math.Abs(got-1.75) > 1e-9 {
+		t.Errorf("P25 = %v, want 1.75", got)
+	}
+	if got := s.Percentile(75); math.Abs(got-3.25) > 1e-9 {
+		t.Errorf("P75 = %v, want 3.25", got)
+	}
+}
+
+func TestFractionBelowNextafterBoundary(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	// The limit is inclusive: a sample exactly at the limit counts, and
+	// the largest float64 strictly below an integer sample must not.
+	if got := s.FractionBelow(math.Nextafter(5, 0)); got != 0.4 {
+		t.Errorf("FractionBelow(5-ulp) = %v, want 0.4", got)
+	}
+	if got := s.FractionBelow(math.Nextafter(5, math.Inf(1))); got != 0.5 {
+		t.Errorf("FractionBelow(5+ulp) = %v, want 0.5", got)
+	}
+	if got := s.FractionBelow(5.5); got != 0.5 {
+		t.Errorf("FractionBelow(5.5) = %v, want 0.5", got)
+	}
+	if got := s.FractionBelow(-1); got != 0 {
+		t.Errorf("FractionBelow(-1) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import "dataai/internal/metrics"
+
+// PhaseBreakdown folds the request-lifecycle spans into one
+// metrics.Summary per phase name (queue, prefill, decode, reroute, ...):
+// each request contributes a single sample per phase — the summed
+// duration of that phase's spans on its track — so a request preempted
+// twice contributes one queue sample covering all three waits. Requests
+// that never entered a phase contribute no sample to it (the reroute
+// summary describes re-routed requests only).
+//
+// Phase names are returned in first-seen recording order, and samples
+// are added in first-seen request order, so downstream float
+// accumulation (Mean, Stddev) is deterministic.
+func PhaseBreakdown(t *Tracer) (names []string, byPhase map[string]*metrics.Summary) {
+	byPhase = map[string]*metrics.Summary{}
+	if t == nil {
+		return nil, byPhase
+	}
+	type key struct{ track, name string }
+	sums := map[key]float64{}
+	var trackOrder []string
+	seenTrack := map[string]bool{}
+	for _, s := range t.Spans() {
+		if s.Cat != CatRequest || s.Parent == 0 || !s.Closed {
+			continue
+		}
+		if !seenTrack[s.Track] {
+			seenTrack[s.Track] = true
+			trackOrder = append(trackOrder, s.Track)
+		}
+		if _, ok := byPhase[s.Name]; !ok {
+			byPhase[s.Name] = &metrics.Summary{}
+			names = append(names, s.Name)
+		}
+		sums[key{s.Track, s.Name}] += s.EndMS - s.StartMS
+	}
+	for _, track := range trackOrder {
+		for _, name := range names {
+			if v, ok := sums[key{track, name}]; ok {
+				byPhase[name].Add(v)
+			}
+		}
+	}
+	return names, byPhase
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Registry metric-name suffixes the checker pairs up: a gauge named
+// "<instance>/kv_used_blocks" is checked against the fixed gauge
+// "<instance>/kv_capacity_blocks".
+const (
+	KVUsedSuffix     = "/kv_used_blocks"
+	KVCapacitySuffix = "/kv_capacity_blocks"
+)
+
+// Terminal reasons a request-root span may close with. "finish" is a
+// completed request, "reject" an admission/drain rejection, "drop" a
+// request abandoned by a fault. Anything else (including an empty
+// reason) means the lifecycle chain was left dangling.
+var terminalReasons = map[string]bool{"finish": true, "reject": true, "drop": true}
+
+// Check verifies the trace's structural invariants and returns the first
+// violation found (nil if the trace is well-formed, and trivially nil on
+// a nil tracer). Invariants:
+//
+//   - every span is closed, with end >= start;
+//   - parents exist, were opened before their children, and contain
+//     their children's intervals;
+//   - top-level spans on a GPU track never overlap (an instance executes
+//     one iteration at a time);
+//   - every request-root span (cat "request", no parent) terminates with
+//     a terminal reason — a crashed request's chain must still end in
+//     finish, reject, or drop, never dangle;
+//   - no "<x>/kv_used_blocks" gauge ever exceeds the final value of its
+//     "<x>/kv_capacity_blocks" gauge.
+//
+// Tests call this on whole simulation runs, turning the timeline itself
+// into an assertion rather than spot-checking a few aggregates.
+func (t *Tracer) Check() error {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+
+	byID := make(map[uint64]Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	gpuTop := map[string][]Span{}
+	for _, s := range spans {
+		if !s.Closed {
+			return errf("span %d (%s %q on %s) never ended", s.ID, s.Cat, s.Name, s.Track)
+		}
+		if s.EndMS < s.StartMS {
+			return errf("span %d (%q on %s) ends at %.3f before start %.3f",
+				s.ID, s.Name, s.Track, s.EndMS, s.StartMS)
+		}
+		if s.Parent != 0 {
+			p, ok := byID[s.Parent]
+			if !ok {
+				return errf("span %d (%q on %s) references unknown parent %d",
+					s.ID, s.Name, s.Track, s.Parent)
+			}
+			if s.Parent >= s.ID {
+				return errf("span %d (%q on %s) opened before its parent %d",
+					s.ID, s.Name, s.Track, s.Parent)
+			}
+			if s.StartMS < p.StartMS || s.EndMS > p.EndMS {
+				return errf("span %d (%q on %s) [%.3f,%.3f] escapes parent %d (%q) [%.3f,%.3f]",
+					s.ID, s.Name, s.Track, s.StartMS, s.EndMS, p.ID, p.Name, p.StartMS, p.EndMS)
+			}
+		}
+		if s.Cat == CatGPU && s.Parent == 0 {
+			gpuTop[s.Track] = append(gpuTop[s.Track], s)
+		}
+		if s.Cat == CatRequest && s.Parent == 0 && !terminalReasons[s.Reason] {
+			return errf("request span %d (%q on %s) ends with non-terminal reason %q",
+				s.ID, s.Name, s.Track, s.Reason)
+		}
+	}
+
+	gpuTracks := make([]string, 0, len(gpuTop))
+	for track := range gpuTop {
+		gpuTracks = append(gpuTracks, track)
+	}
+	sort.Strings(gpuTracks)
+	for _, track := range gpuTracks {
+		ss := gpuTop[track]
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].StartMS != ss[j].StartMS {
+				return ss[i].StartMS < ss[j].StartMS
+			}
+			return ss[i].StartSeq < ss[j].StartSeq
+		})
+		for i := 1; i < len(ss); i++ {
+			if ss[i].StartMS < ss[i-1].EndMS {
+				return errf("track %s: span %d (%q) starting %.3f overlaps span %d (%q) ending %.3f",
+					track, ss[i].ID, ss[i].Name, ss[i].StartMS,
+					ss[i-1].ID, ss[i-1].Name, ss[i-1].EndMS)
+			}
+		}
+	}
+
+	reg := t.Registry()
+	for _, name := range reg.Names() {
+		if !strings.HasSuffix(name, KVUsedSuffix) {
+			continue
+		}
+		capName := strings.TrimSuffix(name, KVUsedSuffix) + KVCapacitySuffix
+		capMetric := reg.Lookup(capName)
+		if capMetric == nil {
+			continue
+		}
+		if used, capacity := reg.Lookup(name).Max(), capMetric.Final(); used > capacity {
+			return errf("gauge %s peaks at %.0f blocks, over capacity %.0f (%s)",
+				name, used, capacity, capName)
+		}
+	}
+	return nil
+}

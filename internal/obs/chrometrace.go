@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteChrome renders the trace as a Chrome trace-event JSON file,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Layout:
+//
+//   - one thread track per span/instant track name (tids assigned in
+//     sorted-name order, so GPU tracks stack gpu0, gpu1, ... top-down);
+//   - gpu/llm spans as "X" complete events; request-lifecycle spans as
+//     nestable async "b"/"e" pairs keyed by the request track, so the
+//     queue/prefill/decode/reroute phases nest under the request root;
+//   - instants ("crash", "preempt", "reroute") as "i" events;
+//   - every registry metric as a "C" counter track.
+//
+// Output bytes are a pure function of the recorded trace: events are
+// sorted by (logical time, seq), numbers render via strconv (shortest
+// round-trip form), and field order is fixed. Two identical runs — or a
+// serial and a parallel run of the same deterministic simulation — emit
+// byte-identical files.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "{\"traceEvents\":[]}\n")
+		return err
+	}
+	spans := t.Spans()
+	instants := t.Instants()
+
+	// Assign tids by sorted track name so the layout is stable.
+	trackSet := map[string]bool{}
+	for _, s := range spans {
+		trackSet[s.Track] = true
+	}
+	for _, in := range instants {
+		trackSet[in.Track] = true
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for name := range trackSet {
+		tracks = append(tracks, name)
+	}
+	sort.Strings(tracks)
+	tid := map[string]int{}
+	for i, name := range tracks {
+		tid[name] = i + 1
+	}
+
+	type ev struct {
+		ts   float64
+		seq  uint64
+		body string
+	}
+	var events []ev
+	var maxSeq uint64
+
+	common := func(track string, atMS float64) string {
+		return `"ts":` + num(atMS*1000) + `,"pid":1,"tid":` + strconv.Itoa(tid[track])
+	}
+	for _, s := range spans {
+		if s.StartSeq > maxSeq {
+			maxSeq = s.StartSeq
+		}
+		if s.EndSeq > maxSeq {
+			maxSeq = s.EndSeq
+		}
+		endMS, endSeq := s.EndMS, s.EndSeq
+		if !s.Closed {
+			// An unclosed span still exports (zero duration at its
+			// start) so a malformed trace is visible, not silently
+			// dropped; the invariant checker reports it as an error.
+			endMS, endSeq = s.StartMS, s.StartSeq
+		}
+		reason := ""
+		if s.Reason != "" {
+			reason = `,"args":{"reason":` + str(s.Reason) + `}`
+		}
+		if s.Cat == CatRequest {
+			head := `{"name":` + str(s.Name) + `,"cat":` + str(s.Cat) + `,"id":` + str(s.Track) + `,`
+			events = append(events,
+				ev{s.StartMS, s.StartSeq, head + `"ph":"b",` + common(s.Track, s.StartMS) + `}`},
+				ev{endMS, endSeq, head + `"ph":"e",` + common(s.Track, endMS) + reason + `}`})
+			continue
+		}
+		events = append(events, ev{s.StartMS, s.StartSeq,
+			`{"name":` + str(s.Name) + `,"cat":` + str(s.Cat) + `,"ph":"X",` +
+				common(s.Track, s.StartMS) + `,"dur":` + num((endMS-s.StartMS)*1000) + reason + `}`})
+	}
+	for _, in := range instants {
+		if in.Seq > maxSeq {
+			maxSeq = in.Seq
+		}
+		events = append(events, ev{in.AtMS, in.Seq,
+			`{"name":` + str(in.Name) + `,"ph":"i","s":"t",` + common(in.Track, in.AtMS) + `}`})
+	}
+
+	// Counter points carry no tracer seq; assign synthetic seqs past the
+	// tracer's maximum, in sorted-metric-name order, so the total order
+	// stays deterministic.
+	reg := t.Registry()
+	seq := maxSeq
+	for _, name := range reg.Names() {
+		for _, p := range reg.Lookup(name).Points() {
+			seq++
+			events = append(events, ev{p.AtMS, seq,
+				`{"name":` + str(name) + `,"ph":"C","ts":` + num(p.AtMS*1000) +
+					`,"pid":1,"args":{"value":` + num(p.Value) + `}}`})
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].ts != events[j].ts {
+			return events[i].ts < events[j].ts
+		}
+		return events[i].seq < events[j].seq
+	})
+
+	var b strings.Builder
+	b.WriteString(`{"traceEvents":[`)
+	b.WriteByte('\n')
+	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"dataai"}}`)
+	for _, name := range tracks {
+		b.WriteString(",\n")
+		b.WriteString(`{"name":"thread_name","ph":"M","pid":1,"tid":` +
+			strconv.Itoa(tid[name]) + `,"args":{"name":` + str(name) + `}}`)
+	}
+	for _, e := range events {
+		b.WriteString(",\n")
+		b.WriteString(e.body)
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// num renders a float in its shortest round-trip decimal form — stable
+// across runs and platforms, unlike %g's exponent thresholds.
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// str renders s as a JSON string literal.
+func str(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Strings never fail to marshal; keep the checker honest.
+		return `""`
+	}
+	return string(b)
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// MetricKind distinguishes counters from gauges.
+type MetricKind int
+
+// The two metric kinds: a Counter accumulates deltas monotonically; a
+// Gauge is set to an instantaneous value.
+const (
+	CounterKind MetricKind = iota
+	GaugeKind
+)
+
+// Point is one sample on a metric's timeline: the metric's value as of
+// logical time AtMS.
+type Point struct {
+	AtMS  float64
+	Value float64
+}
+
+// Metric is one named series of (logical time, value) points. Counters
+// record their running total at each Add; gauges record the set value.
+// The full series is retained so snapshots can be taken at any logical
+// time after the fact and the exporter can emit counter tracks. A nil
+// *Metric no-ops every method, so disabled instrumentation costs one nil
+// check.
+type Metric struct {
+	name string
+	kind MetricKind
+
+	mu     sync.Mutex
+	points []Point
+	total  float64
+}
+
+// Name reports the metric's registry key.
+func (m *Metric) Name() string {
+	if m == nil {
+		return ""
+	}
+	return m.name
+}
+
+// Kind reports whether the metric is a counter or a gauge.
+func (m *Metric) Kind() MetricKind {
+	if m == nil {
+		return CounterKind
+	}
+	return m.kind
+}
+
+// record appends a point, clamping time to be non-decreasing: logical
+// clocks never run backwards, and a monotone series is what makes
+// ValueAt a binary search.
+func (m *Metric) record(now, v float64) {
+	if n := len(m.points); n > 0 && now < m.points[n-1].AtMS {
+		now = m.points[n-1].AtMS
+	}
+	m.points = append(m.points, Point{AtMS: now, Value: v})
+}
+
+// Add accumulates delta into a counter at logical time now. On a gauge
+// it adjusts the last set value (rarely wanted; prefer Set).
+func (m *Metric) Add(now, delta float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.total += delta
+	m.record(now, m.total)
+	m.mu.Unlock()
+}
+
+// Set records the gauge's value at logical time now.
+func (m *Metric) Set(now, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.total = v
+	m.record(now, v)
+	m.mu.Unlock()
+}
+
+// ValueAt reports the metric's value as of logical time t: the last
+// point at or before t, or 0 before the first point.
+func (m *Metric) ValueAt(t float64) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// First point strictly after t; the answer precedes it.
+	idx := sort.Search(len(m.points), func(i int) bool { return m.points[i].AtMS > t })
+	if idx == 0 {
+		return 0
+	}
+	return m.points[idx-1].Value
+}
+
+// Final reports the metric's last recorded value (0 when empty).
+func (m *Metric) Final() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.points) == 0 {
+		return 0
+	}
+	return m.points[len(m.points)-1].Value
+}
+
+// Max reports the largest recorded value (0 when empty).
+func (m *Metric) Max() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	max := 0.0
+	for i, p := range m.points {
+		if i == 0 || p.Value > max {
+			max = p.Value
+		}
+	}
+	return max
+}
+
+// Points returns a copy of the series.
+func (m *Metric) Points() []Point {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Point(nil), m.points...)
+}
+
+// Registry holds named metrics. Lookup creates on first use, so
+// instrumented code never registers up front. A nil *Registry returns
+// nil metrics, which are themselves no-ops — the whole chain is safe to
+// call with observability disabled.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*Metric)}
+}
+
+// metric returns the named metric, creating it with the given kind. A
+// name keeps its original kind if it already exists.
+func (r *Registry) metric(name string, kind MetricKind) *Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[name]
+	if !ok {
+		m = &Metric{name: name, kind: kind}
+		r.metrics[name] = m
+	}
+	return m
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Metric { return r.metric(name, CounterKind) }
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Metric { return r.metric(name, GaugeKind) }
+
+// Lookup returns the named metric or nil (which is safe to use).
+func (r *Registry) Lookup(name string) *Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[name]
+}
+
+// Names returns every metric name in sorted order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot reports every metric's value as of logical time t, keyed by
+// name — the live-signal read an autoscaling policy would poll.
+func (r *Registry) Snapshot(t float64) map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	names := r.Names()
+	out := make(map[string]float64, len(names))
+	for _, name := range names {
+		out[name] = r.Lookup(name).ValueAt(t)
+	}
+	return out
+}

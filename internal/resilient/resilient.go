@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"dataai/internal/llm"
+	"dataai/internal/obs"
 	"dataai/internal/token"
 )
 
@@ -172,8 +173,14 @@ type Client struct {
 	policy  Policy
 	breaker *breaker
 
-	mu    sync.Mutex
-	stats Stats
+	// trace/clockMS are the observability seam (see trace.go): clockMS
+	// is the accumulated simulated latency of traced calls, the call
+	// path's logical clock.
+	trace *obs.Tracer
+
+	mu      sync.Mutex
+	stats   Stats
+	clockMS float64
 }
 
 // Wrap builds a resilient Client over inner with the given policy.
@@ -232,6 +239,7 @@ func backoffFor(base, maxMS, jitterFrac float64, key string, attempt int, seed u
 // Complete implements llm.Client.
 func (c *Client) Complete(req llm.Request) (llm.Response, error) {
 	c.count(func(s *Stats) { s.Calls++ })
+	ct := c.traceCall()
 
 	// waste accumulates what the failed attempts consumed; a final
 	// success (or degraded answer) carries it so callers metering the
@@ -244,8 +252,10 @@ func (c *Client) Complete(req llm.Request) (llm.Response, error) {
 	if c.breaker != nil {
 		if ok, fastFailMS := c.breaker.allow(); !ok {
 			waste.LatencyMS += fastFailMS
+			ct.child("breaker-fastfail", fastFailMS)
+			ct.bump("resilient/fastfails")
 			lastErr = fmt.Errorf("%w (cooldown pending)", ErrCircuitOpen)
-			return c.degrade(req, waste, lastErr)
+			return c.degrade(req, waste, lastErr, ct)
 		}
 	}
 
@@ -254,6 +264,11 @@ func (c *Client) Complete(req llm.Request) (llm.Response, error) {
 		if attempt > 0 {
 			wait, hedged := c.retryWait(req.Prompt, attempt, lastErr)
 			waste.LatencyMS += wait
+			ct.child("backoff", wait)
+			ct.bump("resilient/retries")
+			if hedged {
+				ct.bump("resilient/hedges")
+			}
 			c.count(func(s *Stats) {
 				s.Retries++
 				s.BackoffMS += wait
@@ -264,6 +279,7 @@ func (c *Client) Complete(req llm.Request) (llm.Response, error) {
 		}
 		c.count(func(s *Stats) { s.Attempts++ })
 		resp, err := c.inner.Complete(req)
+		ct.child("attempt", resp.LatencyMS)
 		if c.breaker != nil {
 			c.breaker.advance(resp.LatencyMS)
 		}
@@ -282,6 +298,7 @@ func (c *Client) Complete(req llm.Request) (llm.Response, error) {
 				if tot := resp.PromptTokens + resp.CompletionTokens; tot > 0 {
 					dup.CostUSD = resp.CostUSD * float64(resp.PromptTokens) / float64(tot)
 				}
+				ct.bump("resilient/hedges_lost")
 				c.count(func(s *Stats) {
 					s.HedgesLost++
 					s.HedgeWastedTokens += int64(dup.PromptTokens)
@@ -289,6 +306,7 @@ func (c *Client) Complete(req llm.Request) (llm.Response, error) {
 				waste = merge(waste, dup)
 			}
 			c.chargeWaste(waste)
+			c.traceDone(ct, "ok")
 			return merge(resp, waste), nil
 		}
 		// The failed attempt's charged work (a timeout's prompt tokens
@@ -302,7 +320,7 @@ func (c *Client) Complete(req llm.Request) (llm.Response, error) {
 	if c.breaker != nil {
 		c.breaker.onFailure()
 	}
-	return c.degrade(req, waste, lastErr)
+	return c.degrade(req, waste, lastErr, ct)
 }
 
 // retryWait computes the simulated wait charged before a retry, and
@@ -325,21 +343,26 @@ func (c *Client) retryWait(prompt string, attempt int, lastErr error) (waitMS fl
 
 // degrade applies the degradation ladder once the primary path has
 // failed: fallback client, then explicit refusal, then the error.
-func (c *Client) degrade(req llm.Request, waste llm.Response, lastErr error) (llm.Response, error) {
+func (c *Client) degrade(req llm.Request, waste llm.Response, lastErr error, ct *callTrace) (llm.Response, error) {
 	if c.policy.Fallback != nil {
 		resp, err := c.policy.Fallback.Complete(req)
+		ct.child("fallback", resp.LatencyMS)
 		if err == nil {
 			resp.Degraded = true
+			ct.bump("resilient/fallbacks")
 			c.count(func(s *Stats) { s.FallbackCalls++ })
 			c.chargeWaste(waste)
+			c.traceDone(ct, "fallback")
 			return merge(resp, waste), nil
 		}
 		waste = merge(waste, resp)
 		lastErr = err
 	}
 	if c.policy.DegradeToRefusal {
+		ct.bump("resilient/refusals")
 		c.count(func(s *Stats) { s.DegradedRefusals++ })
 		c.chargeWaste(waste)
+		c.traceDone(ct, "refusal")
 		out := waste
 		out.Text = llm.Unknown
 		out.Confidence = 0
@@ -348,6 +371,7 @@ func (c *Client) degrade(req llm.Request, waste llm.Response, lastErr error) (ll
 	}
 	c.count(func(s *Stats) { s.Failures++ })
 	c.chargeWaste(waste)
+	c.traceDone(ct, "error")
 	// Return the accumulated charged work alongside the error so
 	// callers that meter error responses still see the waste.
 	return waste, fmt.Errorf("resilient: %w", lastErr)

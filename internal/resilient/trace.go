@@ -1,0 +1,73 @@
+package resilient
+
+import "dataai/internal/obs"
+
+// Observability for the LLM call path. The middleware has no event
+// engine, so its logical clock is accumulated simulated latency: each
+// traced call starts at the client's running clock and advances it by
+// the latency the call charged. Under serial use (how experiments drive
+// clients) the timeline is deterministic; concurrent callers share the
+// clock, so their spans may overlap on the "llm" track — which CatLLM
+// explicitly allows and the invariant checker does not flag.
+
+// SetObs attaches a tracer to the middleware: every Complete call
+// records a root "call" span on the "llm" track with attempt / backoff /
+// breaker-fastfail / fallback children, plus resilient/* counters in the
+// registry. Call before issuing requests; a nil tracer (or never calling
+// SetObs) leaves the client untraced and cost-free.
+func (c *Client) SetObs(tr *obs.Tracer) { c.trace = tr }
+
+// callTrace threads one Complete invocation's span state through the
+// retry ladder. A nil *callTrace (tracing off) no-ops every method.
+type callTrace struct {
+	tr   *obs.Tracer
+	root obs.SpanRef
+	cur  float64
+}
+
+// traceCall opens the root span at the client's current logical clock.
+func (c *Client) traceCall() *callTrace {
+	if c.trace == nil {
+		return nil
+	}
+	c.mu.Lock()
+	t0 := c.clockMS
+	c.mu.Unlock()
+	return &callTrace{tr: c.trace, root: c.trace.Begin(t0, "llm", obs.CatLLM, "call", 0), cur: t0}
+}
+
+// child records a phase of durMS under the call root and advances the
+// call cursor.
+func (ct *callTrace) child(name string, durMS float64) {
+	if ct == nil {
+		return
+	}
+	if durMS < 0 {
+		durMS = 0
+	}
+	ref := ct.tr.Begin(ct.cur, "llm", obs.CatLLM, name, ct.root)
+	ct.cur += durMS
+	ct.tr.End(ct.cur, ref)
+}
+
+// bump increments a registry counter at the call cursor.
+func (ct *callTrace) bump(name string) {
+	if ct == nil {
+		return
+	}
+	ct.tr.Registry().Counter(name).Add(ct.cur, 1)
+}
+
+// traceDone closes the call root with its outcome and advances the
+// client clock to the call's end.
+func (c *Client) traceDone(ct *callTrace, outcome string) {
+	if ct == nil {
+		return
+	}
+	ct.tr.EndReason(ct.cur, ct.root, outcome)
+	c.mu.Lock()
+	if ct.cur > c.clockMS {
+		c.clockMS = ct.cur
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,185 @@
+package resilient
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dataai/internal/llm"
+	"dataai/internal/obs"
+)
+
+// spanNames returns the name of every child span under the i-th root
+// "call" span, in recording order, plus that root.
+func callSpans(t *testing.T, tr *obs.Tracer, i int) (root obs.Span, children []obs.Span) {
+	t.Helper()
+	var roots []obs.Span
+	for _, s := range tr.Spans() {
+		if s.Parent == 0 && s.Name == "call" {
+			roots = append(roots, s)
+		}
+	}
+	if i >= len(roots) {
+		t.Fatalf("want call root %d, have %d", i, len(roots))
+	}
+	root = roots[i]
+	for _, s := range tr.Spans() {
+		if s.Parent == root.ID {
+			children = append(children, s)
+		}
+	}
+	return root, children
+}
+
+func TestTracedRetrySpans(t *testing.T) {
+	inner := newScript(okResp)
+	inner.failures["q"] = []error{llm.ErrTransient, llm.ErrTransient}
+	c := Wrap(inner, RetryOnly(3, 1))
+	tr := obs.NewTracer()
+	c.SetObs(tr)
+
+	r, err := c.Complete(llm.Request{Prompt: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("trace failed invariants: %v", err)
+	}
+	root, children := callSpans(t, tr, 0)
+	if root.Reason != "ok" {
+		t.Errorf("root reason = %q, want ok", root.Reason)
+	}
+	// The call's span covers exactly the latency charged to the caller:
+	// attempt + backoff + attempt + backoff + attempt.
+	if got := root.EndMS - root.StartMS; got != r.LatencyMS {
+		t.Errorf("root span = %v ms, response charged %v ms", got, r.LatencyMS)
+	}
+	hist := map[string]int{}
+	for _, s := range children {
+		hist[s.Name]++
+	}
+	if hist["attempt"] != 3 || hist["backoff"] != 2 {
+		t.Errorf("child histogram = %v, want 3 attempts / 2 backoffs", hist)
+	}
+	if got := tr.Registry().Lookup("resilient/retries").Final(); got != 2 {
+		t.Errorf("resilient/retries = %v, want 2", got)
+	}
+
+	// A second call on the same client starts where the first ended —
+	// the accumulated-latency clock is continuous.
+	if _, err := c.Complete(llm.Request{Prompt: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := callSpans(t, tr, 1)
+	if second.StartMS != root.EndMS {
+		t.Errorf("second call starts at %v, first ended at %v", second.StartMS, root.EndMS)
+	}
+}
+
+func TestTracedDegradePaths(t *testing.T) {
+	permanent := errors.New("permanent")
+
+	t.Run("refusal", func(t *testing.T) {
+		inner := newScript(okResp)
+		inner.failures["q"] = []error{permanent}
+		c := Wrap(inner, Policy{DegradeToRefusal: true})
+		tr := obs.NewTracer()
+		c.SetObs(tr)
+		if _, err := c.Complete(llm.Request{Prompt: "q"}); err != nil {
+			t.Fatal(err)
+		}
+		root, _ := callSpans(t, tr, 0)
+		if root.Reason != "refusal" {
+			t.Errorf("root reason = %q, want refusal", root.Reason)
+		}
+		if got := tr.Registry().Lookup("resilient/refusals").Final(); got != 1 {
+			t.Errorf("resilient/refusals = %v, want 1", got)
+		}
+	})
+
+	t.Run("fallback", func(t *testing.T) {
+		inner := newScript(okResp)
+		inner.failures["q"] = []error{permanent}
+		c := Wrap(inner, Policy{Fallback: newScript(llm.Response{Text: "fb", LatencyMS: 40})})
+		tr := obs.NewTracer()
+		c.SetObs(tr)
+		r, err := c.Complete(llm.Request{Prompt: "q"})
+		if err != nil || r.Text != "fb" {
+			t.Fatalf("fallback answer = %+v, %v", r, err)
+		}
+		root, children := callSpans(t, tr, 0)
+		if root.Reason != "fallback" {
+			t.Errorf("root reason = %q, want fallback", root.Reason)
+		}
+		hasFB := false
+		for _, s := range children {
+			if s.Name == "fallback" && s.EndMS-s.StartMS == 40 {
+				hasFB = true
+			}
+		}
+		if !hasFB {
+			t.Errorf("no 40ms fallback child span in %v", children)
+		}
+		if got := tr.Registry().Lookup("resilient/fallbacks").Final(); got != 1 {
+			t.Errorf("resilient/fallbacks = %v, want 1", got)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("trace failed invariants: %v", err)
+		}
+	})
+}
+
+func TestTracedBreakerFastFail(t *testing.T) {
+	permanent := errors.New("permanent")
+	inner := newScript(okResp)
+	inner.failures["a"] = []error{permanent}
+	c := Wrap(inner, Policy{Breaker: &BreakerPolicy{FailureThreshold: 1}})
+	tr := obs.NewTracer()
+	c.SetObs(tr)
+
+	if _, err := c.Complete(llm.Request{Prompt: "a"}); err == nil {
+		t.Fatal("want error from scripted failure")
+	}
+	// The breaker is now open: the next call must fast-fail without an
+	// attempt span.
+	if _, err := c.Complete(llm.Request{Prompt: "b"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	root, children := callSpans(t, tr, 1)
+	if root.Reason != "error" {
+		t.Errorf("fast-failed root reason = %q, want error", root.Reason)
+	}
+	if len(children) != 1 || children[0].Name != "breaker-fastfail" {
+		t.Errorf("fast-failed call children = %v, want one breaker-fastfail", children)
+	}
+	if got := tr.Registry().Lookup("resilient/fastfails").Final(); got != 1 {
+		t.Errorf("resilient/fastfails = %v, want 1", got)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("trace failed invariants: %v", err)
+	}
+}
+
+func TestTracingDoesNotPerturbClient(t *testing.T) {
+	run := func(tr *obs.Tracer) (llm.Response, Stats) {
+		inner := newScript(okResp)
+		inner.failures["q"] = []error{llm.ErrTimeout, llm.ErrTransient}
+		c := Wrap(inner, Full(3, 7, newScript(llm.Response{Text: "fb"})))
+		if tr != nil {
+			c.SetObs(tr)
+		}
+		r, err := c.Complete(llm.Request{Prompt: "q"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, c.Stats()
+	}
+	plainResp, plainStats := run(nil)
+	tracedResp, tracedStats := run(obs.NewTracer())
+	if !reflect.DeepEqual(plainResp, tracedResp) {
+		t.Errorf("tracing changed the response: %+v vs %+v", plainResp, tracedResp)
+	}
+	if !reflect.DeepEqual(plainStats, tracedStats) {
+		t.Errorf("tracing changed the stats: %+v vs %+v", plainStats, tracedStats)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dataai/internal/obs"
 	"dataai/internal/sim"
 	"dataai/internal/workload"
 )
@@ -24,6 +25,11 @@ type DisaggOpts struct {
 	// the plan's seed: a failed transfer is retried after paying the full
 	// (unoverlapped) transfer time again. Nil disables injection.
 	Faults *FaultPlan
+	// Trace, when non-nil, records the run's timeline: prefill-pool and
+	// decode-pool iteration spans plus per-request lifecycle phases
+	// (queue → prefill → transfer → queue → decode). Nil (the default)
+	// changes nothing and costs nothing.
+	Trace *obs.Tracer
 }
 
 // RunColocated serves the trace on n identical GPUs, each running
@@ -102,6 +108,10 @@ func RunDisaggregated(gpu GPUConfig, reqs []workload.Request, opts DisaggOpts) (
 			id: i, gpu: gpu, kv: NewPagedKV(gpu), eng: eng,
 			onFinish: func(_ float64, r Result) { perPool[i] = append(perPool[i], r) },
 		}
+		if opts.Trace != nil {
+			pools[i].trace = opts.Trace
+			pools[i].track = fmt.Sprintf("decode%d", i)
+		}
 	}
 
 	// Prefill pool state: per-GPU next-free time, advanced in arrival
@@ -114,11 +124,16 @@ func RunDisaggregated(gpu GPUConfig, reqs []workload.Request, opts DisaggOpts) (
 			if opts.Faults != nil && opts.Faults.transferFails(job.req.ID, attempt) {
 				// The shipment was lost: resend, paying the full transfer
 				// time (a retry cannot hide behind the finished prefill).
+				if opts.Trace != nil {
+					opts.Trace.Instant(now, reqTrack(job.req), "transfer-retry")
+					opts.Trace.Registry().Counter("transfer/retries").Add(now, 1)
+				}
 				retry := job
 				retry.readyMS = now + float64(job.req.PromptTokens)*opts.TransferMSPerToken
 				deliver(retry, attempt+1)
 				return
 			}
+			opts.Trace.End(now, job.transfer)
 			p := pools[nextPool%len(pools)]
 			nextPool++
 			p.arrive(now, job)
@@ -144,7 +159,21 @@ func RunDisaggregated(gpu GPUConfig, reqs []workload.Request, opts DisaggOpts) (
 			if opts.OverlapTransfer {
 				transfer = 0 // streamed layer-wise during prefill
 			}
-			deliver(decodeJob{req: r, firstToken: end, readyMS: end + transfer}, 0)
+			job := decodeJob{req: r, firstToken: end, readyMS: end + transfer}
+			if tr := opts.Trace; tr != nil {
+				// The prefill pool's schedule is fully decided here, so its
+				// spans are recorded now with their (future) logical times;
+				// the exporter's (time, seq) sort puts them in place.
+				gSpan := tr.Begin(start, fmt.Sprintf("prefill%d", g), obs.CatGPU, "prefill", 0)
+				tr.End(end, gSpan)
+				job.root = tr.Begin(now, reqTrack(r), obs.CatRequest, "request", 0)
+				q := tr.Begin(now, reqTrack(r), obs.CatRequest, "queue", job.root)
+				tr.End(start, q)
+				p := tr.Begin(start, reqTrack(r), obs.CatRequest, "prefill", job.root)
+				tr.End(end, p)
+				job.transfer = tr.Begin(end, reqTrack(r), obs.CatRequest, "transfer", job.root)
+			}
+			deliver(job, 0)
 		})
 	}
 	eng.Run()
@@ -153,6 +182,10 @@ func RunDisaggregated(gpu GPUConfig, reqs []workload.Request, opts DisaggOpts) (
 	peak := 0
 	for i, pool := range pools {
 		for _, d := range pool.waiting {
+			if tr := opts.Trace; tr != nil {
+				tr.End(eng.Now(), d.phase)
+				tr.EndReason(eng.Now(), d.job.root, "reject")
+			}
 			perPool[i] = append(perPool[i], Result{Req: d.job.req, Rejected: true})
 		}
 		results = append(results, perPool[i]...)
@@ -176,6 +209,11 @@ type decodeInstance struct {
 	running []*dstate
 	busy    bool
 
+	// trace/track mirror instance's observability seam (nil/"" when
+	// tracing is off).
+	trace *obs.Tracer
+	track string
+
 	onFinish func(now float64, r Result)
 }
 
@@ -183,9 +221,12 @@ type dstate struct {
 	job       decodeJob
 	generated int
 	finishMS  float64
+	// phase is the open lifecycle child span (queue, then decode) under
+	// job.root when tracing is on.
+	phase obs.SpanRef
 }
 
-func (di *decodeInstance) finish(d *dstate) {
+func (di *decodeInstance) finish(now float64, d *dstate) {
 	di.kv.Free(d.job.req.ID)
 	r := Result{
 		Req:             d.job.req,
@@ -197,6 +238,11 @@ func (di *decodeInstance) finish(d *dstate) {
 	if d.job.req.OutputTokens > 1 {
 		r.TBTms = (d.finishMS - d.job.firstToken) / float64(d.job.req.OutputTokens-1)
 	}
+	if di.trace != nil {
+		di.trace.End(now, d.phase)
+		d.phase = 0
+		di.trace.EndReason(now, d.job.root, "finish")
+	}
 	di.onFinish(d.finishMS, r)
 }
 
@@ -204,7 +250,11 @@ func (di *decodeInstance) finish(d *dstate) {
 // to a same-instant event so that simultaneous transfers are all queued
 // before the boundary runs — exactly the historical loop's clock jump.
 func (di *decodeInstance) arrive(now float64, job decodeJob) {
-	di.waiting = append(di.waiting, &dstate{job: job, generated: 1}) // token 1 came from prefill
+	d := &dstate{job: job, generated: 1} // token 1 came from prefill
+	if di.trace != nil {
+		d.phase = di.trace.Begin(now, reqTrack(job.req), obs.CatRequest, "queue", job.root)
+	}
+	di.waiting = append(di.waiting, d)
 	if !di.busy {
 		di.busy = true
 		di.eng.After(0, func(t float64) {
@@ -223,7 +273,7 @@ func (di *decodeInstance) step(now float64) {
 			// The prefill's token was the whole output.
 			d.finishMS = d.job.firstToken
 			di.kv.Alloc(d.job.req.ID, 0)
-			di.finish(d)
+			di.finish(now, d)
 			continue
 		}
 		keep = append(keep, d)
@@ -234,6 +284,10 @@ func (di *decodeInstance) step(now float64) {
 	for _, d := range di.waiting {
 		if (di.gpu.MaxBatch == 0 || len(di.running) < di.gpu.MaxBatch) &&
 			di.kv.Alloc(d.job.req.ID, d.job.req.PromptTokens+d.job.req.OutputTokens) {
+			if di.trace != nil {
+				di.trace.End(now, d.phase)
+				d.phase = di.trace.Begin(now, reqTrack(d.job.req), obs.CatRequest, "decode", d.job.root)
+			}
 			di.running = append(di.running, d)
 			continue
 		}
@@ -246,7 +300,11 @@ func (di *decodeInstance) step(now float64) {
 		return // idle: the next transfer re-kicks; stuck waiters reject at drain
 	}
 	di.busy = true
-	di.eng.At(now+di.gpu.decodeIterMS(len(di.running)), func(end float64) { di.endIter(end) })
+	iterSpan := di.trace.Begin(now, di.track, obs.CatGPU, "decode", 0)
+	di.eng.At(now+di.gpu.decodeIterMS(len(di.running)), func(end float64) {
+		di.trace.End(end, iterSpan)
+		di.endIter(end)
+	})
 }
 
 func (di *decodeInstance) endIter(now float64) {
@@ -255,7 +313,7 @@ func (di *decodeInstance) endIter(now float64) {
 		d.generated++
 		d.finishMS = now
 		if d.generated >= d.job.req.OutputTokens {
-			di.finish(d)
+			di.finish(now, d)
 			continue
 		}
 		still = append(still, d)
@@ -269,4 +327,8 @@ type decodeJob struct {
 	req        workload.Request
 	firstToken float64
 	readyMS    float64
+	// root and transfer are the request's lifecycle spans when tracing
+	// is on: transfer stays open across shipping retries and closes on
+	// delivery.
+	root, transfer obs.SpanRef
 }

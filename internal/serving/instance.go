@@ -1,6 +1,9 @@
 package serving
 
 import (
+	"fmt"
+
+	"dataai/internal/obs"
 	"dataai/internal/sim"
 	"dataai/internal/workload"
 )
@@ -40,6 +43,16 @@ type instance struct {
 
 	preemptions int
 
+	// trace, when non-nil, records the instance's timeline (see
+	// trace.go); track is its span-track name, depthGauge its live
+	// queue-depth gauge, and iterSpan the currently open iteration span
+	// (closed by the iteration-end event, or by crash with the event
+	// invalidated).
+	trace      *obs.Tracer
+	track      string
+	depthGauge *obs.Metric
+	iterSpan   obs.SpanRef
+
 	// onFinish receives every completed sequence's Result.
 	onFinish func(now float64, r Result)
 	// onDrop receives sequences lost to a crash, for the cluster router
@@ -54,7 +67,16 @@ func newInstance(id int, gpu GPUConfig, opts ContinuousOpts, eng *sim.Engine, on
 	if kv == nil {
 		kv = NewPagedKV(gpu)
 	}
-	return &instance{id: id, gpu: gpu, opts: opts, kv: kv, eng: eng, slow: 1, onFinish: onFinish}
+	in := &instance{id: id, gpu: gpu, opts: opts, kv: kv, eng: eng, slow: 1, onFinish: onFinish}
+	if opts.Trace != nil {
+		in.trace = opts.Trace
+		in.track = fmt.Sprintf("gpu%d", id)
+		reg := opts.Trace.Registry()
+		in.depthGauge = reg.Gauge(in.track + "/queue_depth")
+		reg.Gauge(in.track+obs.KVCapacitySuffix).Set(eng.Now(), float64(kv.Capacity()))
+		in.kv = &gaugedKV{KVManager: kv, used: reg.Gauge(in.track + obs.KVUsedSuffix), eng: eng}
+	}
+	return in
 }
 
 func (in *instance) active() int { return len(in.prefillQ) + len(in.running) }
@@ -96,6 +118,7 @@ func (in *instance) queueDepth() int { return len(in.waiting) + in.active() }
 // loop jumping its clock to the next arrival and ingesting everything due.
 func (in *instance) arrive(now float64, s *seqState) {
 	in.waiting = append(in.waiting, s)
+	in.traceArrive(now, s)
 	in.kick()
 }
 
@@ -135,6 +158,9 @@ func (in *instance) admit(now float64, s *seqState) bool {
 		// re-admitted elsewhere: their emitted tokens' KV must be
 		// recomputed, exactly as after a preemption.
 		s.prefillLeft = s.req.PromptTokens - s.saved + s.generated
+		if in.trace != nil && s.saved > 0 {
+			in.trace.Registry().Counter(in.track+"/cache_saved_tokens").Add(now, float64(s.saved))
+		}
 	}
 	if in.opts.OnDemand {
 		// Admit behind the watermark, reserving only what must be
@@ -160,11 +186,15 @@ func (in *instance) admit(now float64, s *seqState) bool {
 // preempt frees every block the victim holds (all-or-nothing) and
 // requeues it at the head of the waiting queue; a later prefill
 // recomputes its prompt plus everything it had generated.
-func (in *instance) preempt(v *seqState) {
+func (in *instance) preempt(now float64, v *seqState) {
 	in.kv.Free(v.req.ID)
 	v.prefillLeft = v.req.PromptTokens - v.saved + v.generated
 	in.waiting = append([]*seqState{v}, in.waiting...)
 	in.preemptions++
+	if in.trace != nil {
+		in.trace.Instant(now, in.track, "preempt")
+		in.tracePhase(now, v, "queue")
+	}
 }
 
 func (in *instance) finish(now float64, s *seqState) {
@@ -174,6 +204,7 @@ func (in *instance) finish(now float64, s *seqState) {
 	}
 	r := s.result()
 	r.Instance = in.id
+	in.traceFinish(now, s)
 	in.onFinish(now, r)
 }
 
@@ -187,6 +218,7 @@ func (in *instance) step(now float64) {
 		return
 	}
 	for len(in.waiting) > 0 && in.admit(now, in.waiting[0]) {
+		in.tracePhase(now, in.waiting[0], "prefill")
 		in.prefillQ = append(in.prefillQ, in.waiting[0])
 		in.waiting = in.waiting[1:]
 	}
@@ -203,10 +235,14 @@ func (in *instance) step(now float64) {
 		// crash mid-prefill drops the sequence with everything else.
 		s := in.prefillQ[0]
 		iterMS := in.gpu.prefillMS(s.prefillLeft) * in.slow
+		iterSpan := in.trace.Begin(now, in.track, obs.CatGPU, "prefill", 0)
+		in.iterSpan = iterSpan
 		in.eng.At(now+iterMS, func(end float64) {
 			if in.epoch != epoch {
 				return
 			}
+			in.trace.End(end, iterSpan)
+			in.iterSpan = 0
 			in.endPrefill(end, s)
 		})
 		return
@@ -217,6 +253,7 @@ func (in *instance) step(now float64) {
 	// as the historical loop did; decode effects at the iteration end.
 	var iterMS float64
 	completing := false
+	chunked := false
 	if in.opts.ChunkTokens > 0 && len(in.prefillQ) > 0 {
 		s := in.prefillQ[0]
 		chunk := in.opts.ChunkTokens
@@ -226,6 +263,7 @@ func (in *instance) step(now float64) {
 		iterMS += in.gpu.prefillMS(chunk)
 		s.prefillLeft -= chunk
 		s.prefilled += chunk
+		chunked = true
 		completing = s.prefillLeft == 0 // first token lands at iteration end
 	}
 	if len(in.running) > 0 {
@@ -235,10 +273,21 @@ func (in *instance) step(now float64) {
 		iterMS = in.gpu.DecodeBaseMS // defensive: never stall the clock
 	}
 	iterMS *= in.slow
+	iterName := "decode"
+	if chunked {
+		iterName = "prefill"
+		if len(in.running) > 0 {
+			iterName = "prefill+decode"
+		}
+	}
+	iterSpan := in.trace.Begin(now, in.track, obs.CatGPU, iterName, 0)
+	in.iterSpan = iterSpan
 	in.eng.At(now+iterMS, func(end float64) {
 		if in.epoch != epoch {
 			return
 		}
+		in.trace.End(end, iterSpan)
+		in.iterSpan = 0
 		in.endMixed(end, completing)
 	})
 }
@@ -258,6 +307,7 @@ func (in *instance) endPrefill(now float64, s *seqState) {
 	if s.req.OutputTokens <= s.generated {
 		in.finish(now, s)
 	} else {
+		in.tracePhase(now, s, "decode")
 		in.running = append(in.running, s)
 	}
 	in.step(now)
@@ -301,12 +351,12 @@ func (in *instance) endMixed(now float64, completing bool) {
 					// now applies to s itself — free everything it holds
 					// and recompute it later.
 					preempted[s] = true
-					in.preempt(s)
+					in.preempt(now, s)
 					ok = false
 					break
 				}
 				preempted[victim] = true
-				in.preempt(victim)
+				in.preempt(now, victim)
 			}
 			if !ok {
 				continue
@@ -324,6 +374,7 @@ func (in *instance) endMixed(now float64, completing bool) {
 		if comp.req.OutputTokens <= comp.generated {
 			in.finish(now, comp)
 		} else {
+			in.tracePhase(now, comp, "decode")
 			in.running = append(in.running, comp)
 		}
 	}
@@ -339,6 +390,13 @@ func (in *instance) crash(now float64) {
 	in.down = true
 	in.busy = false
 	in.epoch++
+	if in.trace != nil {
+		// The in-flight iteration's end event is invalidated with the
+		// epoch, so its span must close here or dangle.
+		in.trace.EndReason(now, in.iterSpan, "crash")
+		in.iterSpan = 0
+		in.trace.Instant(now, in.track, "crash")
+	}
 	dropped := make([]*seqState, 0, len(in.prefillQ)+len(in.running)+len(in.waiting))
 	for _, s := range in.prefillQ {
 		in.kv.Free(s.req.ID)
@@ -363,9 +421,15 @@ func (in *instance) crash(now float64) {
 		s.admitted = false
 		s.saved = 0
 		s.prefillLeft = 0
+		// The reroute hop spans detection delay + routing; it closes when
+		// the sequence arrives at its next instance.
+		in.tracePhase(now, s, "reroute")
 		if in.onDrop != nil {
 			in.onDrop(now, s)
 		}
+	}
+	if in.trace != nil {
+		in.traceDepth(now)
 	}
 }
 
@@ -397,6 +461,7 @@ func scheduleArrivals(eng *sim.Engine, gpu GPUConfig, reqs []workload.Request, i
 		eng.At(r.ArrivalMS, func(now float64) {
 			footprint := r.PromptTokens + r.OutputTokens
 			if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
+				traceRejectArrival(inst.trace, now, r)
 				reject(Result{Req: r, Rejected: true})
 				return
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dataai/internal/obs"
 	"dataai/internal/resilient"
 	"dataai/internal/sim"
 	"dataai/internal/token"
@@ -125,6 +126,22 @@ type cluster struct {
 	rerouted int
 	crashes  int
 	results  []Result
+
+	// trace, when non-nil, records the cluster timeline; instances share
+	// it through their ContinuousOpts.
+	trace *obs.Tracer
+}
+
+// traceBreaker mirrors instance i's breaker state into its gauge
+// (0 closed, 1 open, 2 half-open). StateAt is idempotent at a fixed time
+// — every breaker mutator calls it first — so the extra read never
+// changes routing behavior.
+func (c *cluster) traceBreaker(now float64, i int) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.Registry().Gauge(fmt.Sprintf("gpu%d/breaker_state", i)).
+		Set(now, float64(c.breakers[i].StateAt(now)))
 }
 
 // affinity returns the instance a request's prefix or session hashes to,
@@ -240,6 +257,7 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 		prefixes: make([]*PrefixCache, n),
 		breakers: make([]*resilient.Breaker, n),
 		pending:  len(ordered),
+		trace:    opts.Trace,
 	}
 	tally := &clusterTally{}
 	cooldown := 1000.0
@@ -267,6 +285,7 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 		c.insts[i] = newInstance(i, gpu, instOpts, c.eng, func(now float64, r Result) {
 			c.results = append(c.results, r)
 			c.breakers[i].OnSuccess(now)
+			c.traceBreaker(now, i)
 			c.pending--
 		})
 		c.insts[i].onDrop = func(now float64, s *seqState) {
@@ -274,7 +293,12 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 			// re-routes the sequence away from the crashed instance.
 			c.eng.At(now+plan.detectMS(), func(t float64) {
 				c.breakers[i].OnFailure(t)
+				c.traceBreaker(t, i)
 				c.rerouted++
+				if c.trace != nil {
+					c.trace.Instant(t, "router", "reroute")
+					c.trace.Registry().Counter("router/rerouted").Add(t, 1)
+				}
 				g := c.route(t, s.req, i)
 				c.insts[g].arrive(t, s)
 			})
@@ -287,6 +311,7 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 		c.eng.At(r.ArrivalMS, func(now float64) {
 			footprint := r.PromptTokens + r.OutputTokens
 			if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
+				traceRejectArrival(c.trace, now, r)
 				c.results = append(c.results, Result{Req: r, Rejected: true})
 				c.pending--
 				return
@@ -310,11 +335,15 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 					in.setSlowdown(plan.slowdownAt(i, w))
 					if plan.crashAt(i, w) {
 						c.crashes++
+						if c.trace != nil {
+							c.trace.Registry().Counter("router/crashes").Add(now, 1)
+						}
 						in.crash(now)
 						c.eng.At(now+plan.detectMS(), func(t float64) {
 							// Health check: the detector notices the dead
 							// instance even when nothing was in flight.
 							c.breakers[i].OnFailure(t)
+							c.traceBreaker(t, i)
 						})
 						c.eng.At(now+plan.crashDownMS(), func(t float64) {
 							in.setSlowdown(1)
@@ -333,6 +362,7 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 	var hits, misses, preemptions int
 	for i, in := range c.insts {
 		for _, s := range in.waiting {
+			in.traceReject(c.eng.Now(), s)
 			c.results = append(c.results, Result{Req: s.req, Rejected: true})
 		}
 		h, m := c.prefixes[i].Stats()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dataai/internal/obs"
 	"dataai/internal/sim"
 	"dataai/internal/workload"
 )
@@ -22,6 +23,11 @@ type seqState struct {
 	admitted     bool
 	// saved is the prompt span satisfied from a prefix/session cache.
 	saved int
+	// root and phase are the request's lifecycle spans when tracing is
+	// on (zero refs otherwise, safe to End): root covers arrival to
+	// terminal, phase is the currently open queue/prefill/decode/reroute
+	// child.
+	root, phase obs.SpanRef
 }
 
 func (s *seqState) result() Result {
@@ -135,6 +141,11 @@ type ContinuousOpts struct {
 	// front using the trace's known output length (an oracle real
 	// servers lack).
 	OnDemand bool
+	// Trace, when non-nil, records the run's timeline (spans, instants,
+	// and registry gauges — see trace.go and internal/obs). Tracing only
+	// observes the simulation: a nil Trace (the default) changes nothing
+	// and costs nothing.
+	Trace *obs.Tracer
 }
 
 // admissionWatermark is the occupancy fraction above which OnDemand mode
@@ -166,6 +177,7 @@ func RunContinuous(gpu GPUConfig, reqs []workload.Request, opts ContinuousOpts) 
 	// Anything still waiting could never be admitted (footprint larger
 	// than the whole cache): report as rejected.
 	for _, s := range inst.waiting {
+		inst.traceReject(eng.Now(), s)
 		results = append(results, Result{Req: s.req, Rejected: true})
 	}
 	rep := buildReport(results)

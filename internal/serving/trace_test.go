@@ -1,0 +1,238 @@
+package serving
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dataai/internal/obs"
+	"dataai/internal/workload"
+)
+
+// severeRouted runs the E23 worst case — 4 instances, breaker-aware
+// routing, severe fault plan — with the given tracer attached.
+func severeRouted(t *testing.T, tr *obs.Tracer) *RoutedReport {
+	t.Helper()
+	rep, err := RunRoutedFaults(DefaultGPU(), prefixTrace(t, 47), 4, BreakerAware,
+		ContinuousOpts{ChunkTokens: 256, Trace: tr}, SevereFaultPlan(2303))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRoutedSevereTracePassesInvariants(t *testing.T) {
+	tr := obs.NewTracer()
+	rep := severeRouted(t, tr)
+	if rep.Crashes == 0 || rep.Rerouted == 0 {
+		t.Fatalf("severe plan injected nothing: %d crashes, %d rerouted", rep.Crashes, rep.Rerouted)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("severe routed trace failed invariants: %v", err)
+	}
+
+	// The trace must carry the fault story: crash instants, reroute
+	// phases, and registry counters agreeing with the report.
+	phases := map[string]int{}
+	for _, s := range tr.Spans() {
+		if s.Cat == obs.CatRequest && s.Parent != 0 {
+			phases[s.Name]++
+		}
+	}
+	for _, want := range []string{"queue", "prefill", "decode", "reroute"} {
+		if phases[want] == 0 {
+			t.Errorf("no %q phase spans in a crashing run (histogram %v)", want, phases)
+		}
+	}
+	crashes := 0
+	for _, in := range tr.Instants() {
+		if in.Name == "crash" {
+			crashes++
+		}
+	}
+	if crashes != rep.Crashes {
+		t.Errorf("crash instants = %d, report says %d", crashes, rep.Crashes)
+	}
+	reg := tr.Registry()
+	if got := reg.Lookup("router/rerouted").Final(); got != float64(rep.Rerouted) {
+		t.Errorf("router/rerouted counter = %v, report says %d", got, rep.Rerouted)
+	}
+	if got := reg.Lookup("router/crashes").Final(); got != float64(rep.Crashes) {
+		t.Errorf("router/crashes counter = %v, report says %d", got, rep.Crashes)
+	}
+	// Every instance published its KV capacity for the checker.
+	for _, name := range []string{"gpu0/kv_capacity_blocks", "gpu3/kv_used_blocks", "gpu0/queue_depth"} {
+		if reg.Lookup(name) == nil {
+			t.Errorf("registry missing %s (have %v)", name, reg.Names())
+		}
+	}
+}
+
+func TestTracingDoesNotChangeBehavior(t *testing.T) {
+	// The zero-overhead-when-nil contract's stronger sibling: even when
+	// tracing is ON, the simulation's decisions are untouched — the
+	// traced and untraced reports must be deeply equal.
+	untraced := severeRouted(t, nil)
+	traced := severeRouted(t, obs.NewTracer())
+	if !reflect.DeepEqual(untraced, traced) {
+		t.Error("attaching a tracer changed the routed report")
+	}
+}
+
+func TestRoutedTraceBytesDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	trA := obs.NewTracer()
+	severeRouted(t, trA)
+	if err := trA.WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	trB := obs.NewTracer()
+	severeRouted(t, trB)
+	if err := trB.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical severe routed runs exported different trace bytes")
+	}
+}
+
+func TestContinuousPreemptionTrace(t *testing.T) {
+	// Under severe memory pressure the OnDemand discipline preempts;
+	// preempted sequences must re-enter the queue phase and the trace
+	// must stay well-formed.
+	gpu := DefaultGPU()
+	gpu.KVBlocks = 96
+	cfg := workload.DefaultTrace(22, 120, 80)
+	cfg.OutputMax = 1024
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	rep, err := RunContinuous(gpu, reqs, ContinuousOpts{OnDemand: true, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preemptions == 0 {
+		t.Fatal("no preemptions under severe pressure")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("preemption trace failed invariants: %v", err)
+	}
+	preempts := 0
+	for _, in := range tr.Instants() {
+		if in.Name == "preempt" {
+			preempts++
+		}
+	}
+	if preempts != rep.Preemptions {
+		t.Errorf("preempt instants = %d, report says %d", preempts, rep.Preemptions)
+	}
+	// A preempted request's track holds more queue spans than requests.
+	queueSpans := 0
+	for _, s := range tr.Spans() {
+		if s.Cat == obs.CatRequest && s.Name == "queue" {
+			queueSpans++
+		}
+	}
+	if queueSpans <= len(reqs) {
+		t.Errorf("queue spans = %d, want > %d (re-queued preemption victims)", queueSpans, len(reqs))
+	}
+}
+
+func TestDisaggTraceInvariants(t *testing.T) {
+	reqs, err := workload.Generate(workload.DefaultTrace(31, 200, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	rep, err := RunDisaggregated(DefaultGPU(), reqs, DisaggOpts{
+		PrefillGPUs: 2, DecodeGPUs: 2, TransferMSPerToken: 0.02,
+		Faults: SevereFaultPlan(7), Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OutputTokens == 0 {
+		t.Fatal("nothing served")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("disagg trace failed invariants: %v", err)
+	}
+	tracks := map[string]bool{}
+	for _, s := range tr.Spans() {
+		tracks[s.Track] = true
+	}
+	for _, want := range []string{"prefill0", "prefill1", "decode0", "decode1"} {
+		if !tracks[want] {
+			t.Errorf("no spans on pool track %s", want)
+		}
+	}
+	if got := tr.Registry().Lookup("transfer/retries").Final(); got == 0 {
+		t.Error("severe plan produced no transfer retries")
+	}
+}
+
+func TestPhaseBreakdownOnRoutedRun(t *testing.T) {
+	tr := obs.NewTracer()
+	severeRouted(t, tr)
+	names, byPhase := obs.PhaseBreakdown(tr)
+	if len(names) < 3 {
+		t.Fatalf("breakdown phases = %v, want at least queue/prefill/decode", names)
+	}
+	if byPhase["decode"] == nil || byPhase["decode"].Count() == 0 {
+		t.Fatal("no decode samples in breakdown")
+	}
+	if byPhase["reroute"] == nil || byPhase["reroute"].Mean() <= 0 {
+		t.Error("reroute phase missing or zero under a crashing plan")
+	}
+}
+
+// benchSevereRouted measures the E23 severe cell with and without a
+// tracer attached; the pair quantifies the observability layer's
+// overhead for BENCH_obs.json.
+func benchSevereRouted(b *testing.B, newTracer func() *obs.Tracer) {
+	cfg := workload.DefaultTrace(47, 300, 50)
+	cfg.SharedPrefixes = 8
+	cfg.SharedPrefixTokens = 512
+	cfg.SharedPrefixProb = 0.8
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunRoutedFaults(DefaultGPU(), reqs, 4, BreakerAware,
+			ContinuousOpts{ChunkTokens: 256, Trace: newTracer()}, SevereFaultPlan(2303)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoutedTraceOff(b *testing.B) {
+	benchSevereRouted(b, func() *obs.Tracer { return nil })
+}
+
+func BenchmarkRoutedTraceOn(b *testing.B) { benchSevereRouted(b, obs.NewTracer) }
+
+func BenchmarkWriteChrome(b *testing.B) {
+	cfg := workload.DefaultTrace(47, 300, 50)
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	if _, err := RunRoutedFaults(DefaultGPU(), reqs, 4, BreakerAware,
+		ContinuousOpts{ChunkTokens: 256, Trace: tr}, SevereFaultPlan(2303)); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := tr.WriteChrome(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "trace-bytes")
+}

@@ -39,7 +39,24 @@ echo "== servesim smoke (routed cluster end-to-end)"
 # CLI: event engine, online router, fault plan, breakers, re-routing.
 go build -o /tmp/dataai_servesim ./cmd/servesim
 /tmp/dataai_servesim -policy routed -instances 4 -router breaker-aware -faults severe -n 200 -rate 60 > /dev/null
-rm -f /tmp/dataai_servesim
+
+echo "== servesim trace (invariants + serial vs parallel-8 byte-identical)"
+# The same severe routed run with -trace: servesim runs the structural
+# invariant checker (internal/obs Check) over the recorded timeline and
+# refuses to write a malformed trace; running it again at -parallel 8
+# (eight concurrent replicas, traces compared in-process, replica 0
+# emitted) and diffing the two files pins the observability layer's
+# byte-identical determinism contract end to end.
+/tmp/dataai_servesim -policy routed -instances 4 -router breaker-aware -faults severe -n 200 -rate 60 \
+    -trace /tmp/dataai_trace_serial.json > /dev/null 2>/dev/null
+/tmp/dataai_servesim -policy routed -instances 4 -router breaker-aware -faults severe -n 200 -rate 60 \
+    -trace /tmp/dataai_trace_par.json -parallel 8 > /dev/null 2>/dev/null
+diff /tmp/dataai_trace_serial.json /tmp/dataai_trace_par.json
+# A trace is non-trivial and well-formed: it opens the Chrome trace-event
+# envelope and carries events (full JSON validity is pinned by the unit
+# tests in internal/obs and cmd/benchall).
+head -c 16 /tmp/dataai_trace_serial.json | grep -q '{"traceEvents"'
+rm -f /tmp/dataai_servesim /tmp/dataai_trace_serial.json /tmp/dataai_trace_par.json
 
 echo "== bench smoke (every Par benchmark runs once)"
 go test -run '^$' -bench=Par -benchtime=1x ./...
