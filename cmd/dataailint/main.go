@@ -11,6 +11,15 @@
 //	dataailint ./internal/vecdb           # one package
 //	dataailint -checks floateq,maporder ./...
 //	dataailint -list                      # list analyzers and exit
+//	dataailint -fix ./...                 # apply suggested fixes in place
+//	dataailint -sarif ./... > lint.sarif  # SARIF 2.1.0 for CI upload
+//	dataailint -json ./...                # findings as a JSON array
+//	dataailint -v ./...                   # also report skipped files/dirs
+//
+// When the full suite runs (no -checks), //lint:ignore directives that
+// no longer suppress anything are reported as "staleignore" findings;
+// -fix deletes them. -fix is idempotent: on a tree with no findings it
+// changes nothing, which scripts/check.sh asserts with git diff.
 //
 // Suppress a finding with a trailing or preceding comment:
 //
@@ -20,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,50 +37,130 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the CLI test exercises
+// flag handling, exit codes, and output without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dataailint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all, plus the stale-suppression audit)")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place, then report what remains")
+	sarif := fs.Bool("sarif", false, "write findings as SARIF 2.1.0 to stdout")
+	jsonOut := fs.Bool("json", false, "write findings as a JSON array to stdout")
+	verbose := fs.Bool("v", false, "report files and packages the loader skipped (build constraints, test-only dirs)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
+		width := 0
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			if len(a.Name) > width {
+				width = len(a.Name)
+			}
 		}
-		return
+		for _, a := range lint.Analyzers() { // Analyzers() is sorted by name
+			fmt.Fprintf(stdout, "%-*s  %s\n", width, a.Name, a.Doc)
+		}
+		return 0
 	}
 
 	analyzers := lint.Analyzers()
+	full := true
 	if *checks != "" {
+		full = false
 		analyzers = analyzers[:0]
 		for _, name := range strings.Split(*checks, ",") {
 			a := lint.Lookup(strings.TrimSpace(name))
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "dataailint: unknown check %q (try -list)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "dataailint: unknown check %q (try -list)\n", name)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dataailint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dataailint: %v\n", err)
+		return 2
 	}
-	pkgs, err := lint.Load(cwd, patterns...)
+	pkgs, report, err := lint.LoadWithReport(cwd, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dataailint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dataailint: %v\n", err)
+		return 2
 	}
-	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *verbose {
+		for _, d := range report.TestOnlyDirs {
+			fmt.Fprintf(stderr, "dataailint: %s: package has only _test.go files; nothing to analyze\n", d)
+		}
+		for _, f := range report.SkippedFiles {
+			fmt.Fprintf(stderr, "dataailint: %s: skipped: %s\n", f.Path, f.Reason)
+		}
+	}
+
+	// The stale-suppression audit is sound only over the full suite: a
+	// directive for an analyzer excluded by -checks is not stale.
+	var diags []lint.Diagnostic
+	if full {
+		diags = lint.RunAudited(pkgs, analyzers)
+	} else {
+		diags = lint.Run(pkgs, analyzers)
+	}
+
+	if *fix {
+		res, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "dataailint: %v\n", err)
+			return 2
+		}
+		for _, f := range res.Files {
+			fmt.Fprintf(stdout, "fixed %s\n", f)
+		}
+		remaining := 0
+		for _, d := range diags {
+			if len(d.SuggestedFixes) == 0 {
+				fmt.Fprintln(stdout, d)
+				remaining++
+			}
+		}
+		if res.Skipped > 0 {
+			fmt.Fprintf(stderr, "dataailint: %d overlapping fix(es) deferred; run -fix again\n", res.Skipped)
+			return 1
+		}
+		if remaining > 0 {
+			fmt.Fprintf(stderr, "dataailint: %d finding(s) without a suggested fix\n", remaining)
+			return 1
+		}
+		return 0
+	}
+
+	switch {
+	case *sarif:
+		if err := lint.WriteSARIF(stdout, cwd, analyzers, diags); err != nil {
+			fmt.Fprintf(stderr, "dataailint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
+		if err := lint.WriteJSON(stdout, cwd, diags); err != nil {
+			fmt.Fprintf(stderr, "dataailint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dataailint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dataailint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dataai/internal/lint"
+)
+
+// chdirTempModule writes a throwaway module, chdirs into it for the
+// test's duration (run() loads relative to the working directory), and
+// returns its root.
+func chdirTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+	return dir
+}
+
+const dirtyFloatEq = `package d
+
+// Eq compares floats exactly: the floateq analyzer's bread and butter.
+func Eq(a, b float64) bool { return a == b }
+`
+
+func TestListIsSortedAndComplete(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if want := len(lint.Analyzers()); len(lines) != want {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), want, out.String())
+	}
+	var names []string
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("-list line lacks a doc string: %q", line)
+		}
+		names = append(names, fields[0])
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("-list not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestUnknownCheckExitsTwo(t *testing.T) {
+	chdirTempModule(t, map[string]string{"go.mod": "module tmp\n\ngo 1.22\n", "d/d.go": dirtyFloatEq})
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "nosuchcheck", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown check exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "nosuchcheck") {
+		t.Errorf("stderr does not name the bad check: %s", errOut.String())
+	}
+}
+
+func TestFindingsExitOneAndChecksSubsets(t *testing.T) {
+	chdirTempModule(t, map[string]string{"go.mod": "module tmp\n\ngo 1.22\n", "d/d.go": dirtyFloatEq})
+
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("dirty module exited %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[floateq]") {
+		t.Errorf("finding not printed: %s", out.String())
+	}
+
+	// The subset that includes the firing check still fails...
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-checks", "floateq", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("-checks floateq exited %d, want 1", code)
+	}
+	// ...and the subset that excludes it passes.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-checks", "maporder,uncheckederr", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("-checks maporder,uncheckederr exited %d, want 0; out: %s", code, out.String())
+	}
+}
+
+func TestJSONAndSARIFOutputs(t *testing.T) {
+	chdirTempModule(t, map[string]string{"go.mod": "module tmp\n\ngo 1.22\n", "d/d.go": dirtyFloatEq})
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("-json exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), `"check": "floateq"`) {
+		t.Errorf("-json output missing the finding: %s", out.String())
+	}
+	if !strings.Contains(out.String(), `"file": "d/d.go"`) {
+		t.Errorf("-json paths not relative to the working directory: %s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-sarif", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("-sarif exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "sarif-2.1.0") || !strings.Contains(out.String(), `"ruleId": "floateq"`) {
+		t.Errorf("-sarif output malformed: %s", out.String())
+	}
+}
+
+func TestFixIsIdempotent(t *testing.T) {
+	dir := chdirTempModule(t, map[string]string{
+		"go.mod": "module tmp\n\ngo 1.22\n",
+		"d/d.go": `package d
+
+//lint:ignore floateq long gone
+func Add(a, b int) int { return a + b }
+`,
+	})
+
+	// First -fix run deletes the stale directive and exits clean (the
+	// stale finding carried a fix, so nothing remains).
+	var out, errOut strings.Builder
+	if code := run([]string{"-fix", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("-fix exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "fixed ") {
+		t.Errorf("-fix did not report the rewritten file: %s", out.String())
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "d", "d.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(src), "lint:ignore") {
+		t.Errorf("stale directive survived -fix:\n%s", src)
+	}
+
+	// Second run: clean tree, nothing rewritten — byte-for-byte stable.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-fix", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("second -fix exited %d: %s", code, errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("second -fix rewrote something: %s", out.String())
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "d", "d.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(src) {
+		t.Errorf("-fix not idempotent:\nfirst:\n%s\nsecond:\n%s", src, after)
+	}
+}
+
+func TestVerboseReportsSkips(t *testing.T) {
+	chdirTempModule(t, map[string]string{
+		"go.mod":            "module tmp\n\ngo 1.22\n",
+		"d/d.go":            "package d\n\nfunc A() {}\n",
+		"d/gated.go":        "//go:build neverever\n\npackage d\n\nfunc B() {}\n",
+		"only/only_test.go": "package only\n",
+	})
+	var out, errOut strings.Builder
+	if code := run([]string{"-v", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("-v exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "gated.go") || !strings.Contains(errOut.String(), "neverever") {
+		t.Errorf("-v did not report the constraint-skipped file: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "only _test.go files") {
+		t.Errorf("-v did not report the test-only package: %s", errOut.String())
+	}
+}

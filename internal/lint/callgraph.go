@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the static call graph the cross-package analyzers
+// walk. It is deliberately simple — and deliberately documented about
+// it:
+//
+//   - Nodes are *types.Func objects, which the shared type-checker makes
+//     canonical across every package of one Load: the util.StampNow a
+//     caller in internal/sim resolves is the same object util's own
+//     analysis saw, so facts attached to it line up.
+//   - Edges are static calls only: direct calls to package-level
+//     functions and method calls whose selection the checker resolved.
+//     Calls through interface values resolve to the interface method
+//     object; calls through plain function values (fields, parameters)
+//     produce no edge.
+//   - Calls inside a function literal are attributed to the enclosing
+//     declared function — for taint purposes a closure's body is part of
+//     the function that wrote it.
+//
+// These choices make the graph an under-approximation of dynamic calls
+// through function values and an over-approximation of nothing: every
+// edge corresponds to a call that can happen. Taint built on it
+// therefore never flags an impossible path, at the cost of missing
+// laundering through stored function values — the nondeterminism
+// analyzer still catches those at the source site.
+
+// CallEdge is one static call site: Caller invokes Callee at Pos.
+// Caller is nil for calls outside any function declaration (package
+// variable initializers).
+type CallEdge struct {
+	Caller *types.Func
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// CallGraph is the static call multigraph of a set of packages.
+type CallGraph struct {
+	Fset  *token.FileSet
+	Edges []CallEdge
+
+	out map[*types.Func][]int // caller → edge indexes, in source order
+}
+
+// BuildCallGraph constructs the call graph of the given packages. Edge
+// order is deterministic: packages in the order given, files in
+// FileSet order, call sites in AST order.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{out: map[*types.Func][]int{}}
+	for _, p := range pkgs {
+		if g.Fset == nil {
+			g.Fset = p.Fset
+		}
+		for _, f := range p.Files {
+			if p.isTestFile(f.Pos()) {
+				continue
+			}
+			addFileEdges(g, p, f)
+		}
+	}
+	return g
+}
+
+func addFileEdges(g *CallGraph, p *Package, f *ast.File) {
+	inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := p.calleeFunc(call)
+		if callee == nil {
+			return
+		}
+		caller := p.enclosingDeclaredFunc(stack)
+		idx := len(g.Edges)
+		g.Edges = append(g.Edges, CallEdge{Caller: caller, Callee: callee, Pos: call.Pos()})
+		if caller != nil {
+			g.out[caller] = append(g.out[caller], idx)
+		}
+	})
+}
+
+// CallsFrom returns fn's outgoing edges in source order.
+func (g *CallGraph) CallsFrom(fn *types.Func) []CallEdge {
+	idxs := g.out[fn]
+	out := make([]CallEdge, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, g.Edges[i])
+	}
+	return out
+}
+
+// Callees returns the distinct functions fn calls, sorted by full name.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func {
+	seen := map[*types.Func]bool{}
+	var out []*types.Func
+	for _, e := range g.CallsFrom(fn) {
+		if !seen[e.Callee] {
+			seen[e.Callee] = true
+			out = append(out, e.Callee)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// calleeFunc resolves the function a call expression statically invokes,
+// or nil when the call goes through a function value, a type conversion,
+// or a builtin.
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := p.Info.Uses[id].(*types.Func)
+			return fn
+		}
+		if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// enclosingDeclaredFunc returns the *types.Func of the innermost
+// enclosing function *declaration* on the stack — function literals are
+// skipped over, attributing their calls to the declaring function.
+func (p *Package) enclosingDeclaredFunc(stack []ast.Node) *types.Func {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders fn for diagnostics: "pkg.Func" or
+// "pkg.(*Recv).Method", with pkg the last import-path element.
+func funcDisplayName(fn *types.Func) string {
+	if fn == nil {
+		return "<none>"
+	}
+	pkg := fn.Pkg()
+	prefix := ""
+	if pkg != nil {
+		path := pkg.Path()
+		if i := lastSlash(path); i >= 0 {
+			path = path[i+1:]
+		}
+		prefix = path + "."
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		star := ""
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			star = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return prefix + "(" + star + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return prefix + fn.Name()
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

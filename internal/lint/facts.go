@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a piece of analyzer-computed knowledge attached to a types
+// object and visible to later passes over importing packages — the same
+// shape as go/analysis facts, minus serialization (everything here runs
+// in one process over one module, so facts live in memory for the
+// duration of a Run).
+//
+// A fact type is a pointer to a struct implementing AFact:
+//
+//	type WallTaint struct{ Path string }
+//	func (*WallTaint) AFact() {}
+//
+// Analyzers declare the fact types they use in Analyzer.FactTypes, which
+// opts them into running over dependency packages so their facts exist
+// before any importer is analyzed.
+type Fact interface {
+	AFact()
+}
+
+// factKey scopes facts to the defining object.
+type factKey = types.Object
+
+// runContext is the state shared by every Pass of one Run invocation:
+// the fact store keyed by (object, fact type).
+type runContext struct {
+	facts map[factKey][]Fact
+}
+
+// ExportObjectFact attaches fact to obj for the rest of this Run. A
+// second export of the same fact type on the same object replaces the
+// first (analyzers converge before exporting, so replacement is the
+// rare refinement case, not a fixpoint mechanism).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.ctx == nil || obj == nil || fact == nil {
+		return
+	}
+	t := reflect.TypeOf(fact)
+	for i, f := range p.ctx.facts[obj] {
+		if reflect.TypeOf(f) == t {
+			p.ctx.facts[obj][i] = fact
+			return
+		}
+	}
+	p.ctx.facts[obj] = append(p.ctx.facts[obj], fact)
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into
+// *ptr and reports whether one was found. ptr must be a non-nil pointer
+// to a fact struct, e.g.:
+//
+//	var taint WallTaint
+//	if pass.ImportObjectFact(fn, &taint) { ... }
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.ctx == nil || obj == nil || ptr == nil {
+		return false
+	}
+	t := reflect.TypeOf(ptr)
+	for _, f := range p.ctx.facts[obj] {
+		if reflect.TypeOf(f) == t {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// analysisOrder returns the requested packages plus every module-local
+// dependency the loader attached, in dependency order (imports before
+// importers), and the set of packages whose diagnostics the caller asked
+// for. Roots are visited in ImportPath order so the result — and with it
+// every fact and diagnostic — is deterministic.
+func analysisOrder(pkgs []*Package) ([]*Package, map[*Package]bool) {
+	requested := make(map[*Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		requested[p] = true
+	}
+	roots := append([]*Package(nil), pkgs...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	visited := map[*Package]bool{}
+	var ordered []*Package
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if p == nil || visited[p] {
+			return
+		}
+		visited[p] = true
+		for _, dep := range p.deps {
+			visit(dep)
+		}
+		ordered = append(ordered, p)
+	}
+	for _, p := range roots {
+		visit(p)
+	}
+	return ordered, requested
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+	"strings"
+)
+
+// TextEdit is one byte-range replacement in a file: the half-open range
+// [Start, End) is replaced by NewText. Offsets refer to the file as it
+// was when the diagnostic was produced. An empty NewText deletes the
+// range; Start == End inserts.
+type TextEdit struct {
+	Filename   string
+	Start, End int
+	NewText    string
+}
+
+// SuggestedFix is one machine-applicable repair for a diagnostic: a
+// short description and the edits that perform it. Edits within one fix
+// are applied atomically.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// FixResult reports what ApplyFixes did.
+type FixResult struct {
+	// Applied counts diagnostics whose fix was applied.
+	Applied int
+	// Skipped counts diagnostics whose fix conflicted with an
+	// already-accepted edit and was dropped; rerunning the tool after
+	// the first batch picks them up.
+	Skipped int
+	// Files lists every rewritten file, sorted.
+	Files []string
+}
+
+// ApplyFixes applies the first suggested fix of every diagnostic that
+// carries one, rewriting the affected files in place. Edits are applied
+// per file in ascending offset order; a fix any of whose edits overlaps
+// an edit already accepted for that file is skipped whole (the next run
+// of the tool sees the updated offsets and applies it cleanly), so
+// repeated runs converge: a tree with no findings is never modified,
+// which is what makes `dataailint -fix` idempotent.
+//
+// Rewritten Go files are passed through go/format, so applying fixes
+// never introduces a gofmt diff.
+func ApplyFixes(diags []Diagnostic) (FixResult, error) {
+	type edit struct {
+		TextEdit
+		fix int // index of the owning fix, for all-or-nothing skipping
+	}
+	perFile := map[string][]edit{}
+	fixID := 0
+	total := 0
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		total++
+		for _, e := range d.SuggestedFixes[0].Edits {
+			perFile[e.Filename] = append(perFile[e.Filename], edit{TextEdit: e, fix: fixID})
+		}
+		fixID++
+	}
+	if total == 0 {
+		return FixResult{}, nil
+	}
+
+	skippedFix := map[int]bool{}
+	accepted := map[string][]edit{}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		edits := perFile[f]
+		sort.SliceStable(edits, func(i, j int) bool { return edits[i].Start < edits[j].Start })
+		end := -1
+		for _, e := range edits {
+			if e.Start > e.End || e.Start < 0 {
+				skippedFix[e.fix] = true
+				continue
+			}
+			if e.Start < end { // overlaps the previous accepted edit
+				skippedFix[e.fix] = true
+				continue
+			}
+			accepted[f] = append(accepted[f], e)
+			if e.End > end {
+				end = e.End
+			}
+		}
+	}
+
+	res := FixResult{}
+	for _, f := range files {
+		var keep []edit
+		for _, e := range accepted[f] {
+			if !skippedFix[e.fix] {
+				keep = append(keep, e)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return res, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		var b strings.Builder
+		last := 0
+		bad := false
+		for _, e := range keep {
+			if e.End > len(src) {
+				bad = true
+				break
+			}
+			b.WriteString(string(src[last:e.Start]))
+			b.WriteString(e.NewText)
+			last = e.End
+		}
+		if bad {
+			// Stale offsets (file changed since analysis): leave it alone.
+			continue
+		}
+		b.WriteString(string(src[last:]))
+		out := []byte(b.String())
+		if strings.HasSuffix(f, ".go") {
+			if formatted, err := format.Source(out); err == nil {
+				out = formatted
+			}
+		}
+		if err := os.WriteFile(f, out, 0o644); err != nil {
+			return res, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		res.Files = append(res.Files, f)
+	}
+	res.Skipped = len(skippedFix)
+	res.Applied = total - res.Skipped
+	return res, nil
+}

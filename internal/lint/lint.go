@@ -2,13 +2,16 @@
 // framework built entirely on the standard library (go/parser, go/ast,
 // go/types — no external deps, matching go.mod) plus the repo-specific
 // analyzers that enforce the invariants every number in EXPERIMENTS.md
-// rests on: determinism under fixed seeds, checked errors, and balanced
-// lock usage.
+// rests on: determinism under fixed seeds, checked errors, balanced
+// lock usage, and — via the fact layer — the absence of wall-clock or
+// global-rand influence anywhere on a path into seeded code.
 //
 // Analyzers register themselves in init functions (the same pattern the
 // experiments package uses). cmd/dataailint runs the full suite from the
 // command line; lint_selfcheck_test.go at the repo root runs it inside
 // `go test ./...` so tier-1 verification permanently includes the linter.
+//
+// # Suppressions
 //
 // Findings are suppressed with a comment on the offending line or the
 // line directly above it:
@@ -17,13 +20,68 @@
 //
 // where <check> is the analyzer name (or a comma-separated list). The
 // reason is mandatory by convention — a suppression without one should
-// not survive review.
+// not survive review. When the full suite runs (RunAudited, which is
+// what cmd/dataailint and the self-check test use), every directive that
+// suppressed nothing is itself reported under the synthetic check name
+// "staleignore", with a suggested fix that deletes the dead comment —
+// suppressions do not outlive the findings they justified.
+//
+// # Writing an analyzer
+//
+// An analyzer is a named Run function over one package:
+//
+//	func init() {
+//		Register(&Analyzer{
+//			Name: "mycheck",
+//			Doc:  "one-line description shown by dataailint -list",
+//			Run:  runMyCheck,
+//		})
+//	}
+//
+//	func runMyCheck(pass *Pass) {
+//		p := pass.Pkg
+//		for _, f := range p.Files {
+//			if p.isTestFile(f.Pos()) { // most checks skip test code
+//				continue
+//			}
+//			ast.Inspect(f, func(n ast.Node) bool {
+//				// consult p.Info (go/types facts) and report:
+//				// pass.Reportf(n.Pos(), "explain the invariant, not just the site")
+//				return true
+//			})
+//		}
+//	}
+//
+// Conventions that keep the suite trustworthy:
+//
+//   - Tolerate missing type info (p.Info lookups return nil on files the
+//     checker could not fully resolve); never panic on odd ASTs.
+//   - Report the *invariant* the code breaks and the idiomatic repair,
+//     not just the location.
+//   - Attach a SuggestedFix (pass.ReportFix) when the repair is purely
+//     mechanical; `dataailint -fix` applies it.
+//   - Add a fixture package under testdata/src/<name> with `// want`
+//     expectations plus a clean variant, and extend the roster test.
+//
+// An analyzer that needs to see across package boundaries declares fact
+// types (Analyzer.FactTypes) and communicates through object facts, the
+// same shape as go/analysis facts: while analyzing a package it may
+// ExportObjectFact(obj, fact) on objects the package defines, and
+// ImportObjectFact(obj, &fact) on objects defined by its (transitive)
+// imports. Run analyzes packages in dependency order — imports before
+// importers — so facts flow forward; packages that were loaded only as
+// dependencies of the requested set are analyzed for facts but their
+// diagnostics are discarded. The walltaint analyzer is the worked
+// example: it exports a WallTaint fact from every function that
+// transitively reaches a wall-clock read and flags the call sites in
+// seeded packages where the taint crosses in.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"os"
 	"sort"
 	"strings"
 )
@@ -33,6 +91,10 @@ type Diagnostic struct {
 	Check   string
 	Pos     token.Position
 	Message string
+	// SuggestedFixes are machine-applicable repairs for the finding, in
+	// preference order; ApplyFixes applies the first one. Empty when the
+	// repair needs human judgment.
+	SuggestedFixes []SuggestedFix
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -49,6 +111,11 @@ type Analyzer struct {
 	Doc string
 	// Run executes the check over pass.Pkg.
 	Run func(pass *Pass)
+	// FactTypes lists the fact types the analyzer exports or imports
+	// (values are only type witnesses, e.g. (*WallTaint)(nil)). A
+	// non-empty list makes Run execute on dependency packages too, so
+	// facts exist before any importer is analyzed.
+	FactTypes []Fact
 }
 
 // registry holds all registered analyzers by name.
@@ -82,11 +149,16 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 
-	diags []Diagnostic
+	ctx    *runContext
+	report bool
+	diags  []Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if !p.report {
+		return
+	}
 	p.diags = append(p.diags, Diagnostic{
 		Check:   p.Analyzer.Name,
 		Pos:     p.Pkg.Fset.Position(pos),
@@ -94,19 +166,66 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// ReportFix records a finding at pos carrying a machine-applicable fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...interface{}) {
+	if !p.report {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Check:          p.Analyzer.Name,
+		Pos:            p.Pkg.Fset.Position(pos),
+		Message:        fmt.Sprintf(format, args...),
+		SuggestedFixes: []SuggestedFix{fix},
+	})
+}
+
 // Run executes the given analyzers over the given packages, applies
 // //lint:ignore suppressions, and returns the surviving diagnostics
 // sorted by file, line, column, then check name — a deterministic order,
 // as befits the suite's own subject matter.
+//
+// Packages are analyzed in dependency order (imports first), extended
+// with any module-local dependency packages the loader pulled in, so
+// fact-carrying analyzers see their imports' facts; diagnostics are kept
+// only for the packages actually requested.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return run(pkgs, analyzers, false)
+}
+
+// RunAudited is Run plus the suppression audit: every //lint:ignore
+// directive in a requested, non-test file that suppressed no diagnostic
+// from the given analyzers is reported as a "staleignore" finding with a
+// fix that deletes the comment. Use it only when running the full suite
+// — a directive for an analyzer excluded from a partial run is not
+// stale, merely unexercised.
+func RunAudited(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return run(pkgs, analyzers, true)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer, audit bool) []Diagnostic {
+	ctx := &runContext{facts: map[factKey][]Fact{}}
+	ordered, requested := analysisOrder(pkgs)
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := pkg.ignoreIndex()
+	for _, pkg := range ordered {
+		target := requested[pkg]
+		dirs := pkg.directives()
+		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if !target && len(a.FactTypes) == 0 {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, ctx: ctx, report: target}
 			a.Run(pass)
-			for _, d := range pass.diags {
-				if !ignores.suppressed(d) {
+			pkgDiags = append(pkgDiags, pass.diags...)
+		}
+		for _, d := range pkgDiags {
+			if !dirs.suppress(d) {
+				out = append(out, d)
+			}
+		}
+		if audit && target {
+			for _, d := range staleDirectives(pkg, dirs) {
+				if !dirs.suppress(d) {
 					out = append(out, d)
 				}
 			}
@@ -128,23 +247,44 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// ignoreIndex maps file → line → set of suppressed check names.
-type ignoreIndex map[string]map[int]map[string]bool
+// directive is one //lint:ignore comment: where it sits, which checks it
+// names, and whether it suppressed anything this run.
+type directive struct {
+	file     string
+	line     int
+	startOff int // byte offset of the comment in its file
+	endOff   int
+	checks   map[string]bool
+	testFile bool
+	used     bool
+}
 
-// suppressed reports whether d is covered by a //lint:ignore comment.
-func (ix ignoreIndex) suppressed(d Diagnostic) bool {
-	lines := ix[d.Pos.Filename]
+// directiveSet indexes a package's directives by file and line for
+// suppression lookups while retaining the list for the audit.
+type directiveSet struct {
+	all   []*directive
+	index map[string]map[int]*directive // file → covered line → directive
+}
+
+// suppress reports whether d is covered by a directive and marks the
+// directive used.
+func (s *directiveSet) suppress(d Diagnostic) bool {
+	lines := s.index[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	checks := lines[d.Pos.Line]
-	if checks == nil {
+	dir := lines[d.Pos.Line]
+	if dir == nil {
 		return false
 	}
-	return checks[d.Check] || checks["*"]
+	if dir.checks[d.Check] || dir.checks["*"] {
+		dir.used = true
+		return true
+	}
+	return false
 }
 
-// ignoreIndex scans every file's comments for //lint:ignore directives.
+// directives scans every file's comments for //lint:ignore directives.
 // A directive applies to the line it sits on and to the line directly
 // below it, so both placements work:
 //
@@ -152,8 +292,8 @@ func (ix ignoreIndex) suppressed(d Diagnostic) bool {
 //
 //	//lint:ignore uncheckederr best-effort cleanup
 //	os.Remove(tmp)
-func (p *Package) ignoreIndex() ignoreIndex {
-	ix := ignoreIndex{}
+func (p *Package) directives() *directiveSet {
+	s := &directiveSet{index: map[string]map[int]*directive{}}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -168,25 +308,98 @@ func (p *Package) ignoreIndex() ignoreIndex {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				lines := ix[pos.Filename]
+				end := p.Fset.Position(c.End())
+				dir := &directive{
+					file:     pos.Filename,
+					line:     pos.Line,
+					startOff: pos.Offset,
+					endOff:   end.Offset,
+					checks:   map[string]bool{},
+					testFile: strings.HasSuffix(pos.Filename, "_test.go"),
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					dir.checks[name] = true
+				}
+				s.all = append(s.all, dir)
+				lines := s.index[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					ix[pos.Filename] = lines
+					lines = map[int]*directive{}
+					s.index[pos.Filename] = lines
 				}
 				for _, ln := range []int{pos.Line, pos.Line + 1} {
-					checks := lines[ln]
-					if checks == nil {
-						checks = map[string]bool{}
-						lines[ln] = checks
-					}
-					for _, name := range strings.Split(fields[0], ",") {
-						checks[name] = true
+					if lines[ln] == nil {
+						lines[ln] = dir
 					}
 				}
 			}
 		}
 	}
-	return ix
+	return s
+}
+
+// staleDirectives turns every unused //lint:ignore directive in non-test
+// files into a "staleignore" diagnostic whose fix deletes the comment.
+// Analyzers never look at test files, so a directive there is advisory
+// prose, not a live suppression, and is left alone.
+func staleDirectives(p *Package, dirs *directiveSet) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range dirs.all {
+		if dir.used || dir.testFile {
+			continue
+		}
+		names := make([]string, 0, len(dir.checks))
+		for name := range dir.checks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		d := Diagnostic{
+			Check: "staleignore",
+			Pos:   token.Position{Filename: dir.file, Line: dir.line, Column: 1},
+			Message: fmt.Sprintf("//lint:ignore %s suppresses nothing; the finding it justified is gone — delete the comment",
+				strings.Join(names, ",")),
+		}
+		if fix, ok := deleteCommentFix(dir); ok {
+			d.SuggestedFixes = []SuggestedFix{fix}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// deleteCommentFix builds the edit removing a stale directive: the whole
+// line when the comment stands alone, just the trailing comment (and the
+// spacing before it) otherwise.
+func deleteCommentFix(dir *directive) (SuggestedFix, bool) {
+	src, err := os.ReadFile(dir.file)
+	if err != nil || dir.endOff > len(src) {
+		return SuggestedFix{}, false
+	}
+	ls := dir.startOff
+	for ls > 0 && src[ls-1] != '\n' {
+		ls--
+	}
+	le := dir.endOff
+	for le < len(src) && src[le] != '\n' {
+		le++
+	}
+	onlyComment := strings.TrimSpace(string(src[ls:dir.startOff])) == "" &&
+		strings.TrimSpace(string(src[dir.endOff:le])) == ""
+	start, end := dir.startOff, dir.endOff
+	if onlyComment {
+		start = ls
+		if le < len(src) {
+			le++ // take the newline with the line
+		}
+		end = le
+	} else {
+		for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+			start--
+		}
+	}
+	return SuggestedFix{
+		Message: "delete stale //lint:ignore",
+		Edits:   []TextEdit{{Filename: dir.file, Start: start, End: end}},
+	}, true
 }
 
 // inspectWithStack walks the file like ast.Inspect but hands the callback

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -78,16 +79,11 @@ func expectations(t *testing.T, pkg *lint.Package) map[string][]*regexp.Regexp {
 	return want
 }
 
-func runFixture(t *testing.T, fixtureDir, analyzerName, importPath string) {
+// matchDiagnostics checks got against the want expectations: every
+// diagnostic must match a `// want` regex on its line, and every regex
+// must be matched by some diagnostic.
+func matchDiagnostics(t *testing.T, want map[string][]*regexp.Regexp, got []lint.Diagnostic) {
 	t.Helper()
-	a := lint.Lookup(analyzerName)
-	if a == nil {
-		t.Fatalf("analyzer %q not registered", analyzerName)
-	}
-	pkg := fixturePackage(t, fixtureDir, importPath)
-	want := expectations(t, pkg)
-	got := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
-
 	matched := map[string][]bool{}
 	for key, res := range want {
 		matched[key] = make([]bool, len(res))
@@ -116,6 +112,51 @@ func runFixture(t *testing.T, fixtureDir, analyzerName, importPath string) {
 	}
 }
 
+func runFixture(t *testing.T, fixtureDir, analyzerName, importPath string) {
+	t.Helper()
+	a := lint.Lookup(analyzerName)
+	if a == nil {
+		t.Fatalf("analyzer %q not registered", analyzerName)
+	}
+	pkg := fixturePackage(t, fixtureDir, importPath)
+	matchDiagnostics(t, expectations(t, pkg), lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a}))
+}
+
+// loadModuleFixture loads the mini-module under testdata/src/<dir> —
+// it carries its own go.mod, so cross-package imports and dependency
+// ordering work exactly as they do on the real repo.
+func loadModuleFixture(t *testing.T, fixtureDir string) []*lint.Package {
+	t.Helper()
+	pkgs, err := lint.Load(filepath.Join("testdata", "src", fixtureDir), "./...")
+	if err != nil {
+		t.Fatalf("load fixture module %s: %v", fixtureDir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages in fixture module %s", fixtureDir)
+	}
+	return pkgs
+}
+
+// runModuleFixture runs one analyzer over every package of a module
+// fixture, aggregating `// want` expectations across all of its files.
+// Facts exported by dependency packages are visible to dependents, so
+// this is the harness for the cross-package analyzers.
+func runModuleFixture(t *testing.T, fixtureDir, analyzerName string) {
+	t.Helper()
+	a := lint.Lookup(analyzerName)
+	if a == nil {
+		t.Fatalf("analyzer %q not registered", analyzerName)
+	}
+	pkgs := loadModuleFixture(t, fixtureDir)
+	want := map[string][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for key, res := range expectations(t, pkg) {
+			want[key] = append(want[key], res...)
+		}
+	}
+	matchDiagnostics(t, want, lint.Run(pkgs, []*lint.Analyzer{a}))
+}
+
 func TestNondeterminismSeededPackage(t *testing.T) {
 	runFixture(t, "nondeterminism", "nondeterminism", "fix/internal/experiments")
 }
@@ -138,6 +179,92 @@ func TestLockBalance(t *testing.T) {
 
 func TestFloatEq(t *testing.T) {
 	runFixture(t, "floateq", "floateq", "fix/floateq")
+}
+
+// TestWallTaint pins the interprocedural determinism gate: wall-clock
+// reads laundered through one- and two-hop wrappers in a *different*
+// package are caught at the call site inside the seeded package, with
+// the witness chain in the message. The clean injected-clock path must
+// stay silent.
+func TestWallTaint(t *testing.T) {
+	runModuleFixture(t, "walltaint", "walltaint")
+}
+
+// TestParCapture pins the captured-write analyzer against both the bug
+// class (accumulate/append/map-write/increment into captures) and every
+// accepted idiom (per-slot writes, chunk-local indexes, explicit locks,
+// return-value commits).
+func TestParCapture(t *testing.T) {
+	runModuleFixture(t, "parcapture", "parcapture")
+}
+
+// TestObsGuard pins the nil-receiver contract: guarded methods (plain
+// and compound conditions), delegation to guarded methods, unexported
+// methods, and value receivers pass; exported unguarded methods fail.
+func TestObsGuard(t *testing.T) {
+	runFixture(t, "obsguard", "obsguard", "fix/internal/obs")
+}
+
+// TestCallGraphCrossPackageEdges pins how the call graph is built
+// across package boundaries: the util.StampNow node a caller in
+// fix/internal/sim resolves must be the same object util's own edges
+// hang off, with the stdlib frontier (time.Now) reachable behind it.
+func TestCallGraphCrossPackageEdges(t *testing.T) {
+	pkgs := loadModuleFixture(t, "walltaint")
+	g := lint.BuildCallGraph(pkgs)
+
+	lookup := func(pkgPath, name string) *types.Func {
+		for _, p := range pkgs {
+			if p.ImportPath != pkgPath || p.Types == nil {
+				continue
+			}
+			fn, _ := p.Types.Scope().Lookup(name).(*types.Func)
+			if fn == nil {
+				t.Fatalf("%s.%s not found in fixture", pkgPath, name)
+			}
+			return fn
+		}
+		t.Fatalf("package %s not loaded", pkgPath)
+		return nil
+	}
+	stamp := lookup("fix/internal/sim", "Stamp")
+	measure := lookup("fix/internal/sim", "Measure")
+	stampNow := lookup("fix/util", "StampNow")
+	elapsed := lookup("fix/util", "Elapsed")
+
+	calleeNames := func(fn *types.Func) string {
+		var names []string
+		for _, c := range g.Callees(fn) {
+			names = append(names, c.FullName())
+		}
+		return strings.Join(names, ", ")
+	}
+	// Cross-package edges: sim → util, resolved to the identical
+	// *types.Func objects util's own pass sees.
+	if got := g.Callees(stamp); len(got) != 1 || got[0] != stampNow {
+		t.Errorf("Callees(sim.Stamp) = [%s], want exactly fix/util.StampNow", calleeNames(stamp))
+	}
+	if got := g.Callees(measure); len(got) != 1 || got[0] != elapsed {
+		t.Errorf("Callees(sim.Measure) = [%s], want exactly fix/util.Elapsed", calleeNames(measure))
+	}
+	// The stdlib frontier: util.StampNow statically calls time.Now (the
+	// UnixNano method call is also recorded — edges, not a set of one).
+	foundTimeNow := false
+	for _, e := range g.CallsFrom(stampNow) {
+		if e.Callee.FullName() == "time.Now" {
+			foundTimeNow = true
+		}
+		if e.Caller != stampNow {
+			t.Errorf("CallsFrom(util.StampNow) returned edge with caller %v", e.Caller)
+		}
+	}
+	if !foundTimeNow {
+		t.Errorf("CallsFrom(util.StampNow) has no time.Now edge; callees: %s", calleeNames(stampNow))
+	}
+	// Two-hop chain within util: Elapsed → StampNow.
+	if got := g.Callees(elapsed); len(got) != 1 || got[0] != stampNow {
+		t.Errorf("Callees(util.Elapsed) = [%s], want exactly fix/util.StampNow", calleeNames(elapsed))
+	}
 }
 
 // TestResilienceFixtureClean runs the ENTIRE analyzer suite over the
@@ -188,7 +315,10 @@ func TestSuiteRegistered(t *testing.T) {
 	for _, a := range lint.Analyzers() {
 		names = append(names, a.Name)
 	}
-	wantNames := []string{"floateq", "lockbalance", "maporder", "nondeterminism", "uncheckederr"}
+	wantNames := []string{
+		"floateq", "lockbalance", "maporder", "nondeterminism",
+		"obsguard", "parcapture", "uncheckederr", "walltaint",
+	}
 	if strings.Join(names, ",") != strings.Join(wantNames, ",") {
 		t.Fatalf("registered analyzers = %v, want %v", names, wantNames)
 	}

@@ -1,0 +1,114 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"dataai/internal/lint"
+)
+
+func sampleDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{
+			Check:   "floateq",
+			Pos:     token.Position{Filename: "/repo/internal/sim/sim.go", Line: 12, Column: 5},
+			Message: "float equality",
+		},
+		{
+			Check:   "staleignore",
+			Pos:     token.Position{Filename: "/elsewhere/x.go", Line: 3, Column: 1},
+			Message: "dead directive",
+			SuggestedFixes: []lint.SuggestedFix{
+				{Message: "delete", Edits: []lint.TextEdit{{Filename: "/elsewhere/x.go"}}},
+			},
+		},
+	}
+}
+
+// TestWriteJSON pins the -json wire form: relative paths inside the
+// base dir, absolute outside it, and the fixable marker.
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := lint.WriteJSON(&b, "/repo", sampleDiags()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got []struct {
+		Check   string `json:"check"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Fixable bool   `json:"fixable"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	if got[0].File != "internal/sim/sim.go" || got[0].Line != 12 || got[0].Fixable {
+		t.Errorf("first record = %+v, want relative path, line 12, not fixable", got[0])
+	}
+	if got[1].File != "/elsewhere/x.go" || !got[1].Fixable {
+		t.Errorf("second record = %+v, want absolute outside-base path and fixable", got[1])
+	}
+}
+
+// TestWriteSARIF pins the SARIF envelope: schema/version, a rule per
+// analyzer plus staleignore, and result locations with line/column.
+func TestWriteSARIF(t *testing.T) {
+	var b strings.Builder
+	if err := lint.WriteSARIF(&b, "/repo", lint.Analyzers(), sampleDiags()); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("envelope = %s %s, want SARIF 2.1.0", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "dataailint" {
+		t.Errorf("driver = %q, want dataailint", run.Tool.Driver.Name)
+	}
+	if want := len(lint.Analyzers()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d (analyzers + staleignore)", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/sim/sim.go" || loc.Region.StartLine != 12 {
+		t.Errorf("first location = %+v, want internal/sim/sim.go:12", loc)
+	}
+}

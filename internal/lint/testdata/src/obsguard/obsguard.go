@@ -1,0 +1,60 @@
+// Package obs distills the nil-safe method contract the real
+// observability layer keeps: every exported pointer-receiver method
+// must no-op on a nil receiver, so disabled instrumentation costs one
+// nil check and zero call-site guards.
+package obs
+
+// Probe is a tracer-shaped type: nil means disabled.
+type Probe struct {
+	n     int
+	notes []string
+}
+
+// Count is guarded: the canonical shape.
+func (p *Probe) Count() int {
+	if p == nil {
+		return 0
+	}
+	return p.n
+}
+
+// Note guards with a compound condition; a nil receiver still takes
+// the branch.
+func (p *Probe) Note(s string) {
+	if p == nil || s == "" {
+		return
+	}
+	p.notes = append(p.notes, s)
+}
+
+// Record delegates every receiver use to a guarded method.
+func (p *Probe) Record(s string) {
+	p.Note(s)
+}
+
+// Reset never touches its receiver... except it does, unguarded.
+func (p *Probe) Reset() { // want `exported method \(\*Probe\)\.Reset is not nil-safe`
+	p.n = 0
+	p.notes = nil
+}
+
+// Leak reads the receiver with no guard.
+func (p *Probe) Leak() int { // want `exported method \(\*Probe\)\.Leak is not nil-safe`
+	return p.n
+}
+
+// Flip delegates to an unexported method that itself lacks a guard, so
+// delegation does not save it.
+func (p *Probe) Flip() { // want `exported method \(\*Probe\)\.Flip is not nil-safe`
+	p.bump()
+}
+
+// bump is unexported: not required to guard, and not a safe delegation
+// target either.
+func (p *Probe) bump() { p.n++ }
+
+// Snapshot has a value receiver: nil is not a concern.
+type Snapshot struct{ N int }
+
+// Total is fine without a guard.
+func (s Snapshot) Total() int { return s.N }

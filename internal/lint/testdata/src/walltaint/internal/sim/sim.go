@@ -1,0 +1,25 @@
+// Package sim stands in for the protected discrete-event engine: its
+// import path matches the seeded scope, so tainted calls crossing into
+// it must be flagged — with the witness chain in the message.
+package sim
+
+import "fix/util"
+
+// State carries the simulated clock the clean path uses.
+type State struct{ Now float64 }
+
+// Stamp launders a wall-clock read through one cross-package hop.
+func Stamp() int64 {
+	return util.StampNow() // want `call to util\.StampNow reaches time\.Now \(util\.StampNow → time\.Now\)`
+}
+
+// Measure launders it through two hops.
+func Measure() float64 {
+	return util.Elapsed() // want `call to util\.Elapsed reaches time\.Now \(util\.Elapsed → util\.StampNow → time\.Now\)`
+}
+
+// Advance is clean: the clock value is injected by the caller.
+func (s *State) Advance(dt float64) float64 {
+	s.Now += dt
+	return util.FromClock(s.Now)
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// The walltaint analyzer is the interprocedural half of the determinism
+// gate. The nondeterminism analyzer flags wall-clock and global-rand
+// calls *written inside* seeded packages — which means a one-line
+// wrapper in any other package launders them straight past it:
+//
+//	package util
+//	func StampNow() int64 { return time.Now().UnixNano() }   // not seeded: allowed
+//
+//	package sim
+//	ev.at = util.StampNow()                                   // laundered taint
+//
+// walltaint closes the hole with object facts over the module call
+// graph: every function that calls a nondeterminism source — directly or
+// through any chain of static calls, in any package — carries a
+// WallTaint fact recording one witness path to the source. Any call site
+// inside a seeded package (the same scope list the nondeterminism
+// analyzer protects: experiments, faults, llm, obs, resilient, serving,
+// sim, training) whose callee carries the fact is flagged, with the
+// witness chain spelled out in the message.
+//
+// Sources are the wall clock (time.Now/Since/Until), the process-seeded
+// global math/rand and math/rand/v2 functions (constructors excepted),
+// and the scheduler/process identity reads used for goroutine-ID tricks
+// (runtime.NumGoroutine, runtime.Stack, os.Getpid). Direct source calls
+// are left to the nondeterminism analyzer — walltaint only reports calls
+// to module-local functions, so each laundering chain yields exactly one
+// finding per crossing call site.
+//
+// Propagation is an under-approximation by construction (see
+// callgraph.go): calls through stored function values produce no edge,
+// so every reported path is a real static call chain.
+
+// WallTaint is the exported fact: the function transitively reaches a
+// nondeterminism source via Path ("util.StampNow → time.Now").
+type WallTaint struct {
+	// Source is the root source, e.g. "time.Now".
+	Source string
+	// Path is the witness chain from the tainted function to Source.
+	Path string
+}
+
+// AFact marks WallTaint as a fact type.
+func (*WallTaint) AFact() {}
+
+func init() {
+	Register(&Analyzer{
+		Name:      "walltaint",
+		Doc:       "calls in seeded packages that transitively reach wall-clock/global-rand sources through any package",
+		Run:       runWallTaint,
+		FactTypes: []Fact{(*WallTaint)(nil)},
+	})
+}
+
+// taintSource names the nondeterminism source a stdlib function is, or
+// "" when it is none.
+func taintSource(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			return "time." + name
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on *rand.Rand are seeded; only package-level calls to
+		// the global generator are sources.
+		if fn.Type().(*types.Signature).Recv() == nil && !randConstructors[name] {
+			return "rand." + name
+		}
+	case "runtime":
+		if name == "NumGoroutine" || name == "Stack" {
+			return "runtime." + name
+		}
+	case "os":
+		if name == "Getpid" {
+			return "os." + name
+		}
+	}
+	return ""
+}
+
+func runWallTaint(pass *Pass) {
+	p := pass.Pkg
+	g := BuildCallGraph([]*Package{p})
+
+	// Seed and propagate taint over the package-local graph. taint maps
+	// each local function to its witness fact; imported facts cover
+	// callees in other packages. Edges are scanned repeatedly until no
+	// new function gains taint — the edge list is in deterministic
+	// source order, and the first taint a function gains wins, so the
+	// witness chains are reproducible run to run.
+	taint := map[*types.Func]*WallTaint{}
+	lookup := func(fn *types.Func) *WallTaint {
+		if t, ok := taint[fn]; ok {
+			return t
+		}
+		var imported WallTaint
+		if pass.ImportObjectFact(fn, &imported) {
+			taint[fn] = &imported
+			return &imported
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range g.Edges {
+			if e.Caller == nil || taint[e.Caller] != nil {
+				continue
+			}
+			if src := taintSource(e.Callee); src != "" {
+				taint[e.Caller] = &WallTaint{Source: src, Path: funcDisplayName(e.Caller) + " → " + src}
+				changed = true
+				continue
+			}
+			if t := lookup(e.Callee); t != nil {
+				taint[e.Caller] = &WallTaint{
+					Source: t.Source,
+					Path:   funcDisplayName(e.Caller) + " → " + t.Path,
+				}
+				changed = true
+			}
+		}
+	}
+
+	// Export facts for functions this package defines.
+	for fn, t := range taint {
+		if fn.Pkg() != nil && p.Types != nil && fn.Pkg() == p.Types {
+			pass.ExportObjectFact(fn, t)
+		}
+	}
+
+	if !inSeededPackage(p.ImportPath) {
+		return
+	}
+	// Report each call site whose callee is a tainted module-local
+	// function. Direct source calls are the nondeterminism analyzer's
+	// findings, not ours.
+	for _, e := range g.Edges {
+		if taintSource(e.Callee) != "" {
+			continue
+		}
+		t := lookup(e.Callee)
+		if t == nil {
+			continue
+		}
+		pass.Reportf(e.Pos,
+			"call to %s reaches %s (%s); seeded code must not depend on wall clock, global rand, or process identity — inject a clock/seeded source instead",
+			funcDisplayName(e.Callee), t.Source, t.Path)
+	}
+}

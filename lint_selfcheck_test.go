@@ -17,6 +17,16 @@ func TestLintSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping whole-module lint in -short mode")
 	}
+	// The full suite must be exactly the eight analyzers the docs and
+	// fixtures cover; shrinking it should fail loudly, not silently
+	// weaken the gate.
+	if got := len(lint.Analyzers()); got != 8 {
+		var names []string
+		for _, a := range lint.Analyzers() {
+			names = append(names, a.Name)
+		}
+		t.Fatalf("suite has %d analyzers (%v), want 8", got, names)
+	}
 	pkgs, err := lint.Load(".", "./...")
 	if err != nil {
 		t.Fatalf("loading packages: %v", err)
@@ -26,7 +36,10 @@ func TestLintSelfCheck(t *testing.T) {
 		// silently missed most of the tree and the gate is not gating.
 		t.Fatalf("loaded only %d packages; loader lost the module tree", len(pkgs))
 	}
-	diags := lint.Run(pkgs, lint.Analyzers())
+	// RunAudited matches what `go run ./cmd/dataailint ./...` does: the
+	// full suite plus the stale-suppression audit, so a //lint:ignore
+	// whose finding has been fixed also fails tier-1.
+	diags := lint.RunAudited(pkgs, lint.Analyzers())
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}

@@ -23,6 +23,21 @@ go build ./...
 echo "== dataailint ./..."
 go run ./cmd/dataailint ./...
 
+echo "== dataailint -sarif (well-formed machine output)"
+# A clean run still emits the full rule table; a SARIF consumer can see
+# what was checked. grep pins the envelope, the unit tests pin the rest.
+go run ./cmd/dataailint -sarif ./... > /tmp/dataai_lint.sarif
+grep -q '"name": "dataailint"' /tmp/dataai_lint.sarif
+grep -q 'sarif-2.1.0' /tmp/dataai_lint.sarif
+rm -f /tmp/dataai_lint.sarif
+
+echo "== dataailint -fix idempotence (no edits on a clean tree)"
+# -fix on a tree with no findings must not touch a single byte; if it
+# does, either the suite is not clean or the fix engine is not
+# convergent. Either way the diff fails the gate.
+go run ./cmd/dataailint -fix ./...
+git diff --exit-code
+
 echo "== go test -race ./..."
 go test -race ./...
 
