@@ -10,6 +10,8 @@
 //	benchall -json results.json   # also write machine-readable results
 //	benchall -trace-dir traces/   # write <id>.json Chrome traces for
 //	                              # experiments that record a timeline
+//	benchall -cpuprofile cpu.out  # write a pprof CPU profile of the run
+//	                              # (go tool pprof cpu.out)
 //
 // Output is byte-identical at every -parallel value: each experiment's
 // stdout section is rendered into a private buffer and the buffers are
@@ -27,6 +29,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"dataai/internal/experiments"
@@ -40,6 +43,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path")
 	traceDir := flag.String("trace-dir", "", "write per-experiment Chrome traces (Perfetto-loadable) into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this path")
 	flag.Parse()
 
 	if *list {
@@ -66,7 +70,33 @@ func main() {
 			strings.Join(unknown, ", "), strings.Join(experiments.IDs(), " "))
 		os.Exit(2)
 	}
-	os.Exit(runAll(ids, *parallel, os.Stdout, os.Stderr, *jsonPath, *traceDir))
+	// Profiling brackets runAll explicitly (not via defer) because
+	// os.Exit skips deferred calls; the profile must be stopped and the
+	// file closed before the process exits or it is silently truncated.
+	var profFile *os.File
+	if *cpuProfile != "" {
+		var err error
+		profFile, err = os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(profFile); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	code := runAll(ids, *parallel, os.Stdout, os.Stderr, *jsonPath, *traceDir)
+	if profFile != nil {
+		pprof.StopCPUProfile()
+		if err := profFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: cpuprofile: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
 }
 
 // section is one experiment's buffered output: the stdout bytes (header

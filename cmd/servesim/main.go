@@ -9,6 +9,7 @@
 //	servesim -policy static -batch 16
 //	servesim -policy routed -instances 4 -router breaker-aware -faults severe
 //	servesim -policy routed -faults severe -trace out.json -parallel 8
+//	servesim -sweep -parallel 8
 //
 // -trace writes the run's request timeline as Chrome trace-event JSON
 // (load it at https://ui.perfetto.dev). The trace is checked against the
@@ -16,19 +17,28 @@
 // runs N identical replicas concurrently and verifies their traces are
 // byte-identical — the simulator's determinism contract — before emitting
 // replica 0's bytes.
+//
+// -sweep runs the routed configuration over the full router × fault-plan
+// × load grid (27 cells) via sim.Sweep and prints one labeled row per
+// cell. -parallel N runs N cells concurrently; because every cell owns
+// its engine and writes only its own output slot, the printed bytes are
+// identical at any worker count (scripts/check.sh diffs serial vs 8).
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strconv"
 
 	"dataai/internal/metrics"
 	"dataai/internal/obs"
 	"dataai/internal/par"
 	"dataai/internal/serving"
+	"dataai/internal/sim"
 	"dataai/internal/workload"
 )
 
@@ -50,8 +60,17 @@ func main() {
 	ttftSLO := flag.Float64("slo-ttft", 1000, "TTFT SLO (ms)")
 	tbtSLO := flag.Float64("slo-tbt", 12, "TBT SLO (ms)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
-	replicas := flag.Int("parallel", 1, "with -trace: identical replicas to run concurrently for the byte-identity self-check")
+	replicas := flag.Int("parallel", 1, "with -trace: identical replicas to run concurrently for the byte-identity self-check; with -sweep: grid worker count")
+	sweep := flag.Bool("sweep", false, "run the routed router×faults×load grid instead of a single configuration")
 	flag.Parse()
+
+	if *sweep {
+		if err := runSweep(os.Stdout, *seed, *n, *instances, *chunk, *faultSeed,
+			*replicas, *ttftSLO, *tbtSLO); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	reqs, err := workload.Generate(workload.DefaultTrace(*seed, *n, *rate))
 	if err != nil {
@@ -146,6 +165,70 @@ func main() {
 	if err := t.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runSweep runs the routed configuration over every cell of the
+// router-policy × fault-plan × load grid with sim.Sweep and writes one
+// labeled metrics row per cell, in grid order. Each cell generates its
+// own trace (same seed, its own arrival rate) and runs on its own
+// engine, so the output is a pure function of the flags: serial and
+// -parallel 8 runs print byte-identical rows.
+func runSweep(w io.Writer, seed int64, n, instances, chunk int, faultSeed uint64, workers int, ttftSLO, tbtSLO float64) error {
+	grid := sim.Grid{Dims: []sim.Dim{
+		{Name: "router", Values: []string{"round-robin", "cache-aware", "breaker-aware"}},
+		{Name: "faults", Values: []string{"none", "medium", "severe"}},
+		{Name: "load", Values: []string{"25", "50", "100"}},
+	}}
+	policies := map[string]serving.RouterPolicy{
+		"round-robin":   serving.RoundRobin,
+		"cache-aware":   serving.CacheAware,
+		"breaker-aware": serving.BreakerAware,
+	}
+	gpu := serving.DefaultGPU()
+	type cellOut struct {
+		line string
+		err  error
+	}
+	cells := sim.Sweep(grid, workers, func(cell int, coords []int) cellOut {
+		rate, err := strconv.ParseFloat(grid.Value(2, cell), 64)
+		if err != nil {
+			return cellOut{err: err}
+		}
+		reqs, err := workload.Generate(workload.DefaultTrace(seed, n, rate))
+		if err != nil {
+			return cellOut{err: err}
+		}
+		var plan *serving.FaultPlan
+		switch grid.Value(1, cell) {
+		case "medium":
+			plan = serving.MediumFaultPlan(faultSeed)
+		case "severe":
+			plan = serving.SevereFaultPlan(faultSeed)
+		}
+		routed, err := serving.RunRoutedFaults(gpu, reqs, instances,
+			policies[grid.Value(0, cell)], serving.ContinuousOpts{ChunkTokens: chunk}, plan)
+		if err != nil {
+			return cellOut{err: err}
+		}
+		rep := &routed.Report
+		return cellOut{line: fmt.Sprintf(
+			"%-52s thpt=%8.1f tok/s  p50ttft=%8.2f ms  p95tbt=%7.2f ms  goodput=%5.3f  rejected=%4d  crashes=%3d\n",
+			grid.Label(cell), rep.Throughput(), rep.TTFT.P50(), rep.TBT.P95(),
+			rep.Goodput(ttftSLO, tbtSLO), rep.Rejected, routed.Crashes)}
+	})
+	// The header deliberately omits the worker count: the sweep output is
+	// a pure function of the simulation flags, diffable across -parallel.
+	fmt.Fprintf(w, "servesim sweep: %d cells (%d reqs each, %d instances, chunk %d)\n",
+		grid.Cells(), n, instances, chunk)
+	for cell, c := range cells {
+		if c.err != nil {
+			return fmt.Errorf("cell %d (%s): %w", cell, grid.Label(cell), c.err)
+		}
+		if _, err := io.WriteString(w, c.line); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runTraced runs `replicas` identical traced replicas concurrently,

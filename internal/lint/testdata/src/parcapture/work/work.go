@@ -88,3 +88,24 @@ func GoodLocked(xs []int) int {
 func GoodReturn(xs []int) []int {
 	return par.Map(len(xs), 4, func(i int) int { return xs[i] * 3 })
 }
+
+// GoodGrid mirrors sim.Sweep's per-cell slot write: the closure derives
+// its grid coordinates from the cell index it was handed and commits
+// only to out[cell], so a parameter sweep is deterministic at any
+// worker count.
+func GoodGrid(dims []int, workers int) []int {
+	cells := 1
+	for _, d := range dims {
+		cells *= d
+	}
+	out := make([]int, cells)
+	par.ForEach(cells, workers, func(cell int) {
+		rem, sum := cell, 0
+		for i := len(dims) - 1; i >= 0; i-- {
+			sum += rem % dims[i]
+			rem /= dims[i]
+		}
+		out[cell] = sum
+	})
+	return out
+}

@@ -121,3 +121,78 @@ func renderCrashes(crashes map[int]int) string {
 	}
 	return out
 }
+
+// --- calendar-queue distillation (the engine's production queue) ---
+
+const (
+	calBuckets = 8
+	calMask    = calBuckets - 1
+	calWidth   = 1.0
+)
+
+// eventCmp is the (time, seq) three-way comparator shared by the wheel
+// buckets and the overflow heap. The exact float equality pairs with
+// the ordering comparison below it, which floateq recognizes as a
+// deterministic three-way — no tolerance wanted on a total order.
+func eventCmp(a, b event) int {
+	if a.time != b.time {
+		if a.time < b.time {
+			return -1
+		}
+		return 1
+	}
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
+}
+
+// calQueue distills the calendar structure: near events hash into wheel
+// buckets by truncated (t-base)/width, far-future events wait in the
+// overflow heap until the wheel rotates into their epoch.
+type calQueue struct {
+	base    float64
+	cursor  int
+	wheel   int
+	buckets [calBuckets][]event
+	over    eventHeap
+}
+
+func (q *calQueue) push(ev event) {
+	d := int((ev.time - q.base) / calWidth)
+	if d >= calBuckets {
+		heap.Push(&q.over, ev)
+		return
+	}
+	if d < 0 {
+		d = 0 // clamped events land in the bucket being drained
+	}
+	q.buckets[(q.cursor+d)&calMask] = append(q.buckets[(q.cursor+d)&calMask], ev)
+	q.wheel++
+}
+
+// insertSorted places a same-instant kick into the already-sorted tail
+// of the draining bucket (sort.Search, shift, write) so zero-delay
+// scheduling stays ordered without a re-sort.
+func insertSorted(b []event, ev event) []event {
+	i := sort.Search(len(b), func(k int) bool { return eventCmp(b[k], ev) > 0 })
+	b = append(b, event{})
+	copy(b[i+1:], b[i:])
+	b[i] = ev
+	return b
+}
+
+// drainBucket fires the current bucket in (time, seq) order — sorted
+// once on first touch, unstable sort made deterministic by unique
+// (time, seq) keys — then rotates the wheel one width.
+func (q *calQueue) drainBucket(fire func(event)) {
+	b := q.buckets[q.cursor]
+	sort.Slice(b, func(i, j int) bool { return eventCmp(b[i], b[j]) < 0 })
+	for _, ev := range b {
+		fire(ev)
+	}
+	q.wheel -= len(b)
+	q.buckets[q.cursor] = b[:0]
+	q.cursor = (q.cursor + 1) & calMask
+	q.base += calWidth
+}

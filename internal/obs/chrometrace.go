@@ -1,11 +1,12 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
+	"slices"
 	"sort"
 	"strconv"
-	"strings"
 )
 
 // WriteChrome renders the trace as a Chrome trace-event JSON file,
@@ -20,10 +21,16 @@ import (
 //   - every registry metric as a "C" counter track.
 //
 // Output bytes are a pure function of the recorded trace: events are
-// sorted by (logical time, seq), numbers render via strconv (shortest
-// round-trip form), and field order is fixed. Two identical runs — or a
-// serial and a parallel run of the same deterministic simulation — emit
-// byte-identical files.
+// sorted by (logical time, seq, begin-before-end), numbers render via
+// strconv (shortest round-trip form), and field order is fixed. Two
+// identical runs — or a serial and a parallel run of the same
+// deterministic simulation — emit byte-identical files.
+//
+// The writer streams: events are sorted as small references into the
+// recorded data and each body is rendered into a reused scratch buffer
+// feeding a bufio.Writer, so export cost no longer scales allocations
+// with event count (TestWriteChromeMatchesReference pins the bytes
+// against the historical per-event-string implementation).
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, "{\"traceEvents\":[]}\n")
@@ -34,11 +41,11 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 
 	// Assign tids by sorted track name so the layout is stable.
 	trackSet := map[string]bool{}
-	for _, s := range spans {
-		trackSet[s.Track] = true
+	for i := range spans {
+		trackSet[spans[i].Track] = true
 	}
-	for _, in := range instants {
-		trackSet[in.Track] = true
+	for i := range instants {
+		trackSet[instants[i].Track] = true
 	}
 	tracks := make([]string, 0, len(trackSet))
 	for name := range trackSet {
@@ -50,104 +57,222 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		tid[name] = i + 1
 	}
 
-	type ev struct {
-		ts   float64
-		seq  uint64
-		body string
-	}
-	var events []ev
+	// Flatten counter points; they carry no tracer seq, so they get
+	// synthetic seqs past the tracer's maximum, in sorted-metric-name
+	// order, keeping the total order deterministic.
 	var maxSeq uint64
-
-	common := func(track string, atMS float64) string {
-		return `"ts":` + num(atMS*1000) + `,"pid":1,"tid":` + strconv.Itoa(tid[track])
+	for i := range spans {
+		if spans[i].StartSeq > maxSeq {
+			maxSeq = spans[i].StartSeq
+		}
+		if spans[i].EndSeq > maxSeq {
+			maxSeq = spans[i].EndSeq
+		}
 	}
-	for _, s := range spans {
-		if s.StartSeq > maxSeq {
-			maxSeq = s.StartSeq
+	for i := range instants {
+		if instants[i].Seq > maxSeq {
+			maxSeq = instants[i].Seq
 		}
-		if s.EndSeq > maxSeq {
-			maxSeq = s.EndSeq
-		}
-		endMS, endSeq := s.EndMS, s.EndSeq
-		if !s.Closed {
-			// An unclosed span still exports (zero duration at its
-			// start) so a malformed trace is visible, not silently
-			// dropped; the invariant checker reports it as an error.
-			endMS, endSeq = s.StartMS, s.StartSeq
-		}
-		reason := ""
-		if s.Reason != "" {
-			reason = `,"args":{"reason":` + str(s.Reason) + `}`
-		}
-		if s.Cat == CatRequest {
-			head := `{"name":` + str(s.Name) + `,"cat":` + str(s.Cat) + `,"id":` + str(s.Track) + `,`
-			events = append(events,
-				ev{s.StartMS, s.StartSeq, head + `"ph":"b",` + common(s.Track, s.StartMS) + `}`},
-				ev{endMS, endSeq, head + `"ph":"e",` + common(s.Track, endMS) + reason + `}`})
-			continue
-		}
-		events = append(events, ev{s.StartMS, s.StartSeq,
-			`{"name":` + str(s.Name) + `,"cat":` + str(s.Cat) + `,"ph":"X",` +
-				common(s.Track, s.StartMS) + `,"dur":` + num((endMS-s.StartMS)*1000) + reason + `}`})
 	}
-	for _, in := range instants {
-		if in.Seq > maxSeq {
-			maxSeq = in.Seq
-		}
-		events = append(events, ev{in.AtMS, in.Seq,
-			`{"name":` + str(in.Name) + `,"ph":"i","s":"t",` + common(in.Track, in.AtMS) + `}`})
+	type cpoint struct {
+		name string
+		p    Point
 	}
-
-	// Counter points carry no tracer seq; assign synthetic seqs past the
-	// tracer's maximum, in sorted-metric-name order, so the total order
-	// stays deterministic.
+	var cpoints []cpoint
 	reg := t.Registry()
-	seq := maxSeq
 	for _, name := range reg.Names() {
 		for _, p := range reg.Lookup(name).Points() {
-			seq++
-			events = append(events, ev{p.AtMS, seq,
-				`{"name":` + str(name) + `,"ph":"C","ts":` + num(p.AtMS*1000) +
-					`,"pid":1,"args":{"value":` + num(p.Value) + `}}`})
+			cpoints = append(cpoints, cpoint{name, p})
 		}
 	}
 
-	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].ts != events[j].ts {
-			return events[i].ts < events[j].ts
+	// One reference per output event; kind breaks the only (ts, seq) tie
+	// that exists — an unclosed span exporting its "b" and "e" at the
+	// same instant — with begin first, as the historical stable sort did.
+	const (
+		kindBegin = iota // "X" span or request-span "b"
+		kindEnd          // request-span "e"
+		kindInstant
+		kindCounter
+	)
+	type evRef struct {
+		ts   float64
+		seq  uint64
+		kind uint8
+		idx  int32
+	}
+	events := make([]evRef, 0, 2*len(spans)+len(instants)+len(cpoints))
+	for i := range spans {
+		s := &spans[i]
+		events = append(events, evRef{s.StartMS, s.StartSeq, kindBegin, int32(i)})
+		if s.Cat == CatRequest {
+			endMS, endSeq := s.EndMS, s.EndSeq
+			if !s.Closed {
+				// An unclosed span still exports (zero duration at its
+				// start) so a malformed trace is visible, not silently
+				// dropped; the invariant checker reports it as an error.
+				endMS, endSeq = s.StartMS, s.StartSeq
+			}
+			events = append(events, evRef{endMS, endSeq, kindEnd, int32(i)})
 		}
-		return events[i].seq < events[j].seq
+	}
+	for i := range instants {
+		events = append(events, evRef{instants[i].AtMS, instants[i].Seq, kindInstant, int32(i)})
+	}
+	seq := maxSeq
+	for i := range cpoints {
+		seq++
+		events = append(events, evRef{cpoints[i].p.AtMS, seq, kindCounter, int32(i)})
+	}
+	slices.SortFunc(events, func(a, b evRef) int {
+		if a.ts != b.ts {
+			if a.ts < b.ts {
+				return -1
+			}
+			return 1
+		}
+		if a.seq != b.seq {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		}
+		return int(a.kind) - int(b.kind)
 	})
 
-	var b strings.Builder
-	b.WriteString(`{"traceEvents":[`)
-	b.WriteByte('\n')
-	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"dataai"}}`)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	buf := make([]byte, 0, 512) // reused scratch for one event body
+	common := func(dst []byte, track string, atMS float64) []byte {
+		dst = append(dst, `"ts":`...)
+		dst = appendNum(dst, atMS*1000)
+		dst = append(dst, `,"pid":1,"tid":`...)
+		return strconv.AppendInt(dst, int64(tid[track]), 10)
+	}
+	reason := func(dst []byte, s *Span) []byte {
+		if s.Reason == "" {
+			return dst
+		}
+		dst = append(dst, `,"args":{"reason":`...)
+		dst = appendStr(dst, s.Reason)
+		return append(dst, '}')
+	}
+	head := func(dst []byte, s *Span) []byte {
+		dst = append(dst, `{"name":`...)
+		dst = appendStr(dst, s.Name)
+		dst = append(dst, `,"cat":`...)
+		dst = appendStr(dst, s.Cat)
+		return dst
+	}
+
+	// bufio.Writer latches its first error and every later write is a
+	// no-op, so intermediate write errors are deliberately discarded and
+	// the single Flush at the end reports whatever happened first.
+	_, _ = bw.WriteString(`{"traceEvents":[`)
+	_ = bw.WriteByte('\n')
+	_, _ = bw.WriteString(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"dataai"}}`)
 	for _, name := range tracks {
-		b.WriteString(",\n")
-		b.WriteString(`{"name":"thread_name","ph":"M","pid":1,"tid":` +
-			strconv.Itoa(tid[name]) + `,"args":{"name":` + str(name) + `}}`)
+		buf = append(buf[:0], ",\n"...)
+		buf = append(buf, `{"name":"thread_name","ph":"M","pid":1,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(tid[name]), 10)
+		buf = append(buf, `,"args":{"name":`...)
+		buf = appendStr(buf, name)
+		buf = append(buf, `}}`...)
+		_, _ = bw.Write(buf)
 	}
 	for _, e := range events {
-		b.WriteString(",\n")
-		b.WriteString(e.body)
+		buf = append(buf[:0], ",\n"...)
+		switch e.kind {
+		case kindBegin, kindEnd:
+			s := &spans[e.idx]
+			endMS := s.EndMS
+			if !s.Closed {
+				endMS = s.StartMS
+			}
+			if s.Cat == CatRequest {
+				buf = head(buf, s)
+				buf = append(buf, `,"id":`...)
+				buf = appendStr(buf, s.Track)
+				buf = append(buf, ',')
+				if e.kind == kindBegin {
+					buf = append(buf, `"ph":"b",`...)
+					buf = common(buf, s.Track, s.StartMS)
+					buf = append(buf, '}')
+				} else {
+					buf = append(buf, `"ph":"e",`...)
+					buf = common(buf, s.Track, endMS)
+					buf = reason(buf, s)
+					buf = append(buf, '}')
+				}
+				break
+			}
+			buf = head(buf, s)
+			buf = append(buf, `,"ph":"X",`...)
+			buf = common(buf, s.Track, s.StartMS)
+			buf = append(buf, `,"dur":`...)
+			buf = appendNum(buf, (endMS-s.StartMS)*1000)
+			buf = reason(buf, s)
+			buf = append(buf, '}')
+		case kindInstant:
+			in := &instants[e.idx]
+			buf = append(buf, `{"name":`...)
+			buf = appendStr(buf, in.Name)
+			buf = append(buf, `,"ph":"i","s":"t",`...)
+			buf = common(buf, in.Track, in.AtMS)
+			buf = append(buf, '}')
+		case kindCounter:
+			c := &cpoints[e.idx]
+			buf = append(buf, `{"name":`...)
+			buf = appendStr(buf, c.name)
+			buf = append(buf, `,"ph":"C","ts":`...)
+			buf = appendNum(buf, c.p.AtMS*1000)
+			buf = append(buf, `,"pid":1,"args":{"value":`...)
+			buf = appendNum(buf, c.p.Value)
+			buf = append(buf, `}}`...)
+		}
+		_, _ = bw.Write(buf)
 	}
-	b.WriteString("\n]}\n")
-	_, err := io.WriteString(w, b.String())
-	return err
+	_, _ = bw.WriteString("\n]}\n")
+	return bw.Flush()
 }
 
-// num renders a float in its shortest round-trip decimal form — stable
-// across runs and platforms, unlike %g's exponent thresholds.
+// appendNum renders a float in its shortest round-trip decimal form —
+// stable across runs and platforms, unlike %g's exponent thresholds.
+func appendNum(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'f', -1, 64)
+}
+
+// num is appendNum as a string (kept for tests and small call sites).
 func num(v float64) string {
 	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// appendStr renders s as a JSON string literal, byte-identical to
+// json.Marshal. The fast path covers the printable-ASCII strings every
+// track and metric name in this repo uses; anything needing escapes
+// (quotes, control bytes, HTML-escaped <>&, non-ASCII) takes the
+// json.Marshal fallback, which handles escaping subtleties (U+2028,
+// invalid UTF-8) exactly as the historical implementation did.
+func appendStr(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			b, err := json.Marshal(s)
+			if err != nil {
+				// Strings never fail to marshal; keep the checker honest.
+				return append(dst, `""`...)
+			}
+			return append(dst, b...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
 }
 
 // str renders s as a JSON string literal.
 func str(s string) string {
 	b, err := json.Marshal(s)
 	if err != nil {
-		// Strings never fail to marshal; keep the checker honest.
 		return `""`
 	}
 	return string(b)

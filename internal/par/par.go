@@ -81,12 +81,20 @@ func (p *panicBox) rethrow() {
 	}
 }
 
+// mapGrainFactor is how many dispatch chunks Map creates per worker.
+// Workers claim whole chunks (one atomic per chunk, amortized over the
+// items inside) instead of single items, which is what keeps tiny-item
+// maps from paying per-item goroutine coordination; several chunks per
+// worker preserves dynamic load balancing when item costs are skewed.
+const mapGrainFactor = 8
+
 // Map runs fn(i) for every i in [0, n) on up to workers goroutines and
 // returns the n results committed in input order: out[i] = fn(i). fn
 // must be safe to call concurrently; it may be called from the calling
-// goroutine. Work is handed out index-by-index (dynamic load balancing),
-// which is invisible in the output because each result lands in its own
-// slot. workers <= 0 means DefaultWorkers.
+// goroutine. Work is handed out in contiguous index chunks (ChunkBounds
+// over workers*8 chunks, claimed dynamically), which is invisible in the
+// output because each result lands in its own slot. workers <= 0 means
+// DefaultWorkers.
 func Map[T any](n, workers int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
@@ -99,6 +107,10 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 		}
 		return out
 	}
+	chunks := workers * mapGrainFactor
+	if chunks > n {
+		chunks = n
+	}
 	var (
 		wg   sync.WaitGroup
 		box  panicBox
@@ -110,11 +122,14 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 			defer wg.Done()
 			defer box.capture()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
 					return
 				}
-				out[i] = fn(i)
+				lo, hi := ChunkBounds(n, chunks, c)
+				for i := lo; i < hi; i++ {
+					out[i] = fn(i)
+				}
 			}
 		}()
 	}

@@ -75,7 +75,7 @@ func TestRouterTieBreakAtEqualScores(t *testing.T) {
 		eng := sim.NewEngine()
 		c := &cluster{eng: eng, policy: policy}
 		for i := 0; i < 4; i++ {
-			c.insts = append(c.insts, newInstance(i, DefaultGPU(), ContinuousOpts{}, eng, func(float64, Result) {}))
+			c.insts = append(c.insts, newInstance(i, DefaultGPU(), ContinuousOpts{}, eng, &c.pool, func(float64, Result) {}))
 			c.breakers = append(c.breakers, resilient.NewBreaker(resilient.BreakerPolicy{FailureThreshold: 2}))
 		}
 		return c
@@ -211,24 +211,27 @@ func TestCrashDropsAndReroutesInFlightSequences(t *testing.T) {
 	gpu := DefaultGPU()
 	eng := sim.NewEngine()
 	var finished []Result
-	a := newInstance(0, gpu, ContinuousOpts{}, eng, func(_ float64, r Result) { finished = append(finished, r) })
-	b := newInstance(1, gpu, ContinuousOpts{}, eng, func(_ float64, r Result) { finished = append(finished, r) })
-	var dropped []*seqState
+	pool := &seqPool{}
+	a := newInstance(0, gpu, ContinuousOpts{}, eng, pool, func(_ float64, r Result) { finished = append(finished, r) })
+	b := newInstance(1, gpu, ContinuousOpts{}, eng, pool, func(_ float64, r Result) { finished = append(finished, r) })
+	// The pool zeroes a sequence when it finishes, so capture the
+	// dropped state at drop time, not after the run.
+	dropped, droppedGen := 0, 0
 	a.onDrop = func(now float64, s *seqState) {
-		dropped = append(dropped, s)
+		dropped++
+		droppedGen = s.generated
 		b.arrive(now, s) // immediate re-route for the test
 	}
 	req := workload.Request{ID: "r1", PromptTokens: 200, OutputTokens: 20, ArrivalMS: 0}
-	eng.At(0, func(now float64) { a.arrive(now, &seqState{req: req}) })
+	eng.At(0, func(now float64) { a.arrive(now, pool.get(req)) })
 	// Prefill takes 10ms; crash at 30ms lands mid-decode.
 	eng.At(30, func(now float64) { a.crash(now) })
 	eng.Run()
 
-	if len(dropped) != 1 {
-		t.Fatalf("dropped %d sequences, want 1", len(dropped))
+	if dropped != 1 {
+		t.Fatalf("dropped %d sequences, want 1", dropped)
 	}
-	s := dropped[0]
-	if s.generated < 1 {
+	if droppedGen < 1 {
 		t.Error("crash before any emitted token despite 30ms of decode")
 	}
 	if a.kv.UsedBlocks() != 0 {

@@ -47,6 +47,7 @@ func RunColocated(gpu GPUConfig, reqs []workload.Request, n int, opts Continuous
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
 
 	eng := sim.NewEngine()
+	pool := &seqPool{}
 	perInst := make([][]Result, n)
 	insts := make([]*instance, n)
 	shares := make([][]workload.Request, n)
@@ -54,14 +55,14 @@ func RunColocated(gpu GPUConfig, reqs []workload.Request, n int, opts Continuous
 		i := i
 		shareOpts := opts
 		shareOpts.KV = nil // each GPU owns its cache
-		insts[i] = newInstance(i, gpu, shareOpts, eng, func(_ float64, r Result) { perInst[i] = append(perInst[i], r) })
+		insts[i] = newInstance(i, gpu, shareOpts, eng, pool, func(_ float64, r Result) { perInst[i] = append(perInst[i], r) })
 	}
 	for i, r := range ordered {
 		shares[i%n] = append(shares[i%n], r)
 	}
 	for i, share := range shares {
 		i := i
-		scheduleArrivals(eng, gpu, share, insts[i], func(r Result) { perInst[i] = append(perInst[i], r) })
+		scheduleArrivals(eng, gpu, share, insts[i], pool, func(r Result) { perInst[i] = append(perInst[i], r) })
 	}
 	eng.Run()
 
@@ -69,7 +70,8 @@ func RunColocated(gpu GPUConfig, reqs []workload.Request, n int, opts Continuous
 	peak := 0
 	preemptions := 0
 	for i, inst := range insts {
-		for _, s := range inst.waiting {
+		for j := 0; j < inst.waiting.Len(); j++ {
+			s := inst.waiting.At(j)
 			perInst[i] = append(perInst[i], Result{Req: s.req, Rejected: true})
 		}
 		all = append(all, perInst[i]...)

@@ -20,15 +20,25 @@ import (
 // current iteration. Arrivals land in the waiting queue as engine events
 // and are admitted at iteration boundaries, exactly when the historical
 // loop ingested them.
+//
+// The schedule/fire path is allocation-free in steady state: iteration
+// events reuse three ArgHandlers bound once at construction (the event
+// argument carries the epoch; per-event state like the pending prefill
+// sequence lives in pendPrefill/pendCompleting, which is safe because
+// the instance has at most one live iteration event — stale pre-crash
+// events fail the epoch check before reading anything), the waiting and
+// prefill queues are ring deques, and sequences come from a free-listed
+// pool (seqpool.go).
 type instance struct {
 	id   int
 	gpu  GPUConfig
 	opts ContinuousOpts
 	kv   KVManager
 	eng  *sim.Engine
+	pool *seqPool
 
-	waiting  []*seqState
-	prefillQ []*seqState
+	waiting  seqRing
+	prefillQ seqRing
 	running  []*seqState
 
 	// busy is true while an iteration-end event is scheduled.
@@ -40,6 +50,13 @@ type instance struct {
 	slow float64
 	// epoch invalidates in-flight iteration events across a crash.
 	epoch uint64
+
+	// kickH, prefillEndH, and mixedEndH are the instance's reusable event
+	// handlers; pendPrefill and pendCompleting carry the live iteration
+	// event's payload.
+	kickH, prefillEndH, mixedEndH sim.ArgHandler
+	pendPrefill                   *seqState
+	pendCompleting                bool
 
 	preemptions int
 
@@ -61,13 +78,17 @@ type instance struct {
 }
 
 // newInstance builds an idle instance on eng. A nil opts.KV gets a
-// private paged allocator, mirroring RunContinuous's default.
-func newInstance(id int, gpu GPUConfig, opts ContinuousOpts, eng *sim.Engine, onFinish func(float64, Result)) *instance {
+// private paged allocator, mirroring RunContinuous's default. pool (may
+// be nil) recycles finished sequences.
+func newInstance(id int, gpu GPUConfig, opts ContinuousOpts, eng *sim.Engine, pool *seqPool, onFinish func(float64, Result)) *instance {
 	kv := opts.KV
 	if kv == nil {
 		kv = NewPagedKV(gpu)
 	}
-	in := &instance{id: id, gpu: gpu, opts: opts, kv: kv, eng: eng, slow: 1, onFinish: onFinish}
+	in := &instance{id: id, gpu: gpu, opts: opts, kv: kv, eng: eng, pool: pool, slow: 1, onFinish: onFinish}
+	in.kickH = in.onKick
+	in.prefillEndH = in.onPrefillEnd
+	in.mixedEndH = in.onMixedEnd
 	if opts.Trace != nil {
 		in.trace = opts.Trace
 		in.track = fmt.Sprintf("gpu%d", id)
@@ -79,45 +100,46 @@ func newInstance(id int, gpu GPUConfig, opts ContinuousOpts, eng *sim.Engine, on
 	return in
 }
 
-func (in *instance) active() int { return len(in.prefillQ) + len(in.running) }
+func (in *instance) active() int { return in.prefillQ.Len() + len(in.running) }
+
+// seqLoad is one sequence's outstanding token work: remaining prefill
+// plus remaining decode.
+func seqLoad(s *seqState) int {
+	remaining := s.req.OutputTokens - s.generated
+	if remaining < 0 {
+		remaining = 0
+	}
+	if s.admitted {
+		return s.prefillLeft + remaining
+	}
+	return s.req.PromptTokens - s.saved + s.generated + remaining
+}
 
 // queueLoad is the router's live-load signal: tokens of outstanding work
-// (remaining prefill plus remaining decode) across every sequence the
-// instance currently owns, waiting included.
+// across every sequence the instance currently owns, waiting included.
 func (in *instance) queueLoad() int {
 	load := 0
-	add := func(s *seqState) {
-		remaining := s.req.OutputTokens - s.generated
-		if remaining < 0 {
-			remaining = 0
-		}
-		if s.admitted {
-			load += s.prefillLeft + remaining
-		} else {
-			load += s.req.PromptTokens - s.saved + s.generated + remaining
-		}
+	for i := 0; i < in.waiting.Len(); i++ {
+		load += seqLoad(in.waiting.At(i))
 	}
-	for _, s := range in.waiting {
-		add(s)
-	}
-	for _, s := range in.prefillQ {
-		add(s)
+	for i := 0; i < in.prefillQ.Len(); i++ {
+		load += seqLoad(in.prefillQ.At(i))
 	}
 	for _, s := range in.running {
-		add(s)
+		load += seqLoad(s)
 	}
 	return load
 }
 
 // queueDepth is the router's congestion signal: sequences owned.
-func (in *instance) queueDepth() int { return len(in.waiting) + in.active() }
+func (in *instance) queueDepth() int { return in.waiting.Len() + in.active() }
 
 // arrive enqueues a routed request. An idle instance defers its wake to
 // a same-instant event, so that simultaneous arrivals are all queued
 // before the boundary runs — the event-driven analogue of the historical
 // loop jumping its clock to the next arrival and ingesting everything due.
 func (in *instance) arrive(now float64, s *seqState) {
-	in.waiting = append(in.waiting, s)
+	in.waiting.PushBack(s)
 	in.traceArrive(now, s)
 	in.kick()
 }
@@ -128,14 +150,17 @@ func (in *instance) kick() {
 		return
 	}
 	in.busy = true
-	epoch := in.epoch
-	in.eng.After(0, func(t float64) {
-		if in.epoch != epoch {
-			return
-		}
-		in.busy = false
-		in.step(t)
-	})
+	in.eng.AfterArg(0, in.kickH, in.epoch)
+}
+
+// onKick is the kick event's handler; the argument is the epoch the
+// event was scheduled in.
+func (in *instance) onKick(t float64, epoch uint64) {
+	if in.epoch != epoch {
+		return
+	}
+	in.busy = false
+	in.step(t)
 }
 
 // admit mirrors the historical admission rule: cache lookups happen on
@@ -180,16 +205,19 @@ func (in *instance) admit(now float64, s *seqState) bool {
 		}
 	}
 	s.admitted = true
+	s.preempted = false
 	return true
 }
 
-// preempt frees every block the victim holds (all-or-nothing) and
-// requeues it at the head of the waiting queue; a later prefill
-// recomputes its prompt plus everything it had generated.
+// preempt frees every block the victim holds (all-or-nothing), marks it
+// preempted for the rest of the current iteration pass, and requeues it
+// at the head of the waiting queue; a later prefill recomputes its
+// prompt plus everything it had generated.
 func (in *instance) preempt(now float64, v *seqState) {
 	in.kv.Free(v.req.ID)
+	v.preempted = true
 	v.prefillLeft = v.req.PromptTokens - v.saved + v.generated
-	in.waiting = append([]*seqState{v}, in.waiting...)
+	in.waiting.PushFront(v)
 	in.preemptions++
 	if in.trace != nil {
 		in.trace.Instant(now, in.track, "preempt")
@@ -206,6 +234,7 @@ func (in *instance) finish(now float64, s *seqState) {
 	r.Instance = in.id
 	in.traceFinish(now, s)
 	in.onFinish(now, r)
+	in.pool.put(s) // nothing references s past its Result
 }
 
 // step runs at an iteration boundary: admit FCFS, then start the next
@@ -217,34 +246,26 @@ func (in *instance) step(now float64) {
 		in.busy = false
 		return
 	}
-	for len(in.waiting) > 0 && in.admit(now, in.waiting[0]) {
-		in.tracePhase(now, in.waiting[0], "prefill")
-		in.prefillQ = append(in.prefillQ, in.waiting[0])
-		in.waiting = in.waiting[1:]
+	for in.waiting.Len() > 0 && in.admit(now, in.waiting.Front()) {
+		s := in.waiting.PopFront()
+		in.tracePhase(now, s, "prefill")
+		in.prefillQ.PushBack(s)
 	}
 	if in.active() == 0 {
 		in.busy = false
 		return // idle: the next arrival (or recovery) re-kicks
 	}
 	in.busy = true
-	epoch := in.epoch
 
-	if in.opts.ChunkTokens == 0 && len(in.prefillQ) > 0 {
+	if in.opts.ChunkTokens == 0 && in.prefillQ.Len() > 0 {
 		// Dedicated prefill iteration: one whole prompt; decodes stall
 		// behind it. Effects (including the pop) apply at the end so a
 		// crash mid-prefill drops the sequence with everything else.
-		s := in.prefillQ[0]
+		s := in.prefillQ.Front()
 		iterMS := in.gpu.prefillMS(s.prefillLeft) * in.slow
-		iterSpan := in.trace.Begin(now, in.track, obs.CatGPU, "prefill", 0)
-		in.iterSpan = iterSpan
-		in.eng.At(now+iterMS, func(end float64) {
-			if in.epoch != epoch {
-				return
-			}
-			in.trace.End(end, iterSpan)
-			in.iterSpan = 0
-			in.endPrefill(end, s)
-		})
+		in.iterSpan = in.trace.Begin(now, in.track, obs.CatGPU, "prefill", 0)
+		in.pendPrefill = s
+		in.eng.AtArg(now+iterMS, in.prefillEndH, in.epoch)
 		return
 	}
 
@@ -254,8 +275,8 @@ func (in *instance) step(now float64) {
 	var iterMS float64
 	completing := false
 	chunked := false
-	if in.opts.ChunkTokens > 0 && len(in.prefillQ) > 0 {
-		s := in.prefillQ[0]
+	if in.opts.ChunkTokens > 0 && in.prefillQ.Len() > 0 {
+		s := in.prefillQ.Front()
 		chunk := in.opts.ChunkTokens
 		if chunk > s.prefillLeft {
 			chunk = s.prefillLeft
@@ -280,23 +301,38 @@ func (in *instance) step(now float64) {
 			iterName = "prefill+decode"
 		}
 	}
-	iterSpan := in.trace.Begin(now, in.track, obs.CatGPU, iterName, 0)
-	in.iterSpan = iterSpan
-	in.eng.At(now+iterMS, func(end float64) {
-		if in.epoch != epoch {
-			return
-		}
-		in.trace.End(end, iterSpan)
-		in.iterSpan = 0
-		in.endMixed(end, completing)
-	})
+	in.iterSpan = in.trace.Begin(now, in.track, obs.CatGPU, iterName, 0)
+	in.pendCompleting = completing
+	in.eng.AtArg(now+iterMS, in.mixedEndH, in.epoch)
+}
+
+// onPrefillEnd is the dedicated prefill iteration's end event.
+func (in *instance) onPrefillEnd(end float64, epoch uint64) {
+	if in.epoch != epoch {
+		return
+	}
+	in.trace.End(end, in.iterSpan)
+	in.iterSpan = 0
+	s := in.pendPrefill
+	in.pendPrefill = nil
+	in.endPrefill(end, s)
+}
+
+// onMixedEnd is the mixed iteration's end event.
+func (in *instance) onMixedEnd(end float64, epoch uint64) {
+	if in.epoch != epoch {
+		return
+	}
+	in.trace.End(end, in.iterSpan)
+	in.iterSpan = 0
+	in.endMixed(end, in.pendCompleting)
 }
 
 // endPrefill applies a dedicated prefill iteration's effects. The
 // prefill emits the first token unless this is a preempted sequence
 // being recomputed, whose first token was already served.
 func (in *instance) endPrefill(now float64, s *seqState) {
-	in.prefillQ = in.prefillQ[1:]
+	in.prefillQ.PopFront()
 	s.prefilled += s.prefillLeft
 	s.prefillLeft = 0
 	if s.generated == 0 {
@@ -315,17 +351,19 @@ func (in *instance) endPrefill(now float64, s *seqState) {
 
 // endMixed applies a mixed iteration's decode step, including OnDemand
 // growth and all-or-nothing preemption, then the completing prefill's
-// first token.
+// first token. Preemption marks are per-pass: preempt sets the
+// sequence's preempted flag and the next successful admission clears it,
+// so a sequence marked by an earlier index of this loop is skipped for
+// the rest of the pass — exactly the per-call set the historical code
+// kept (without its per-iteration map allocation).
 func (in *instance) endMixed(now float64, completing bool) {
 	var comp *seqState
 	if completing {
-		comp = in.prefillQ[0]
-		in.prefillQ = in.prefillQ[1:]
+		comp = in.prefillQ.PopFront()
 	}
-	preempted := map[*seqState]bool{}
 	stillRunning := in.running[:0]
 	for idx, s := range in.running {
-		if preempted[s] {
+		if s.preempted {
 			continue
 		}
 		s.generated++
@@ -341,7 +379,7 @@ func (in *instance) endMixed(now float64, completing bool) {
 				// that is not s and not already preempted.
 				var victim *seqState
 				for j := len(in.running) - 1; j > idx; j-- {
-					if !preempted[in.running[j]] {
+					if !in.running[j].preempted {
 						victim = in.running[j]
 						break
 					}
@@ -350,12 +388,10 @@ func (in *instance) endMixed(now float64, completing bool) {
 					// No lower-priority sequence to evict: all-or-nothing
 					// now applies to s itself — free everything it holds
 					// and recompute it later.
-					preempted[s] = true
 					in.preempt(now, s)
 					ok = false
 					break
 				}
-				preempted[victim] = true
 				in.preempt(now, victim)
 			}
 			if !ok {
@@ -365,7 +401,7 @@ func (in *instance) endMixed(now float64, completing bool) {
 		stillRunning = append(stillRunning, s)
 	}
 	in.running = stillRunning
-	if comp != nil && !preempted[comp] {
+	if comp != nil && !comp.preempted {
 		if comp.generated == 0 {
 			comp.generated = 1
 			comp.firstTokenMS = now
@@ -390,6 +426,7 @@ func (in *instance) crash(now float64) {
 	in.down = true
 	in.busy = false
 	in.epoch++
+	in.pendPrefill = nil
 	if in.trace != nil {
 		// The in-flight iteration's end event is invalidated with the
 		// epoch, so its span must close here or dangle.
@@ -397,8 +434,9 @@ func (in *instance) crash(now float64) {
 		in.iterSpan = 0
 		in.trace.Instant(now, in.track, "crash")
 	}
-	dropped := make([]*seqState, 0, len(in.prefillQ)+len(in.running)+len(in.waiting))
-	for _, s := range in.prefillQ {
+	dropped := make([]*seqState, 0, in.prefillQ.Len()+len(in.running)+in.waiting.Len())
+	for i := 0; i < in.prefillQ.Len(); i++ {
+		s := in.prefillQ.At(i)
 		in.kv.Free(s.req.ID)
 		dropped = append(dropped, s)
 	}
@@ -406,8 +444,15 @@ func (in *instance) crash(now float64) {
 		in.kv.Free(s.req.ID)
 		dropped = append(dropped, s)
 	}
-	dropped = append(dropped, in.waiting...) // never admitted: hold no KV
-	in.prefillQ, in.running, in.waiting = nil, nil, nil
+	for i := 0; i < in.waiting.Len(); i++ {
+		dropped = append(dropped, in.waiting.At(i)) // never admitted: hold no KV
+	}
+	in.prefillQ.Clear()
+	in.waiting.Clear()
+	for i := range in.running {
+		in.running[i] = nil
+	}
+	in.running = in.running[:0]
 	if in.opts.Prefix != nil {
 		in.opts.Prefix.Invalidate()
 	}
@@ -419,6 +464,7 @@ func (in *instance) crash(now float64) {
 		// kept; their KV (and any cache savings) must be recomputed
 		// wherever the sequence lands next.
 		s.admitted = false
+		s.preempted = false
 		s.saved = 0
 		s.prefillLeft = 0
 		// The reroute hop spans detection delay + routing; it closes when
@@ -437,7 +483,7 @@ func (in *instance) crash(now float64) {
 // it was down (routed by a policy that kept trying) starts immediately.
 func (in *instance) recoverAt(now float64) {
 	in.down = false
-	if len(in.waiting) > 0 {
+	if in.waiting.Len() > 0 {
 		in.kick()
 	}
 }
@@ -454,18 +500,22 @@ func (in *instance) setSlowdown(factor float64) {
 // scheduleArrivals schedules one engine event per request, in stable
 // arrival order, delivering each to inst: requests whose footprint can
 // never fit are rejected at arrival, mirroring the historical loop's
-// ingest check. reqs must already be sorted by ArrivalMS (stable).
-func scheduleArrivals(eng *sim.Engine, gpu GPUConfig, reqs []workload.Request, inst *instance, reject func(Result)) {
+// ingest check. reqs must already be sorted by ArrivalMS (stable). One
+// shared ArgHandler carries the request index, so scheduling n arrivals
+// costs one closure, not n.
+func scheduleArrivals(eng *sim.Engine, gpu GPUConfig, reqs []workload.Request, inst *instance, pool *seqPool, reject func(Result)) {
 	capacityTokens := inst.kv.Capacity() * gpu.BlockSize
-	for _, r := range reqs {
-		eng.At(r.ArrivalMS, func(now float64) {
-			footprint := r.PromptTokens + r.OutputTokens
-			if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
-				traceRejectArrival(inst.trace, now, r)
-				reject(Result{Req: r, Rejected: true})
-				return
-			}
-			inst.arrive(now, &seqState{req: r})
-		})
+	deliver := func(now float64, i uint64) {
+		r := reqs[i]
+		footprint := r.PromptTokens + r.OutputTokens
+		if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
+			traceRejectArrival(inst.trace, now, r)
+			reject(Result{Req: r, Rejected: true})
+			return
+		}
+		inst.arrive(now, pool.get(r))
+	}
+	for i := range reqs {
+		eng.AtArg(reqs[i].ArrivalMS, deliver, uint64(i))
 	}
 }

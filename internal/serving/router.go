@@ -126,6 +126,7 @@ type cluster struct {
 	rerouted int
 	crashes  int
 	results  []Result
+	pool     seqPool
 
 	// trace, when non-nil, records the cluster timeline; instances share
 	// it through their ContinuousOpts.
@@ -282,7 +283,7 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 			instOpts.SessionCache = store
 		}
 		c.breakers[i] = resilient.NewBreaker(resilient.BreakerPolicy{FailureThreshold: 2, CooldownMS: cooldown})
-		c.insts[i] = newInstance(i, gpu, instOpts, c.eng, func(now float64, r Result) {
+		c.insts[i] = newInstance(i, gpu, instOpts, c.eng, &c.pool, func(now float64, r Result) {
 			c.results = append(c.results, r)
 			c.breakers[i].OnSuccess(now)
 			c.traceBreaker(now, i)
@@ -305,20 +306,24 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 		}
 	}
 
+	// One shared ArgHandler delivers every arrival; the event argument is
+	// the request's index in the ordered trace, so scheduling n arrivals
+	// allocates one closure instead of n.
 	capacityTokens := gpu.KVBlocks * gpu.BlockSize
-	for _, r := range ordered {
-		r := r
-		c.eng.At(r.ArrivalMS, func(now float64) {
-			footprint := r.PromptTokens + r.OutputTokens
-			if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
-				traceRejectArrival(c.trace, now, r)
-				c.results = append(c.results, Result{Req: r, Rejected: true})
-				c.pending--
-				return
-			}
-			g := c.route(now, r, -1)
-			c.insts[g].arrive(now, &seqState{req: r})
-		})
+	deliver := func(now float64, idx uint64) {
+		r := ordered[idx]
+		footprint := r.PromptTokens + r.OutputTokens
+		if footprint > capacityTokens || footprint > gpu.MaxSeqLen {
+			traceRejectArrival(c.trace, now, r)
+			c.results = append(c.results, Result{Req: r, Rejected: true})
+			c.pending--
+			return
+		}
+		g := c.route(now, r, -1)
+		c.insts[g].arrive(now, c.pool.get(r))
+	}
+	for i := range ordered {
+		c.eng.AtArg(ordered[i].ArrivalMS, deliver, uint64(i))
 	}
 
 	if plan != nil {
@@ -361,7 +366,8 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 
 	var hits, misses, preemptions int
 	for i, in := range c.insts {
-		for _, s := range in.waiting {
+		for j := 0; j < in.waiting.Len(); j++ {
+			s := in.waiting.At(j)
 			in.traceReject(c.eng.Now(), s)
 			c.results = append(c.results, Result{Req: s.req, Rejected: true})
 		}

@@ -1,0 +1,53 @@
+package serving
+
+import (
+	"testing"
+
+	"dataai/internal/workload"
+)
+
+// TestClusterScaleMillionRequests is the ROADMAP's north-star workload
+// made an ordinary test: an E23-shaped run (shared prefixes, severe
+// fault plan, breaker-aware routing, chunked prefill) at 100 instances
+// and 10^6 requests on one shared engine clock. It exists to keep the
+// engine fast enough that cluster experiments of this size stay cheap —
+// the calendar queue and the pooled serving path are what make it
+// complete in seconds (BENCH_sim.json records the wall time). -short
+// and race runs scale the trace down 10x; the scheduling code exercised
+// is identical.
+func TestClusterScaleMillionRequests(t *testing.T) {
+	const instances = 100
+	n, rate := 1_000_000, 1500.0 // 15 req/s per instance, E23's density
+	if testing.Short() || raceEnabled {
+		n, rate = 100_000, 1500.0
+	}
+	cfg := workload.DefaultTrace(2301, n, rate)
+	cfg.SharedPrefixes = 8
+	cfg.SharedPrefixTokens = 192
+	cfg.SharedPrefixProb = 0.6
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunRoutedFaults(DefaultGPU(), reqs, instances, BreakerAware,
+		ContinuousOpts{ChunkTokens: 256}, SevereFaultPlan(2303))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every request must resolve exactly once: finished or rejected.
+	if got := len(rep.Results); got != n {
+		t.Fatalf("resolved %d results, want %d", got, n)
+	}
+	finished := n - rep.Rejected
+	if finished <= n/2 {
+		t.Fatalf("only %d/%d requests finished; the cluster wedged", finished, n)
+	}
+	if rep.Crashes == 0 || rep.Rerouted == 0 {
+		t.Errorf("severe plan injected no faults (crashes=%d rerouted=%d)", rep.Crashes, rep.Rerouted)
+	}
+	if rep.MakespanMS <= 0 || rep.TTFT.P50() <= 0 {
+		t.Errorf("degenerate report: makespan=%v p50TTFT=%v", rep.MakespanMS, rep.TTFT.P50())
+	}
+	t.Logf("%d reqs / %d instances: finished=%d rejected=%d crashes=%d rerouted=%d makespan=%.0fms",
+		n, instances, finished, rep.Rejected, rep.Crashes, rep.Rerouted, rep.MakespanMS)
+}

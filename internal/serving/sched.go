@@ -21,6 +21,9 @@ type seqState struct {
 	firstTokenMS float64
 	finishMS     float64
 	admitted     bool
+	// preempted marks a sequence evicted during the current iteration
+	// pass (endMixed); the next successful admission clears it.
+	preempted bool
 	// saved is the prompt span satisfied from a prefix/session cache.
 	saved int
 	// root and phase are the request's lifecycle spans when tracing is
@@ -169,14 +172,16 @@ func RunContinuous(gpu GPUConfig, reqs []workload.Request, opts ContinuousOpts) 
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
 
 	eng := sim.NewEngine()
+	pool := &seqPool{}
 	var results []Result
-	inst := newInstance(0, gpu, opts, eng, func(_ float64, r Result) { results = append(results, r) })
-	scheduleArrivals(eng, gpu, ordered, inst, func(r Result) { results = append(results, r) })
+	inst := newInstance(0, gpu, opts, eng, pool, func(_ float64, r Result) { results = append(results, r) })
+	scheduleArrivals(eng, gpu, ordered, inst, pool, func(r Result) { results = append(results, r) })
 	eng.Run()
 
 	// Anything still waiting could never be admitted (footprint larger
 	// than the whole cache): report as rejected.
-	for _, s := range inst.waiting {
+	for i := 0; i < inst.waiting.Len(); i++ {
+		s := inst.waiting.At(i)
 		inst.traceReject(eng.Now(), s)
 		results = append(results, Result{Req: s.req, Rejected: true})
 	}

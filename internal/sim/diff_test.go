@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The differential harness: run the same event program through the
+// calendar queue (NewEngine) and the reference min-heap (newHeapEngine)
+// and assert identical firing order. The program is a function of the
+// firing order itself (handlers draw from a seeded rng to schedule more
+// events), so any divergence compounds instead of hiding.
+
+type fireRec struct {
+	id int
+	t  float64
+}
+
+// runProgram schedules a randomized self-extending event program on e
+// and returns the (id, time) firing log. Deltas are chosen to stress the
+// calendar queue's seams: same-instant chains, sub-bucket fractions,
+// exact bucket-width multiples, far-future overflow pushes, and
+// past-time clamps.
+func runProgram(e *Engine, seed int64, roots, depth int) []fireRec {
+	rng := rand.New(rand.NewSource(seed))
+	var log []fireRec
+	nextID := 0
+	var schedule func(t float64, d int)
+	schedule = func(t float64, d int) {
+		id := nextID
+		nextID++
+		e.At(t, func(now float64) {
+			log = append(log, fireRec{id, now})
+			if d == 0 {
+				return
+			}
+			for j := rng.Intn(3); j > 0; j-- {
+				var delta float64
+				switch rng.Intn(6) {
+				case 0:
+					delta = 0 // same-instant chain
+				case 1:
+					delta = rng.Float64() * 0.5 // sub-bucket
+				case 2:
+					delta = rng.Float64() * 3 // a few buckets out
+				case 3:
+					delta = float64(rng.Intn(5)) * calWidth // exact bucket multiples
+				case 4:
+					delta = calBuckets*calWidth + rng.Float64()*2000 // overflow
+				case 5:
+					delta = -rng.Float64() * 10 // past: clamps to now
+				}
+				schedule(now+delta, d-1)
+			}
+		})
+	}
+	for i := 0; i < roots; i++ {
+		// Roots span several buckets and reach past the horizon.
+		schedule(rng.Float64()*float64(2*calBuckets), depth)
+	}
+	e.Run()
+	return log
+}
+
+func TestDifferentialCalendarVsHeap(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cal := runProgram(NewEngine(), seed, 40, 3)
+		ref := runProgram(newHeapEngine(), seed, 40, 3)
+		if !reflect.DeepEqual(cal, ref) {
+			n := len(cal)
+			if len(ref) < n {
+				n = len(ref)
+			}
+			for i := 0; i < n; i++ {
+				if cal[i] != ref[i] {
+					t.Fatalf("seed %d: firing logs diverge at %d: calendar %+v, heap %+v",
+						seed, i, cal[i], ref[i])
+				}
+			}
+			t.Fatalf("seed %d: firing logs differ in length: calendar %d, heap %d",
+				seed, len(cal), len(ref))
+		}
+	}
+}
+
+func TestSameInstantAcrossOverflowAndWheel(t *testing.T) {
+	// Two events at the same instant, one routed through the overflow
+	// heap (scheduled while 5000 was past the horizon) and one through
+	// the wheel (scheduled once the clock was close), must still fire in
+	// seq order.
+	e := NewEngine()
+	var got []string
+	e.At(5000, func(now float64) { got = append(got, "early-seq") }) // overflow at schedule time
+	e.At(4999, func(now float64) {
+		e.At(5000, func(now float64) { got = append(got, "late-seq") }) // wheel at schedule time
+	})
+	e.Run()
+	if want := []string{"early-seq", "late-seq"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestClampAtBucketBoundary(t *testing.T) {
+	// A handler firing fractionally past a bucket boundary schedules
+	// into the past; the clamped event maps before the current bucket's
+	// base and must still fire immediately, after same-instant peers.
+	e := NewEngine()
+	var got []string
+	at := 3*calWidth + 0.25
+	e.At(at, func(now float64) {
+		e.At(now-5*calWidth, func(float64) { got = append(got, "clamped") })
+	})
+	e.At(at, func(now float64) { got = append(got, "peer") })
+	e.Run()
+	if want := []string{"peer", "clamped"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+	if e.Now() != at {
+		t.Errorf("Now = %v, want %v", e.Now(), at)
+	}
+}
+
+func TestFarFutureOnlySchedule(t *testing.T) {
+	// An empty wheel with overflow-only events exercises the jump path:
+	// the queue must leap to each epoch rather than crawl, and order by
+	// (time, seq) throughout.
+	e := NewEngine()
+	var got []float64
+	times := []float64{90000, 5000, 300000, 5000, 77777.5}
+	for _, at := range times {
+		e.At(at, func(now float64) { got = append(got, now) })
+	}
+	e.Run()
+	want := []float64{5000, 5000, 77777.5, 90000, 300000}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fired at %v, want %v", got, want)
+	}
+}
+
+func TestArgHandlerCarriesArgument(t *testing.T) {
+	e := NewEngine()
+	var got []uint64
+	h := func(now float64, arg uint64) { got = append(got, arg) }
+	e.AtArg(10, h, 7)
+	e.AtArg(5, h, 3)
+	e.AfterArg(-1, h, 9) // negative clamps to now (0)
+	e.Run()
+	if want := []uint64{9, 3, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("args = %v, want %v", got, want)
+	}
+}
+
+func TestHeapEngineMatchesExistingContract(t *testing.T) {
+	// The reference engine honors the same clamp and tie-break rules, so
+	// the differential test compares like with like.
+	e := newHeapEngine()
+	var got []string
+	e.At(10, func(now float64) {
+		e.At(0, func(now float64) { got = append(got, "late") })
+	})
+	e.At(10, func(now float64) { got = append(got, "peer") })
+	e.Run()
+	if want := []string{"peer", "late"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}

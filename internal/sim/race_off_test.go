@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; timing
+// assertions skip under it (instrumentation overhead differs per queue).
+const raceEnabled = false

@@ -10,57 +10,84 @@
 // The engine is deliberately single-threaded: handlers run one at a
 // time, in order, on the caller's goroutine. Determinism comes from the
 // total order, not from locking; concurrency belongs one level up
-// (benchall runs whole experiments in parallel, each on its own engine).
+// (benchall runs whole experiments in parallel, each on its own engine,
+// and Sweep fans a grid of independent runs across workers).
+//
+// Internally the queue is a calendar queue (calqueue.go): a fixed wheel
+// of time buckets for the near future plus an overflow heap for events
+// beyond the horizon. For the clustered-in-time schedules serving
+// workloads produce, push and pop are amortized O(1) instead of the
+// O(log n) of a single binary heap, and neither path allocates in steady
+// state. The seed's container/heap queue is kept as a reference
+// implementation (refheap.go) for differential tests and benchmarks.
 package sim
-
-import "container/heap"
 
 // Handler is an event callback. now is the event's firing time on the
 // logical clock (always >= every previously fired event's time).
 type Handler func(now float64)
 
-// event is one scheduled callback.
+// ArgHandler is an event callback that also receives the uint64 argument
+// it was scheduled with. It exists so long-lived processes (a serving
+// instance, an arrival pump) can bind ONE closure at construction time
+// and schedule it many times with per-event data in arg — the schedule
+// path then allocates nothing, where a fresh closure per event would
+// allocate every time.
+type ArgHandler func(now float64, arg uint64)
+
+// event is one scheduled callback. Exactly one of fn and afn is set.
 type event struct {
 	time float64
 	seq  uint64
 	fn   Handler
+	afn  ArgHandler
+	arg  uint64
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// eventCmp orders events by (time, seq) — the engine's total order. seq
+// is unique, so the order is strict and any sort (stable or not) yields
+// the same permutation.
+func eventCmp(a, b event) int {
+	if a.time != b.time {
+		if a.time < b.time {
+			return -1
+		}
+		return 1
 	}
-	return h[i].seq < h[j].seq
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// eventQueue is the priority-queue contract both implementations
+// satisfy: pop returns events in (time, seq) order.
+type eventQueue interface {
+	push(e event)
+	pop() (event, bool)
+	size() int
 }
 
 // Engine is the discrete-event loop. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	queue eventHeap
+	queue eventQueue
 	seq   uint64
 	now   float64
 	// fired counts delivered events (visible for tests and reports).
 	fired uint64
 }
 
-// NewEngine returns an empty engine at time zero.
+// NewEngine returns an empty engine at time zero, backed by the calendar
+// queue.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{queue: newCalQueue()}
+}
+
+// newHeapEngine returns an engine backed by the seed's container/heap
+// queue. It is the reference implementation the differential tests and
+// the BENCH_sim baseline run against; production callers use NewEngine.
+func newHeapEngine() *Engine {
+	return &Engine{queue: &heapQueue{}}
 }
 
 // Now is the current logical time in milliseconds: the firing time of
@@ -68,7 +95,7 @@ func NewEngine() *Engine {
 func (e *Engine) Now() float64 { return e.now }
 
 // Pending reports how many events are scheduled and not yet fired.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.size() }
 
 // Fired reports how many events have been delivered.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -80,7 +107,7 @@ func (e *Engine) At(t float64, fn Handler) {
 	if t < e.now {
 		t = e.now
 	}
-	heap.Push(&e.queue, event{time: t, seq: e.seq, fn: fn})
+	e.queue.push(event{time: t, seq: e.seq, fn: fn})
 	e.seq++
 }
 
@@ -89,23 +116,44 @@ func (e *Engine) After(d float64, fn Handler) {
 	e.At(e.now+d, fn)
 }
 
+// AtArg schedules fn at absolute time t with a caller-chosen argument,
+// under the same clamping and (time, seq) ordering as At. Reusing one
+// ArgHandler across many AtArg calls keeps the schedule path
+// allocation-free.
+func (e *Engine) AtArg(t float64, fn ArgHandler, arg uint64) {
+	if t < e.now {
+		t = e.now
+	}
+	e.queue.push(event{time: t, seq: e.seq, afn: fn, arg: arg})
+	e.seq++
+}
+
+// AfterArg schedules fn d milliseconds from Now with an argument.
+// Negative d clamps to zero.
+func (e *Engine) AfterArg(d float64, fn ArgHandler, arg uint64) {
+	e.AtArg(e.now+d, fn, arg)
+}
+
 // Run fires events in (time, seq) order until the queue is empty.
 // Handlers may schedule further events.
 func (e *Engine) Run() {
-	for len(e.queue) > 0 {
-		e.Step()
+	for e.Step() {
 	}
 }
 
 // Step fires the single next event, reporting false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev, ok := e.queue.pop()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
 	e.now = ev.time
 	e.fired++
-	ev.fn(ev.time)
+	if ev.afn != nil {
+		ev.afn(ev.time, ev.arg)
+	} else {
+		ev.fn(ev.time)
+	}
 	return true
 }

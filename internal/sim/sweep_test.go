@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testGrid() Grid {
+	return Grid{Dims: []Dim{
+		{Name: "policy", Values: []string{"rr", "cache", "breaker"}},
+		{Name: "faults", Values: []string{"none", "severe"}},
+		{Name: "load", Values: []string{"30", "60", "120", "240"}},
+	}}
+}
+
+func TestGridCellsAndCoords(t *testing.T) {
+	g := testGrid()
+	if g.Cells() != 24 {
+		t.Fatalf("Cells = %d, want 24", g.Cells())
+	}
+	// Cell 0 is the first value of every dim; the last dim varies fastest.
+	if got := g.Coords(0); !reflect.DeepEqual(got, []int{0, 0, 0}) {
+		t.Errorf("Coords(0) = %v", got)
+	}
+	if got := g.Coords(1); !reflect.DeepEqual(got, []int{0, 0, 1}) {
+		t.Errorf("Coords(1) = %v", got)
+	}
+	if got := g.Coords(4); !reflect.DeepEqual(got, []int{0, 1, 0}) {
+		t.Errorf("Coords(4) = %v", got)
+	}
+	if got := g.Coords(23); !reflect.DeepEqual(got, []int{2, 1, 3}) {
+		t.Errorf("Coords(23) = %v", got)
+	}
+	if got := g.Label(5); got != "policy=rr faults=severe load=60" {
+		t.Errorf("Label(5) = %q", got)
+	}
+	if got := g.Value(1, 5); got != "severe" {
+		t.Errorf("Value(1, 5) = %q", got)
+	}
+	if (Grid{}).Cells() != 1 {
+		t.Error("empty grid should have one cell")
+	}
+	empty := Grid{Dims: []Dim{{Name: "x"}}}
+	if empty.Cells() != 0 || Sweep(empty, 4, func(int, []int) int { return 1 }) != nil {
+		t.Error("grid with an empty dimension should sweep zero cells")
+	}
+}
+
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	// Each cell runs its own engine program; the per-cell output must be
+	// identical at every worker count — the sweep analogue of the
+	// benchall serial-vs-parallel golden gate.
+	g := testGrid()
+	run := func(workers int) []string {
+		return Sweep(g, workers, func(cell int, coords []int) string {
+			e := NewEngine()
+			total := 0.0
+			var h ArgHandler
+			h = func(now float64, arg uint64) {
+				total += now
+				if arg > 0 {
+					e.AfterArg(float64(cell%7)+0.5, h, arg-1)
+				}
+			}
+			e.AfterArg(float64(coords[2]), h, uint64(20+cell))
+			e.Run()
+			return fmt.Sprintf("%s fired=%d sum=%.3f", g.Label(cell), e.Fired(), total)
+		})
+	}
+	serial := run(1)
+	if len(serial) != g.Cells() {
+		t.Fatalf("got %d results, want %d", len(serial), g.Cells())
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d diverged from serial", workers)
+		}
+	}
+}

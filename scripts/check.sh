@@ -71,7 +71,23 @@ diff /tmp/dataai_trace_serial.json /tmp/dataai_trace_par.json
 # envelope and carries events (full JSON validity is pinned by the unit
 # tests in internal/obs and cmd/benchall).
 head -c 16 /tmp/dataai_trace_serial.json | grep -q '{"traceEvents"'
-rm -f /tmp/dataai_servesim /tmp/dataai_trace_serial.json /tmp/dataai_trace_par.json
+rm -f /tmp/dataai_trace_serial.json /tmp/dataai_trace_par.json
+
+echo "== sim engine smoke (calendar queue beats the reference heap)"
+# A 10^5-event clustered program timed against the container/heap
+# reference queue; the calendar queue must come out ahead (the full 2x
+# acceptance ratio at 10^6 events is recorded in BENCH_sim.json). Skips
+# itself under -race, so run it without the detector here.
+go test -short -run 'TestCalendarOutperformsHeap' -count=1 ./internal/sim
+
+echo "== servesim sweep (grid runner, serial vs parallel-8 byte-identical)"
+# The sim.Sweep grid runner from the CLI: 27 router x faults x load
+# cells, each on its own engine. Serial and 8-worker runs must print the
+# same bytes — the sweep analogue of the benchall golden gate.
+/tmp/dataai_servesim -sweep -n 120 > /tmp/dataai_sweep_serial.txt
+/tmp/dataai_servesim -sweep -n 120 -parallel 8 > /tmp/dataai_sweep_par.txt
+diff /tmp/dataai_sweep_serial.txt /tmp/dataai_sweep_par.txt
+rm -f /tmp/dataai_servesim /tmp/dataai_sweep_serial.txt /tmp/dataai_sweep_par.txt
 
 echo "== bench smoke (every Par benchmark runs once)"
 go test -run '^$' -bench=Par -benchtime=1x ./...
