@@ -46,9 +46,10 @@ func BenchmarkE15KVDecode(b *testing.B)  { benchExperiment(b, "E15") }
 func BenchmarkE16VecDB(b *testing.B)     { benchExperiment(b, "E16") }
 func BenchmarkE17Flywheel(b *testing.B)  { benchExperiment(b, "E17") }
 
-func BenchmarkE18Parallel3D(b *testing.B)   { benchExperiment(b, "E18") }
-func BenchmarkE19Prompting(b *testing.B)    { benchExperiment(b, "E19") }
-func BenchmarkE20Rewrite(b *testing.B)      { benchExperiment(b, "E20") }
-func BenchmarkE21Routing(b *testing.B)      { benchExperiment(b, "E21") }
-func BenchmarkE22Resilience(b *testing.B)   { benchExperiment(b, "E22") }
-func BenchmarkE23FaultRouting(b *testing.B) { benchExperiment(b, "E23") }
+func BenchmarkE18Parallel3D(b *testing.B)    { benchExperiment(b, "E18") }
+func BenchmarkE19Prompting(b *testing.B)     { benchExperiment(b, "E19") }
+func BenchmarkE20Rewrite(b *testing.B)       { benchExperiment(b, "E20") }
+func BenchmarkE21Routing(b *testing.B)       { benchExperiment(b, "E21") }
+func BenchmarkE22Resilience(b *testing.B)    { benchExperiment(b, "E22") }
+func BenchmarkE23FaultRouting(b *testing.B)  { benchExperiment(b, "E23") }
+func BenchmarkE24CrashRecovery(b *testing.B) { benchExperiment(b, "E24") }

@@ -9,7 +9,16 @@
 //	servesim -policy static -batch 16
 //	servesim -policy routed -instances 4 -router breaker-aware -faults severe
 //	servesim -policy routed -faults severe -trace out.json -parallel 8
+//	servesim -policy routed -faults severe -domains 4 -ckpt-every 8 -migrate
 //	servesim -sweep -parallel 8
+//
+// The recovery flags drive the crash-survivable serving stack: -domains R
+// overlays correlated fault domains (racks of R instances crash together,
+// with a post-crash overload cascade on survivors) on the chosen fault
+// plan, -ckpt-every K checkpoints decode state every K mixed iterations so
+// crash-rerouted sequences resume from the host-side store instead of
+// re-prefilling from token zero, and -migrate turns on the periodic live
+// migration scan that drains long sequences off distressed instances.
 //
 // -trace writes the run's request timeline as Chrome trace-event JSON
 // (load it at https://ui.perfetto.dev). The trace is checked against the
@@ -57,6 +66,9 @@ func main() {
 	router := flag.String("router", "round-robin", "routed: round-robin | cache-aware | breaker-aware")
 	faultsArg := flag.String("faults", "none", "routed: cluster fault plan (none | medium | severe)")
 	faultSeed := flag.Uint64("fault-seed", 7, "routed: fault plan seed")
+	domains := flag.Int("domains", 0, "routed: rack size for correlated fault domains (0 = independent draws)")
+	migrate := flag.Bool("migrate", false, "routed: enable live session migration off distressed instances")
+	ckptEvery := flag.Int("ckpt-every", 0, "routed: checkpoint decode state every K mixed iterations (0 = off)")
 	ttftSLO := flag.Float64("slo-ttft", 1000, "TTFT SLO (ms)")
 	tbtSLO := flag.Float64("slo-tbt", 12, "TBT SLO (ms)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
@@ -120,8 +132,15 @@ func main() {
 			default:
 				return nil, nil, fmt.Errorf("unknown fault plan %q", *faultsArg)
 			}
-			routed, err := serving.RunRoutedFaults(gpu, reqs, *instances, pol,
-				serving.ContinuousOpts{ChunkTokens: *chunk, Trace: tr}, plan)
+			if *domains > 0 {
+				if plan == nil {
+					return nil, nil, fmt.Errorf("-domains needs a fault plan (-faults medium|severe)")
+				}
+				plan.Correlate(*domains)
+			}
+			rec := serving.RecoveryConfig{CkptEveryIters: *ckptEvery, Migrate: *migrate}
+			routed, err := serving.RunRoutedRecovery(gpu, reqs, *instances, pol,
+				serving.ContinuousOpts{ChunkTokens: *chunk, Trace: tr}, plan, rec)
 			if routed != nil {
 				return &routed.Report, routed, err
 			}
@@ -161,6 +180,11 @@ func main() {
 		t.AddRowf("prefix hits/misses", fmt.Sprintf("%d/%d", routed.PrefixHits, routed.PrefixMisses))
 		t.AddRowf("rerouted", routed.Rerouted)
 		t.AddRowf("crashes", routed.Crashes)
+		if *ckptEvery > 0 || *migrate {
+			t.AddRowf("wasted recompute (tok)", routed.WastedRecomputeTokens)
+			t.AddRowf("resumed from ckpt", routed.ResumedFromCkpt)
+			t.AddRowf("migrations", routed.Migrations)
+		}
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		log.Fatal(err)

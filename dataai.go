@@ -340,6 +340,11 @@ type (
 	RouterPolicy     = serving.RouterPolicy
 	RoutedReport     = serving.RoutedReport
 	ServingFaultPlan = serving.FaultPlan
+	// RecoveryConfig turns on the crash-survivable stack for routed
+	// runs: periodic decode-state checkpoints, live session migration,
+	// and tiered (GPU+CPU) prefix caches.
+	RecoveryConfig    = serving.RecoveryConfig
+	PrefixCacheConfig = serving.PrefixCacheConfig
 )
 
 // Routing policies for multi-instance serving.
@@ -357,10 +362,16 @@ var (
 	RunDisaggregated  = serving.RunDisaggregated
 	RunRouted         = serving.RunRouted
 	RunRoutedFaults   = serving.RunRoutedFaults
-	MediumFaultPlan   = serving.MediumFaultPlan
-	SevereFaultPlan   = serving.SevereFaultPlan
-	GenerateTrace     = workload.Generate
-	DefaultTrace      = workload.DefaultTrace
+	// RunRoutedRecovery is RunRoutedFaults plus a RecoveryConfig; the
+	// zero config reproduces RunRoutedFaults exactly.
+	RunRoutedRecovery    = serving.RunRoutedRecovery
+	MediumFaultPlan      = serving.MediumFaultPlan
+	SevereFaultPlan      = serving.SevereFaultPlan
+	CorrelatedFaultPlan  = serving.CorrelatedFaultPlan
+	CascadeFaultPlan     = serving.CascadeFaultPlan
+	NewTieredPrefixCache = serving.NewTieredPrefixCache
+	GenerateTrace        = workload.Generate
+	DefaultTrace         = workload.DefaultTrace
 )
 
 // Observability: logical-clock spans, a counter/gauge registry, and

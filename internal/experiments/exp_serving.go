@@ -6,6 +6,7 @@ import (
 	"dataai/internal/metrics"
 	"dataai/internal/obs"
 	"dataai/internal/serving"
+	"dataai/internal/sim"
 	"dataai/internal/workload"
 )
 
@@ -17,6 +18,7 @@ func init() {
 	register("E15", "KV cache vs per-step recomputation (§2.3.2)", runE15)
 	register("E21", "KV-cache-aware request routing (Mooncake, §2.3.2)", runE21)
 	registerX("E23", "Routing policies under cluster fault plans (§2.3.2)", runE23)
+	registerX("E24", "Crash recovery: checkpoints, migration, correlated faults (§2.3.2)", runE24)
 }
 
 func runE11() (*metrics.Table, error) {
@@ -276,6 +278,141 @@ func runE23() (*Output, error) {
 		_, byPhase := obs.PhaseBreakdown(tr)
 		cells := []interface{}{pol.String()}
 		for _, phase := range []string{"queue", "prefill", "decode", "reroute"} {
+			s := byPhase[phase]
+			if s == nil {
+				s = &metrics.Summary{}
+			}
+			cells = append(cells, s.Mean(), s.P99())
+		}
+		bt.AddRowf(cells...)
+		lastTrace = tr
+	}
+	return &Output{Tables: []*metrics.Table{t, bt}, Trace: lastTrace}, nil
+}
+
+// e24Grid is the E24 recovery-policy × fault-plan product. The sweep
+// reads cells by dimension name (ValueNamed), so the axes can be
+// reordered without silently misreading a cell.
+func e24Grid() sim.Grid {
+	return sim.Grid{Dims: []sim.Dim{
+		{Name: "faults", Values: []string{"independent", "rack", "cascade"}},
+		{Name: "recovery", Values: []string{"reroute-only", "checkpoint", "ckpt+migrate"}},
+	}}
+}
+
+// e24Plan maps a fault-plan cell value to its plan: "independent" is the
+// E23 severe plan (per-instance draws), "rack" adds correlated
+// rack-crash draws (8 instances in racks of 4 — one draw can take out
+// half the cluster), "cascade" additionally slows the survivors in
+// proportion to how many instances are down.
+func e24Plan(name string) *serving.FaultPlan {
+	switch name {
+	case "independent":
+		return serving.SevereFaultPlan(2403)
+	case "rack":
+		return serving.CorrelatedFaultPlan(2403, 4)
+	default:
+		return serving.CascadeFaultPlan(2403, 4)
+	}
+}
+
+// e24Recovery maps a recovery-policy cell value to its config. Every arm
+// shares the same tiered prefix cache, so the goodput and wasted-token
+// gaps isolate checkpointing and migration rather than cache geometry.
+func e24Recovery(name string) serving.RecoveryConfig {
+	rec := serving.RecoveryConfig{PrefixGPUTokens: 1024, PrefixCPUTokens: 8192}
+	switch name {
+	case "checkpoint":
+		rec.CkptEveryIters = 8
+	case "ckpt+migrate":
+		rec.CkptEveryIters = 8
+		rec.Migrate = true
+		rec.HotLoadFactor = 3
+		rec.MigrateMinTokens = 128
+	}
+	return rec
+}
+
+// e24Workload is the shared request trace: 600 requests at 80/s against
+// 8 instances, with shared prefixes so the tiered prefix cache has
+// something to demote and re-promote across crashes.
+func e24Workload() ([]workload.Request, error) {
+	cfg := workload.DefaultTrace(2401, 900, 75)
+	cfg.SharedPrefixes = 8
+	cfg.SharedPrefixTokens = 192
+	cfg.SharedPrefixProb = 0.6
+	return workload.Generate(cfg)
+}
+
+func runE24() (*Output, error) { return runE24Workers(3) }
+
+// runE24Workers runs the E24 grid on the given number of sweep workers.
+// The rendered output is identical at every worker count — sim.Sweep
+// commits each cell into its own slot — which the worker-invariance
+// test pins.
+func runE24Workers(workers int) (*Output, error) {
+	gpu := serving.DefaultGPU()
+	reqs, err := e24Workload()
+	if err != nil {
+		return nil, err
+	}
+	const ttftSLO, tbtSLO = 1500, 25
+	grid := e24Grid()
+	type cellOut struct {
+		rep *serving.RoutedReport
+		err error
+	}
+	cells := sim.Sweep(grid, workers, func(cell int, coords []int) cellOut {
+		rep, err := serving.RunRoutedRecovery(gpu, reqs, 8, serving.BreakerAware,
+			serving.ContinuousOpts{ChunkTokens: 256},
+			e24Plan(grid.ValueNamed("faults", cell)),
+			e24Recovery(grid.ValueNamed("recovery", cell)))
+		return cellOut{rep, err}
+	})
+	t := metrics.NewTable(
+		fmt.Sprintf("E24: crash recovery (8 instances, racks of 4, 900 reqs @ 75/s, SLO TTFT<=%.0fms TBT<=%.0fms)",
+			float64(ttftSLO), float64(tbtSLO)),
+		"faults", "recovery", "goodput", "wasted tok", "p99 TTFT (ms)", "recovery p50 (ms)",
+		"resumed", "migrations", "demotions", "crashes")
+	for cell, co := range cells {
+		if co.err != nil {
+			return nil, co.err
+		}
+		rep := co.rep
+		t.AddRowf(grid.ValueNamed("faults", cell), grid.ValueNamed("recovery", cell),
+			rep.Goodput(ttftSLO, tbtSLO), rep.WastedRecomputeTokens,
+			rep.TTFT.P99(), rep.RecoveryMS.P50(),
+			rep.ResumedFromCkpt, rep.Migrations, rep.PrefixDemotions, rep.Crashes)
+	}
+
+	// Where does recovery time go under the cascade plan? Re-run each arm
+	// traced (tracing is observer-only) and fold the request spans into
+	// per-phase summaries. The migrate column only fills in for the
+	// ckpt+migrate arm; reroute is the crash tax checkpoints shrink.
+	bt := metrics.NewTable("E24 time breakdown under the cascade plan (per-request phase ms)",
+		"recovery", "queue mean", "prefill mean", "decode mean",
+		"reroute mean", "reroute p99", "migrate mean", "migrate p99")
+	var lastTrace *obs.Tracer
+	for _, arm := range grid.Dims[1].Values {
+		tr := obs.NewTracer()
+		if _, err := serving.RunRoutedRecovery(gpu, reqs, 8, serving.BreakerAware,
+			serving.ContinuousOpts{ChunkTokens: 256, Trace: tr},
+			e24Plan("cascade"), e24Recovery(arm)); err != nil {
+			return nil, err
+		}
+		if err := tr.Check(); err != nil {
+			return nil, fmt.Errorf("E24 trace invariants (%s): %w", arm, err)
+		}
+		_, byPhase := obs.PhaseBreakdown(tr)
+		cells := []interface{}{arm}
+		for _, phase := range []string{"queue", "prefill", "decode"} {
+			s := byPhase[phase]
+			if s == nil {
+				s = &metrics.Summary{}
+			}
+			cells = append(cells, s.Mean())
+		}
+		for _, phase := range []string{"reroute", "migrate"} {
 			s := byPhase[phase]
 			if s == nil {
 				s = &metrics.Summary{}

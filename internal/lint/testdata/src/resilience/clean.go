@@ -112,6 +112,43 @@ func retry(maxRetries int, key string, seed uint64, fn func(int) error) (float64
 
 var errRetryable = errors.New("retryable")
 
+// domainCrash mirrors the correlated fault plan: the instance's
+// independent draw fires first, then its rack's — both pure functions
+// of (seed, domain, window), so one rack draw takes every member down
+// in the same window without any cross-instance communication.
+func domainCrash(seed uint64, instance, rackSize, window int, pInst, pRack float64) bool {
+	if jitter(fmt.Sprintf("crash\x00%d", instance), window, seed) < pInst {
+		return true
+	}
+	if rackSize <= 0 {
+		return false
+	}
+	return jitter(fmt.Sprintf("rack\x00%d", instance/rackSize), window, seed) < pRack
+}
+
+// recoveryTally accumulates crash-to-resume latency with the zero-guard
+// discipline: the exact comparison is against constant zero only.
+type recoveryTally struct {
+	sumMS   float64
+	samples int
+}
+
+func (t *recoveryTally) add(droppedAtMS, resumedAtMS float64) {
+	d := resumedAtMS - droppedAtMS
+	if d == 0 {
+		return
+	}
+	t.sumMS += d
+	t.samples++
+}
+
+func (t *recoveryTally) meanMS() float64 {
+	if t.samples == 0 {
+		return 0
+	}
+	return t.sumMS / float64(t.samples)
+}
+
 // statsByKind renders a tally map in sorted key order — the maporder
 // discipline for anything that reaches output.
 func statsByKind(counts map[string]int64) string {

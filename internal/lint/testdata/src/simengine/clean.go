@@ -196,3 +196,67 @@ func (q *calQueue) drainBucket(fire func(event)) {
 	q.cursor = (q.cursor + 1) & calMask
 	q.base += calWidth
 }
+
+// --- checkpoint/migration distillation (the serving recovery stack) ---
+
+// ckptLedger mirrors the host-side checkpoint store: covered context
+// per sequence, with save returning only the newly covered delta so the
+// write cost charged to the sim clock is incremental, never the full
+// context again.
+type ckptLedger struct {
+	covered map[string]int
+	writes  int
+}
+
+func (l *ckptLedger) save(id string, ctx int) int {
+	if l.covered == nil {
+		l.covered = map[string]int{}
+	}
+	prev := l.covered[id]
+	if ctx <= prev {
+		return 0
+	}
+	l.covered[id] = ctx
+	l.writes++
+	return ctx - prev
+}
+
+// resumeCover is what a crash-rerouted sequence may skip re-prefilling:
+// the checkpointed context, capped at the context that actually exists.
+func resumeCover(l *ckptLedger, id string, total int) int {
+	c := l.covered[id]
+	if c > total {
+		c = total
+	}
+	return c
+}
+
+// session is a migratable decode in flight.
+type session struct {
+	id   int
+	load int
+}
+
+// pickMigration selects the victim deterministically: the session with
+// the most remaining work, smallest id on ties — never map order, never
+// a random choice.
+func pickMigration(running []session, minLoad int) (session, bool) {
+	var v session
+	found := false
+	for _, s := range running {
+		if s.load < minLoad {
+			continue
+		}
+		if !found || s.load > v.load || (s.load == v.load && s.id < v.id) {
+			v, found = s, true
+		}
+	}
+	return v, found
+}
+
+// shipAt schedules a migrated session's arrival after a
+// bandwidth-charged delay on the logical clock: tokens × ms/token,
+// never wall time.
+func shipAt(e *engine, now float64, tokens int, msPerToken float64, deliver func(now float64)) {
+	e.at(now+float64(tokens)*msPerToken, deliver)
+}

@@ -31,6 +31,11 @@ var terminalReasons = map[string]bool{"finish": true, "reject": true, "drop": tr
 //   - every request-root span (cat "request", no parent) terminates with
 //     a terminal reason — a crashed request's chain must still end in
 //     finish, reject, or drop, never dangle;
+//   - lifecycle phases under one request root never overlap: a sequence
+//     is resident in one place at a time, so a migrated or re-routed
+//     session's spans on its source and destination instances must
+//     abut, never coincide (double residency would mean the same GPU
+//     state was live in two places);
 //   - no "<x>/kv_used_blocks" gauge ever exceeds the final value of its
 //     "<x>/kv_capacity_blocks" gauge.
 //
@@ -47,6 +52,7 @@ func (t *Tracer) Check() error {
 		byID[s.ID] = s
 	}
 	gpuTop := map[string][]Span{}
+	reqKids := map[uint64][]Span{}
 	for _, s := range spans {
 		if !s.Closed {
 			return errf("span %d (%s %q on %s) never ended", s.ID, s.Cat, s.Name, s.Track)
@@ -73,6 +79,9 @@ func (t *Tracer) Check() error {
 		if s.Cat == CatGPU && s.Parent == 0 {
 			gpuTop[s.Track] = append(gpuTop[s.Track], s)
 		}
+		if s.Cat == CatRequest && s.Parent != 0 {
+			reqKids[s.Parent] = append(reqKids[s.Parent], s)
+		}
 		if s.Cat == CatRequest && s.Parent == 0 && !terminalReasons[s.Reason] {
 			return errf("request span %d (%q on %s) ends with non-terminal reason %q",
 				s.ID, s.Name, s.Track, s.Reason)
@@ -96,6 +105,28 @@ func (t *Tracer) Check() error {
 			if ss[i].StartMS < ss[i-1].EndMS {
 				return errf("track %s: span %d (%q) starting %.3f overlaps span %d (%q) ending %.3f",
 					track, ss[i].ID, ss[i].Name, ss[i].StartMS,
+					ss[i-1].ID, ss[i-1].Name, ss[i-1].EndMS)
+			}
+		}
+	}
+
+	roots := make([]uint64, 0, len(reqKids))
+	for id := range reqKids {
+		roots = append(roots, id)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, id := range roots {
+		ss := reqKids[id]
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].StartMS != ss[j].StartMS {
+				return ss[i].StartMS < ss[j].StartMS
+			}
+			return ss[i].StartSeq < ss[j].StartSeq
+		})
+		for i := 1; i < len(ss); i++ {
+			if ss[i].StartMS < ss[i-1].EndMS {
+				return errf("request root %d: phase %d (%q) starting %.3f overlaps phase %d (%q) ending %.3f — sequence resident in two places",
+					id, ss[i].ID, ss[i].Name, ss[i].StartMS,
 					ss[i-1].ID, ss[i-1].Name, ss[i-1].EndMS)
 			}
 		}

@@ -253,6 +253,19 @@ func TestCheckViolations(t *testing.T) {
 			tr.End(10, root) // no terminal reason
 			return tr
 		}, "non-terminal reason"},
+		{"double residency", func() *Tracer {
+			// A migrated session whose source-instance decode phase is
+			// still open when the destination's starts: the same GPU
+			// state live in two places.
+			tr := NewTracer()
+			root := tr.Begin(0, "req/a", CatRequest, "request", 0)
+			d := tr.Begin(0, "req/a", CatRequest, "decode", root)
+			m := tr.Begin(5, "req/a", CatRequest, "migrate", root)
+			tr.End(8, d)
+			tr.End(9, m)
+			tr.EndReason(10, root, "finish")
+			return tr
+		}, "resident in two places"},
 		{"kv over capacity", func() *Tracer {
 			tr := NewTracer()
 			tr.Registry().Gauge("gpu0/kv_capacity_blocks").Set(0, 10)
@@ -270,6 +283,27 @@ func TestCheckViolations(t *testing.T) {
 				t.Errorf("Check = %q, want mention of %q", err, tc.want)
 			}
 		})
+	}
+}
+
+func TestCheckAllowsAbuttingMigratedPhases(t *testing.T) {
+	// A live migration hands the session off: decode ends on the donor
+	// exactly when the migrate hop starts, which ends exactly when the
+	// receiver's queue phase starts. Abutting is legal; only overlap is
+	// double residency.
+	tr := NewTracer()
+	root := tr.Begin(0, "req/m", CatRequest, "request", 0)
+	d := tr.Begin(0, "req/m", CatRequest, "decode", root)
+	tr.End(5, d)
+	m := tr.Begin(5, "req/m", CatRequest, "migrate", root)
+	tr.End(9, m)
+	q := tr.Begin(9, "req/m", CatRequest, "queue", root)
+	tr.End(10, q)
+	d2 := tr.Begin(10, "req/m", CatRequest, "decode", root)
+	tr.End(14, d2)
+	tr.EndReason(14, root, "finish")
+	if err := tr.Check(); err != nil {
+		t.Fatalf("abutting migrated phases failed Check: %v", err)
 	}
 }
 

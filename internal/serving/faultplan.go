@@ -26,6 +26,10 @@ import (
 //     GPU is alive but slow (thermal throttling, a noisy neighbour).
 //   - KV-transfer failures (disagg path): a transfer draw can lose a
 //     prefill→decode shipment, which is retried at full transfer cost.
+//
+// A plan may additionally carry a failure *topology* (RackSize /
+// RacksPerZone): crash draws then correlate within a rack or zone, and
+// OverloadAlpha adds a post-crash cascade that slows the survivors.
 type FaultPlan struct {
 	// Seed drives every draw.
 	Seed uint64
@@ -49,6 +53,26 @@ type FaultPlan struct {
 	// TransferFailProb is the per-attempt probability a disagg KV
 	// transfer is lost and must be resent.
 	TransferFailProb float64
+
+	// RackSize > 0 overlays a failure topology: instances are grouped
+	// into racks of RackSize consecutive indexes, and a per-(rack,
+	// window) draw of RackCrashProb crashes the whole rack at once —
+	// the correlated-domain regime where recovery policies separate
+	// hardest. 0 keeps every draw independent.
+	RackSize int
+	// RacksPerZone > 0 adds a second correlation level: racks are
+	// grouped into zones, and a per-(zone, window) draw of
+	// ZoneCrashProb takes the whole zone down (a power or network
+	// domain failure).
+	RacksPerZone  int
+	RackCrashProb float64
+	ZoneCrashProb float64
+	// OverloadAlpha > 0 models the post-crash cascade: while d of the
+	// cluster's n instances are down, every survivor's iteration cost is
+	// scaled by 1 + OverloadAlpha·d/(n−d) — the rerouted load makes the
+	// remaining GPUs effectively slower, which is when checkpointed
+	// recovery and migration matter most.
+	OverloadAlpha float64
 }
 
 // MediumFaultPlan returns a plan with noticeable but survivable cluster
@@ -64,6 +88,32 @@ func SevereFaultPlan(seed uint64) *FaultPlan {
 		Seed: seed, CrashProb: 0.15, CrashDownMS: 2500,
 		StragglerProb: 0.25, StragglerFactor: 3, TransferFailProb: 0.08,
 	}
+}
+
+// CorrelatedFaultPlan returns a topology-aware plan: moderate
+// independent crash/straggler pressure plus per-(rack, window) draws
+// that take whole racks of rackSize instances down together —
+// correlated failure domains, per the ROADMAP's fault-plan realism
+// item. A rack draw firing is far more damaging than the same number
+// of independent crashes: every sequence in the rack loses its device
+// state in the same instant and the survivors absorb the whole rack's
+// load at once.
+func CorrelatedFaultPlan(seed uint64, rackSize int) *FaultPlan {
+	return &FaultPlan{
+		Seed: seed, CrashProb: 0.05, CrashDownMS: 2500,
+		StragglerProb: 0.25, StragglerFactor: 3, TransferFailProb: 0.02,
+		RackSize: rackSize, RackCrashProb: 0.25,
+	}
+}
+
+// CascadeFaultPlan is CorrelatedFaultPlan plus post-crash overload:
+// while a rack is down, survivors absorbing its rerouted load run
+// slower (OverloadAlpha), the cascading regime where checkpointed
+// recovery and live migration separate most from plain rerouting.
+func CascadeFaultPlan(seed uint64, rackSize int) *FaultPlan {
+	p := CorrelatedFaultPlan(seed, rackSize)
+	p.OverloadAlpha = 0.75
+	return p
 }
 
 func (p *FaultPlan) windowMS() float64 {
@@ -97,12 +147,55 @@ func (p *FaultPlan) stragglerFactor() float64 {
 	return 2.5
 }
 
-// crashAt reports whether instance crashes at the start of window w.
+// crashAt reports whether instance crashes at the start of window w:
+// its independent draw, then its rack's, then its zone's. The
+// independent draw fires first and uses the exact key it always did, so
+// plans without a topology keep byte-identical fault sequences.
 func (p *FaultPlan) crashAt(instance, w int) bool {
-	if p == nil || p.CrashProb <= 0 {
+	if p == nil {
 		return false
 	}
-	return faults.Uniform(p.Seed, faults.WindowKey("crash", instance, w)) < p.CrashProb
+	if p.CrashProb > 0 && faults.Uniform(p.Seed, faults.WindowKey("crash", instance, w)) < p.CrashProb {
+		return true
+	}
+	if p.RackSize <= 0 {
+		return false
+	}
+	rack := instance / p.RackSize
+	if p.RackCrashProb > 0 && faults.Uniform(p.Seed, faults.WindowKey("rackcrash", rack, w)) < p.RackCrashProb {
+		return true
+	}
+	if p.RacksPerZone > 0 && p.ZoneCrashProb > 0 &&
+		faults.Uniform(p.Seed, faults.WindowKey("zonecrash", rack/p.RacksPerZone, w)) < p.ZoneCrashProb {
+		return true
+	}
+	return false
+}
+
+// overloadFactor is the cascade multiplier applied to every surviving
+// instance's iteration cost while down of n instances are crashed
+// (1 = no cascade).
+func (p *FaultPlan) overloadFactor(down, n int) float64 {
+	if p == nil || p.OverloadAlpha <= 0 || down <= 0 || down >= n {
+		return 1
+	}
+	return 1 + p.OverloadAlpha*float64(down)/float64(n-down)
+}
+
+// Correlate overlays a rack topology on the plan: racks of rackSize
+// instances with a correlated per-(rack, window) crash draw and a
+// post-crash overload cascade on survivors. Fields already set are
+// respected; only zero ones receive defaults. It returns p for
+// chaining.
+func (p *FaultPlan) Correlate(rackSize int) *FaultPlan {
+	p.RackSize = rackSize
+	if p.RackCrashProb == 0 {
+		p.RackCrashProb = 0.05
+	}
+	if p.OverloadAlpha == 0 {
+		p.OverloadAlpha = 0.75
+	}
+	return p
 }
 
 // slowdownAt reports instance's cost multiplier during window w

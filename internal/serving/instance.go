@@ -41,6 +41,14 @@ type instance struct {
 	prefillQ seqRing
 	running  []*seqState
 
+	// load is the incrementally maintained sum of seqLoad over every
+	// sequence the instance owns (waiting + prefillQ + running). The
+	// router reads it on every routing decision, so recomputing it by
+	// scanning the queues is quadratic under backlog; instead every
+	// ownership change and every seqLoad-relevant field mutation adjusts
+	// it in place. queueLoadScan is the reference implementation.
+	load int
+
 	// busy is true while an iteration-end event is scheduled.
 	busy bool
 	// down is true inside a crash window (cluster fault plans only).
@@ -59,6 +67,14 @@ type instance struct {
 	pendCompleting                bool
 
 	preemptions int
+
+	// rec, when non-nil, is the routed cluster's shared crash-recovery
+	// state (host-side checkpoint store + accounting, ckpt.go); the
+	// cluster installs it after construction, so standalone runs keep
+	// nil and change nothing. sinceCkpt counts mixed iterations since
+	// the last checkpoint capture.
+	rec       *recovery
+	sinceCkpt int
 
 	// trace, when non-nil, records the instance's timeline (see
 	// trace.go); track is its span-track name, depthGauge its live
@@ -117,7 +133,13 @@ func seqLoad(s *seqState) int {
 
 // queueLoad is the router's live-load signal: tokens of outstanding work
 // across every sequence the instance currently owns, waiting included.
-func (in *instance) queueLoad() int {
+// It is O(1): the load field tracks the queueLoadScan sum exactly.
+func (in *instance) queueLoad() int { return in.load }
+
+// queueLoadScan recomputes queueLoad from scratch. It exists as the
+// reference the incremental counter is tested against; the hot path
+// never calls it.
+func (in *instance) queueLoadScan() int {
 	load := 0
 	for i := 0; i < in.waiting.Len(); i++ {
 		load += seqLoad(in.waiting.At(i))
@@ -140,6 +162,7 @@ func (in *instance) queueDepth() int { return in.waiting.Len() + in.active() }
 // loop jumping its clock to the next arrival and ingesting everything due.
 func (in *instance) arrive(now float64, s *seqState) {
 	in.waiting.PushBack(s)
+	in.load += seqLoad(s)
 	in.traceArrive(now, s)
 	in.kick()
 }
@@ -170,6 +193,8 @@ func (in *instance) admit(now float64, s *seqState) bool {
 	if in.gpu.MaxBatch > 0 && in.active() >= in.gpu.MaxBatch {
 		return false
 	}
+	resumed := 0     // checkpointed context tokens this admission restores
+	recomputed := 0  // previously computed tokens lost and re-prefilled here
 	if !s.admitted { // cache lookups happen once, not on re-admission
 		if in.opts.Prefix != nil {
 			s.saved = in.opts.Prefix.SavedTokens(s.req.PrefixID, s.req.PrefixTokens)
@@ -179,10 +204,34 @@ func (in *instance) admit(now float64, s *seqState) bool {
 				s.saved = hit
 			}
 		}
-		// generated > 0 only for crash-dropped sequences being
-		// re-admitted elsewhere: their emitted tokens' KV must be
-		// recomputed, exactly as after a preemption.
-		s.prefillLeft = s.req.PromptTokens - s.saved + s.generated
+		// generated > 0 only for crash-dropped or migrated sequences
+		// being re-admitted elsewhere: context KV not covered by a cache
+		// or checkpoint must be recomputed, exactly as after a
+		// preemption.
+		total := s.req.PromptTokens + s.generated
+		cover := s.saved
+		restore := 0
+		if in.rec != nil {
+			if ctx := in.rec.covered(s.req.ID); ctx > 0 {
+				if ctx > total {
+					ctx = total
+				}
+				if ctx > cover {
+					// Resume from the host-side checkpoint: the covered
+					// context ships back to the device, priced in
+					// prefill-token equivalents like every other
+					// transfer in the store.
+					cover = ctx
+					restore = int(float64(ctx) * in.rec.cfg.restoreMSPerToken() * in.gpu.PrefillTokensPerMS)
+					resumed = ctx
+				}
+			}
+		}
+		s.prefillLeft = total - cover + restore
+		recomputed = total - cover
+		if done := s.prefilled + s.generated; recomputed > done {
+			recomputed = done // never computed more than this: cap the waste
+		}
 		if in.trace != nil && s.saved > 0 {
 			in.trace.Registry().Counter(in.track+"/cache_saved_tokens").Add(now, float64(s.saved))
 		}
@@ -200,12 +249,30 @@ func (in *instance) admit(now float64, s *seqState) bool {
 	} else {
 		// Oracle reservation of the full eventual footprint.
 		need := s.req.PromptTokens - s.saved + s.req.OutputTokens
+		if resumed > 0 {
+			// Checkpoint-restored context replaces part of the prompt
+			// recompute: reserve what will actually be materialized.
+			need = s.prefillLeft + s.req.OutputTokens - s.generated
+		}
 		if !in.kv.Alloc(s.req.ID, need) {
 			return false
 		}
 	}
 	s.admitted = true
 	s.preempted = false
+	if in.rec != nil && (s.crashDropped || s.migrated) {
+		in.rec.wasted += recomputed
+		if s.crashDropped {
+			in.rec.recoveryMS.Add(now - s.droppedAtMS)
+		}
+		if resumed > 0 {
+			in.rec.resumes++
+			if in.trace != nil {
+				in.trace.Registry().Counter("router/resume_from_checkpoint").Add(now, 1)
+			}
+		}
+	}
+	s.crashDropped, s.migrated = false, false
 	return true
 }
 
@@ -215,8 +282,10 @@ func (in *instance) admit(now float64, s *seqState) bool {
 // prompt plus everything it had generated.
 func (in *instance) preempt(now float64, v *seqState) {
 	in.kv.Free(v.req.ID)
+	before := seqLoad(v)
 	v.preempted = true
 	v.prefillLeft = v.req.PromptTokens - v.saved + v.generated
+	in.load += seqLoad(v) - before
 	in.waiting.PushFront(v)
 	in.preemptions++
 	if in.trace != nil {
@@ -227,6 +296,7 @@ func (in *instance) preempt(now float64, v *seqState) {
 
 func (in *instance) finish(now float64, s *seqState) {
 	in.kv.Free(s.req.ID)
+	in.rec.drop(s.req.ID) // reclaim any host-side checkpoint (nil-safe)
 	if in.opts.SessionCache != nil && s.req.Session != "" {
 		in.opts.SessionCache.Store(now, s.req.Session, s.req.PromptTokens+s.req.OutputTokens)
 	}
@@ -246,8 +316,17 @@ func (in *instance) step(now float64) {
 		in.busy = false
 		return
 	}
-	for in.waiting.Len() > 0 && in.admit(now, in.waiting.Front()) {
-		s := in.waiting.PopFront()
+	for in.waiting.Len() > 0 {
+		s := in.waiting.Front()
+		// admit mutates saved/prefillLeft even when the KV allocation
+		// fails, so the load delta applies on both outcomes.
+		before := seqLoad(s)
+		ok := in.admit(now, s)
+		in.load += seqLoad(s) - before
+		if !ok {
+			break
+		}
+		in.waiting.PopFront()
 		in.tracePhase(now, s, "prefill")
 		in.prefillQ.PushBack(s)
 	}
@@ -269,6 +348,29 @@ func (in *instance) step(now float64) {
 		return
 	}
 
+	// Periodic decode-state checkpoint: every CkptEveryIters mixed
+	// iterations, ship each running sequence's newly covered context
+	// tokens to the host-side store. The write cost rides this
+	// iteration; it is PCIe traffic, not GPU compute, so the straggler
+	// factor does not scale it (added after the slowdown below).
+	ckptMS := 0.0
+	if in.rec != nil && in.rec.cfg.CkptEveryIters > 0 && len(in.running) > 0 {
+		in.sinceCkpt++
+		if in.sinceCkpt >= in.rec.cfg.CkptEveryIters {
+			in.sinceCkpt = 0
+			delta := 0
+			for _, rs := range in.running {
+				delta += in.rec.save(rs.req.ID, rs.req.PromptTokens+rs.generated)
+			}
+			if delta > 0 {
+				ckptMS = float64(delta) * in.rec.cfg.ckptMSPerToken()
+				if in.trace != nil {
+					in.trace.Registry().Counter(in.track+"/ckpt_tokens").Add(now, float64(delta))
+				}
+			}
+		}
+	}
+
 	// One mixed iteration: an optional prefill chunk plus one decode
 	// step for every running sequence. Chunk bookkeeping applies now,
 	// as the historical loop did; decode effects at the iteration end.
@@ -284,6 +386,7 @@ func (in *instance) step(now float64) {
 		iterMS += in.gpu.prefillMS(chunk)
 		s.prefillLeft -= chunk
 		s.prefilled += chunk
+		in.load -= chunk
 		chunked = true
 		completing = s.prefillLeft == 0 // first token lands at iteration end
 	}
@@ -294,6 +397,7 @@ func (in *instance) step(now float64) {
 		iterMS = in.gpu.DecodeBaseMS // defensive: never stall the clock
 	}
 	iterMS *= in.slow
+	iterMS += ckptMS
 	iterName := "decode"
 	if chunked {
 		iterName = "prefill"
@@ -333,6 +437,7 @@ func (in *instance) onMixedEnd(end float64, epoch uint64) {
 // being recomputed, whose first token was already served.
 func (in *instance) endPrefill(now float64, s *seqState) {
 	in.prefillQ.PopFront()
+	before := seqLoad(s)
 	s.prefilled += s.prefillLeft
 	s.prefillLeft = 0
 	if s.generated == 0 {
@@ -341,8 +446,10 @@ func (in *instance) endPrefill(now float64, s *seqState) {
 	}
 	s.finishMS = now
 	if s.req.OutputTokens <= s.generated {
+		in.load -= before
 		in.finish(now, s)
 	} else {
+		in.load += seqLoad(s) - before
 		in.tracePhase(now, s, "decode")
 		in.running = append(in.running, s)
 	}
@@ -366,12 +473,15 @@ func (in *instance) endMixed(now float64, completing bool) {
 		if s.preempted {
 			continue
 		}
+		before := seqLoad(s)
 		s.generated++
 		s.finishMS = now
 		if s.generated >= s.req.OutputTokens {
+			in.load -= before
 			in.finish(now, s)
 			continue
 		}
+		in.load += seqLoad(s) - before
 		if in.opts.OnDemand {
 			ok := true
 			for !in.kv.Extend(s.req.ID, s.req.PromptTokens-s.saved+s.generated) {
@@ -402,14 +512,17 @@ func (in *instance) endMixed(now float64, completing bool) {
 	}
 	in.running = stillRunning
 	if comp != nil && !comp.preempted {
+		before := seqLoad(comp)
 		if comp.generated == 0 {
 			comp.generated = 1
 			comp.firstTokenMS = now
 		}
 		comp.finishMS = now
 		if comp.req.OutputTokens <= comp.generated {
+			in.load -= before
 			in.finish(now, comp)
 		} else {
+			in.load += seqLoad(comp) - before
 			in.tracePhase(now, comp, "decode")
 			in.running = append(in.running, comp)
 		}
@@ -438,12 +551,19 @@ func (in *instance) crash(now float64) {
 	for i := 0; i < in.prefillQ.Len(); i++ {
 		s := in.prefillQ.At(i)
 		in.kv.Free(s.req.ID)
+		// Admitted sequences held device state the crash destroyed; mark
+		// them so the next admission samples recovery latency and wasted
+		// recompute. Waiting sequences held nothing, so they reroute
+		// unmarked.
+		s.crashDropped, s.droppedAtMS = true, now
 		dropped = append(dropped, s)
 	}
 	for _, s := range in.running {
 		in.kv.Free(s.req.ID)
+		s.crashDropped, s.droppedAtMS = true, now
 		dropped = append(dropped, s)
 	}
+	in.sinceCkpt = 0
 	for i := 0; i < in.waiting.Len(); i++ {
 		dropped = append(dropped, in.waiting.At(i)) // never admitted: hold no KV
 	}
@@ -453,6 +573,7 @@ func (in *instance) crash(now float64) {
 		in.running[i] = nil
 	}
 	in.running = in.running[:0]
+	in.load = 0 // every owned sequence just left; resets below touch unowned seqs
 	if in.opts.Prefix != nil {
 		in.opts.Prefix.Invalidate()
 	}

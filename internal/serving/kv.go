@@ -160,52 +160,184 @@ func (p *PagedKV) PeakBlocks() int { return p.peak }
 // Capacity implements KVManager.
 func (p *PagedKV) Capacity() int { return p.cfg.KVBlocks }
 
+// prefixEntry is one cached prefix: its token span and a logical
+// recency stamp (the cache's lookup counter at last touch — never wall
+// time, so eviction order is a pure function of the lookup sequence).
+type prefixEntry struct {
+	tokens int
+	use    uint64
+}
+
+// PrefixCacheConfig sizes a two-tier prefix cache. The zero value means
+// unbounded single-tier — the legacy behavior of NewPrefixCache.
+type PrefixCacheConfig struct {
+	// GPUCapacityTokens bounds the device-resident tier (0 = unbounded).
+	GPUCapacityTokens int
+	// CPUCapacityTokens sizes the host tier that cold prefixes demote
+	// into instead of being evicted (0 = no host tier: demotion drops).
+	CPUCapacityTokens int
+	// TransferMSPerToken is the CPU→GPU fetch cost charged when a
+	// host-tier hit promotes back to the device.
+	TransferMSPerToken float64
+	// PrefillTokensPerMS converts residual fetch time into prefill-token
+	// equivalents, mirroring SessionStore's transfer pricing.
+	PrefillTokensPerMS float64
+}
+
 // PrefixCache tracks shared prompt prefixes whose KV is resident and
 // reusable across requests — Prompt Cache [22] / vLLM shared prefix /
 // TensorRT-LLM KV reuse [3]. A prefix is warmed by the first request
 // that computes it; later requests skip prefilling those tokens.
+//
+// With a PrefixCacheConfig the cache is two-tier: when the GPU tier
+// overflows, the coldest prefix is *demoted* to a CPU tier rather than
+// forgotten, a CPU hit promotes it back at a bandwidth-charged transfer
+// cost (netted against the saved prefill, like SessionStore), and the
+// CPU tier survives Invalidate — host memory outlives the crash that
+// wiped the device.
 type PrefixCache struct {
-	// tokensByPrefix maps prefix id -> cached token count.
-	tokensByPrefix map[string]int
-	hits, misses   int
+	cfg              PrefixCacheConfig
+	gpu              map[string]*prefixEntry
+	cpu              map[string]*prefixEntry
+	gpuUsed, cpuUsed int // resident tokens per tier
+	clock            uint64
+	hits, misses     int
+	cpuHits          int // hits served from the host tier (promotions)
+	demotions        int // prefixes pushed off the GPU tier by pressure
 }
 
-// NewPrefixCache returns an empty cache.
+// NewPrefixCache returns an empty unbounded single-tier cache.
 func NewPrefixCache() *PrefixCache {
-	return &PrefixCache{tokensByPrefix: make(map[string]int)}
+	return NewTieredPrefixCache(PrefixCacheConfig{})
 }
 
-// SavedTokens reports how many prompt tokens of r can be skipped, and
-// warms the cache with r's prefix when it misses.
+// NewTieredPrefixCache returns an empty cache with the given tier
+// geometry.
+func NewTieredPrefixCache(cfg PrefixCacheConfig) *PrefixCache {
+	return &PrefixCache{
+		cfg: cfg,
+		gpu: make(map[string]*prefixEntry),
+		cpu: make(map[string]*prefixEntry),
+	}
+}
+
+// SavedTokens reports how many prompt tokens of r can be skipped (net
+// of any promotion transfer), and warms the cache with r's prefix when
+// it misses.
 func (pc *PrefixCache) SavedTokens(prefixID string, prefixTokens int) int {
 	if pc == nil || prefixID == "" || prefixTokens <= 0 {
 		return 0
 	}
-	if cached, ok := pc.tokensByPrefix[prefixID]; ok {
+	pc.clock++
+	if e, ok := pc.gpu[prefixID]; ok {
 		pc.hits++
-		if cached < prefixTokens {
-			return cached
+		e.use = pc.clock
+		if e.tokens < prefixTokens {
+			return e.tokens
 		}
 		return prefixTokens
 	}
+	if e, ok := pc.cpu[prefixID]; ok {
+		// Host-tier hit: promote back to the device, netting the fetch
+		// cost (in prefill-token equivalents) against the saved span.
+		pc.hits++
+		pc.cpuHits++
+		e.use = pc.clock
+		usable := min(e.tokens, prefixTokens)
+		delete(pc.cpu, prefixID)
+		pc.cpuUsed -= e.tokens
+		pc.insertGPU(prefixID, e)
+		saved := usable - int(float64(usable)*pc.cfg.TransferMSPerToken*pc.cfg.PrefillTokensPerMS)
+		if saved < 0 {
+			saved = 0
+		}
+		return saved
+	}
 	pc.misses++
-	pc.tokensByPrefix[prefixID] = prefixTokens
+	pc.insertGPU(prefixID, &prefixEntry{tokens: prefixTokens, use: pc.clock})
 	return 0
 }
 
-// Stats reports hit/miss counts.
+// insertGPU places e on the device tier, demoting the coldest residents
+// until it fits. An entry larger than the whole tier is uncacheable.
+func (pc *PrefixCache) insertGPU(id string, e *prefixEntry) {
+	limit := pc.cfg.GPUCapacityTokens
+	if limit > 0 && e.tokens > limit {
+		return
+	}
+	pc.gpu[id] = e
+	pc.gpuUsed += e.tokens
+	if limit <= 0 {
+		return
+	}
+	for pc.gpuUsed > limit {
+		v := coldestPrefix(pc.gpu)
+		if v == "" {
+			return
+		}
+		pc.demote(v)
+	}
+}
+
+// demote moves a prefix off the GPU tier: into the host tier when one
+// is configured (evicting its own coldest entries to fit), gone
+// otherwise.
+func (pc *PrefixCache) demote(id string) {
+	e := pc.gpu[id]
+	delete(pc.gpu, id)
+	pc.gpuUsed -= e.tokens
+	pc.demotions++
+	if pc.cfg.CPUCapacityTokens <= 0 || e.tokens > pc.cfg.CPUCapacityTokens {
+		return
+	}
+	pc.cpu[id] = e
+	pc.cpuUsed += e.tokens
+	for pc.cpuUsed > pc.cfg.CPUCapacityTokens {
+		v := coldestPrefix(pc.cpu)
+		ev := pc.cpu[v]
+		delete(pc.cpu, v)
+		pc.cpuUsed -= ev.tokens
+	}
+}
+
+// coldestPrefix picks the eviction victim: minimum recency stamp,
+// smallest id on ties — a deterministic choice however the map
+// iterates. Recency stamps are unique (one lookup, one stamp), so the
+// tie-break is belt and braces.
+func coldestPrefix(m map[string]*prefixEntry) string {
+	vid := ""
+	var best uint64
+	for id, e := range m {
+		if vid == "" || e.use < best || (e.use == best && id < vid) {
+			vid, best = id, e.use
+		}
+	}
+	return vid
+}
+
+// Stats reports hit/miss counts (host-tier hits included in hits).
 func (pc *PrefixCache) Stats() (hits, misses int) {
 	return pc.hits, pc.misses
 }
 
-// Invalidate forgets every cached prefix — an instance crash takes its
-// GPU-resident prefix KV with it. Hit/miss counters survive: they count
-// lookups, not residency.
+// TierStats reports the two-tier traffic: hits served from the host
+// tier and prefixes demoted off the device tier. Both are zero for an
+// unbounded single-tier cache.
+func (pc *PrefixCache) TierStats() (cpuHits, demotions int) {
+	return pc.cpuHits, pc.demotions
+}
+
+// Invalidate forgets every GPU-resident prefix — an instance crash
+// takes the device KV with it. The CPU tier survives: host memory
+// outlives the GPU, which is exactly why demotion beats eviction under
+// a fault plan. Hit/miss counters survive too: they count lookups, not
+// residency.
 func (pc *PrefixCache) Invalidate() {
 	if pc == nil {
 		return
 	}
-	pc.tokensByPrefix = make(map[string]int)
+	pc.gpu = make(map[string]*prefixEntry)
+	pc.gpuUsed = 0
 }
 
 // MaxConcurrent reports how many sequences of the given prompt+output

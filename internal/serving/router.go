@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dataai/internal/metrics"
 	"dataai/internal/obs"
 	"dataai/internal/resilient"
 	"dataai/internal/sim"
@@ -57,6 +58,27 @@ type RoutedReport struct {
 	Rerouted int
 	// Crashes counts instance-crash windows the fault plan applied.
 	Crashes int
+	// Migrations counts live-migrated sequences (checkpoint → ship →
+	// resume hops off distressed instances).
+	Migrations int
+	// ResumedFromCkpt counts re-admissions that restored host-side
+	// checkpoint state instead of recomputing from token zero.
+	ResumedFromCkpt int
+	// WastedRecomputeTokens totals context tokens re-prefilled because
+	// a crash (or migration shortfall) lost state an instance had
+	// already computed — the recompute tax recovery policies shrink.
+	WastedRecomputeTokens int
+	// CkptWrites and CkptTokens count checkpoint captures and the
+	// context tokens they shipped to host memory.
+	CkptWrites int
+	CkptTokens int
+	// RecoveryMS summarizes crash-drop → re-admission latency per
+	// dropped sequence.
+	RecoveryMS metrics.Summary
+	// PrefixCPUHits and PrefixDemotions sum the tiered prefix caches'
+	// host-tier traffic (zero with the legacy unbounded caches).
+	PrefixCPUHits   int
+	PrefixDemotions int
 }
 
 // clusterTally tracks simultaneous KV occupancy across every instance of
@@ -121,12 +143,18 @@ type cluster struct {
 	breakers []*resilient.Breaker
 	policy   RouterPolicy
 
-	rr       int // RoundRobin rotation counter
-	pending  int // requests arrived-or-scheduled and not yet resolved
-	rerouted int
-	crashes  int
-	results  []Result
-	pool     seqPool
+	rr         int // RoundRobin rotation counter
+	pending    int // requests arrived-or-scheduled and not yet resolved
+	rerouted   int
+	crashes    int
+	migrations int
+	results    []Result
+	pool       seqPool
+
+	// rec is the run's crash-recovery state (checkpoint store +
+	// accounting); always non-nil for routed runs, inert when the
+	// RecoveryConfig is zero.
+	rec *recovery
 
 	// trace, when non-nil, records the cluster timeline; instances share
 	// it through their ContinuousOpts.
@@ -233,13 +261,32 @@ func RunRouted(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolic
 // sequences back through the router after a detection delay), straggler
 // windows slow them down, and per-instance circuit breakers observe the
 // failures — which the BreakerAware policy folds into its routing score.
-// A nil plan injects nothing.
+// A nil plan injects nothing. Crashed sequences recompute from token
+// zero; see RunRoutedRecovery for checkpointed recovery.
 func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts, plan *FaultPlan) (*RoutedReport, error) {
+	return RunRoutedRecovery(gpu, reqs, n, policy, opts, plan, RecoveryConfig{})
+}
+
+// RunRoutedRecovery is RunRoutedFaults with a crash-recovery policy:
+// periodic decode-state checkpoints let re-routed sequences resume from
+// host memory instead of recomputing, live migration drains long
+// sessions off distressed instances, and tiered prefix caches demote
+// cold prefixes to a crash-surviving CPU tier under pressure (see
+// RecoveryConfig). A zero rec reproduces RunRoutedFaults byte for byte.
+func RunRoutedRecovery(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts, plan *FaultPlan, rec RecoveryConfig) (*RoutedReport, error) {
+	rep, _, err := runRoutedCluster(gpu, reqs, n, policy, opts, plan, rec)
+	return rep, err
+}
+
+// runRoutedCluster is the routed entry points' shared engine room. It
+// returns the drained cluster alongside the report so invariant tests
+// can inspect post-run allocator and pool state.
+func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts, plan *FaultPlan, rec RecoveryConfig) (*RoutedReport, *cluster, error) {
 	if err := gpu.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("%w: instances %d", ErrConfig, n)
+		return nil, nil, fmt.Errorf("%w: instances %d", ErrConfig, n)
 	}
 	ordered := append([]workload.Request(nil), reqs...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ArrivalMS < ordered[j].ArrivalMS })
@@ -259,6 +306,7 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 		breakers: make([]*resilient.Breaker, n),
 		pending:  len(ordered),
 		trace:    opts.Trace,
+		rec:      newRecovery(rec),
 	}
 	tally := &clusterTally{}
 	cooldown := 1000.0
@@ -269,7 +317,18 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 		i := i
 		instOpts := opts
 		instOpts.KV = &talliedKV{KVManager: NewPagedKV(gpu), tally: tally}
-		c.prefixes[i] = NewPrefixCache()
+		if rec.PrefixGPUTokens > 0 {
+			// Two-tier prefix cache: cold prefixes demote to a host tier
+			// that survives this instance's crashes.
+			c.prefixes[i] = NewTieredPrefixCache(PrefixCacheConfig{
+				GPUCapacityTokens:  rec.PrefixGPUTokens,
+				CPUCapacityTokens:  rec.PrefixCPUTokens,
+				TransferMSPerToken: rec.prefixXferMSPerToken(),
+				PrefillTokensPerMS: gpu.PrefillTokensPerMS,
+			})
+		} else {
+			c.prefixes[i] = NewPrefixCache()
+		}
 		instOpts.Prefix = c.prefixes[i]
 		if hasSessions {
 			store, err := NewSessionStore(SessionStoreConfig{
@@ -278,7 +337,7 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 				PrefillTokensPerMS: gpu.PrefillTokensPerMS,
 			})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			instOpts.SessionCache = store
 		}
@@ -289,6 +348,7 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 			c.traceBreaker(now, i)
 			c.pending--
 		})
+		c.insts[i].rec = c.rec
 		c.insts[i].onDrop = func(now float64, s *seqState) {
 			// The router learns of the loss a detection delay later and
 			// re-routes the sequence away from the crashed instance.
@@ -298,7 +358,7 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 				c.rerouted++
 				if c.trace != nil {
 					c.trace.Instant(t, "router", "reroute")
-					c.trace.Registry().Counter("router/rerouted").Add(t, 1)
+					c.trace.Registry().Counter("router/reroute_crash").Add(t, 1)
 				}
 				g := c.route(t, s.req, i)
 				c.insts[g].arrive(t, s)
@@ -356,24 +416,55 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 						})
 					}
 				}
+				if plan.OverloadAlpha > 0 {
+					// Post-crash cascade: survivors absorbing the down
+					// instances' rerouted load run slower for the window,
+					// on top of any straggler draw.
+					downCount := 0
+					for _, in := range c.insts {
+						if in.down {
+							downCount++
+						}
+					}
+					if ov := plan.overloadFactor(downCount, len(c.insts)); ov > 1 {
+						for i, in := range c.insts {
+							if in.down {
+								continue
+							}
+							in.setSlowdown(plan.slowdownAt(i, w) * ov)
+						}
+					}
+				}
 				windowAt(w + 1)
 			})
 		}
 		windowAt(0)
 	}
+	if rec.Migrate {
+		c.scheduleMigration()
+	}
 
 	c.eng.Run()
 
-	var hits, misses, preemptions int
+	var hits, misses, cpuHits, demotions, preemptions int
 	for i, in := range c.insts {
-		for j := 0; j < in.waiting.Len(); j++ {
-			s := in.waiting.At(j)
+		for in.waiting.Len() > 0 {
+			// Never admittable: report rejected, reclaim the state —
+			// Result copies the request, so pooling is safe — and drop
+			// any host-side checkpoint the sequence left behind.
+			s := in.waiting.PopFront()
+			in.load -= seqLoad(s)
 			in.traceReject(c.eng.Now(), s)
 			c.results = append(c.results, Result{Req: s.req, Rejected: true})
+			c.rec.drop(s.req.ID)
+			c.pool.put(s)
 		}
 		h, m := c.prefixes[i].Stats()
 		hits += h
 		misses += m
+		ch, d := c.prefixes[i].TierStats()
+		cpuHits += ch
+		demotions += d
 		preemptions += in.preemptions
 	}
 	out := &RoutedReport{Report: *buildReport(c.results)}
@@ -383,5 +474,13 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 	out.PrefixMisses = misses
 	out.Rerouted = c.rerouted
 	out.Crashes = c.crashes
-	return out, nil
+	out.Migrations = c.migrations
+	out.ResumedFromCkpt = c.rec.resumes
+	out.WastedRecomputeTokens = c.rec.wasted
+	out.CkptWrites = c.rec.writes
+	out.CkptTokens = c.rec.writeTokens
+	out.RecoveryMS = c.rec.recoveryMS
+	out.PrefixCPUHits = cpuHits
+	out.PrefixDemotions = demotions
+	return out, c, nil
 }

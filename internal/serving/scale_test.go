@@ -1,8 +1,10 @@
 package serving
 
 import (
+	"reflect"
 	"testing"
 
+	"dataai/internal/par"
 	"dataai/internal/workload"
 )
 
@@ -50,4 +52,67 @@ func TestClusterScaleMillionRequests(t *testing.T) {
 	}
 	t.Logf("%d reqs / %d instances: finished=%d rejected=%d crashes=%d rerouted=%d makespan=%.0fms",
 		n, instances, finished, rep.Rejected, rep.Crashes, rep.Rerouted, rep.MakespanMS)
+}
+
+// TestMigrationUnderFaultsScale is the recovery stack's scale +
+// determinism gate in one: 100 instances in racks of 10 under the
+// cascading correlated fault plan with checkpoints, live migration, and
+// tiered prefix caches all on. One serial run is compared DeepEqual
+// against replicas raced on 8 workers — migration scans, checkpoint
+// writes, and correlated crash draws are all pure functions of the
+// logical clock, so concurrent replicas must agree bit for bit. -short
+// and race runs scale the trace down 10x like the million-request test.
+func TestMigrationUnderFaultsScale(t *testing.T) {
+	const instances = 100
+	n, rate := 1_000_000, 1500.0
+	if testing.Short() || raceEnabled {
+		n, rate = 100_000, 1500.0
+	}
+	cfg := workload.DefaultTrace(2301, n, rate)
+	cfg.SharedPrefixes = 8
+	cfg.SharedPrefixTokens = 192
+	cfg.SharedPrefixProb = 0.6
+	reqs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := RecoveryConfig{
+		CkptEveryIters: 8, Migrate: true,
+		PrefixGPUTokens: 2048, PrefixCPUTokens: 16384,
+	}
+	run := func() *RoutedReport {
+		rep, err := RunRoutedRecovery(DefaultGPU(), reqs, instances, BreakerAware,
+			ContinuousOpts{ChunkTokens: 256}, CascadeFaultPlan(2403, 10), rec)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return rep
+	}
+	serial := run()
+	if serial == nil {
+		t.Fatal("missing serial report")
+	}
+	if got := len(serial.Results); got != n {
+		t.Fatalf("resolved %d results, want %d", got, n)
+	}
+	if serial.Crashes == 0 || serial.ResumedFromCkpt == 0 || serial.Migrations == 0 {
+		t.Fatalf("recovery stack inert at scale: crashes=%d resumes=%d migrations=%d",
+			serial.Crashes, serial.ResumedFromCkpt, serial.Migrations)
+	}
+	if finished := n - serial.Rejected; finished <= n/2 {
+		t.Fatalf("only %d/%d requests finished; the cluster wedged", finished, n)
+	}
+	replicas := par.Map(8, 8, func(int) *RoutedReport { return run() })
+	for i, rep := range replicas {
+		if rep == nil {
+			t.Fatal("missing parallel report")
+		}
+		if !reflect.DeepEqual(serial, rep) {
+			t.Fatalf("parallel replica %d diverged from the serial run", i)
+		}
+	}
+	t.Logf("%d reqs / %d instances: crashes=%d resumes=%d migrations=%d wasted=%d makespan=%.0fms",
+		n, instances, serial.Crashes, serial.ResumedFromCkpt, serial.Migrations,
+		serial.WastedRecomputeTokens, serial.MakespanMS)
 }

@@ -26,6 +26,13 @@ type seqState struct {
 	preempted bool
 	// saved is the prompt span satisfied from a prefix/session cache.
 	saved int
+	// crashDropped / migrated mark a sequence in flight between
+	// instances (crash reroute or live migration); the next successful
+	// admission consumes them for recovery accounting. droppedAtMS is
+	// the crash instant, for the drop→re-admission latency sample.
+	crashDropped bool
+	migrated     bool
+	droppedAtMS  float64
 	// root and phase are the request's lifecycle spans when tracing is
 	// on (zero refs otherwise, safe to End): root covers arrival to
 	// terminal, phase is the currently open queue/prefill/decode/reroute
@@ -179,11 +186,14 @@ func RunContinuous(gpu GPUConfig, reqs []workload.Request, opts ContinuousOpts) 
 	eng.Run()
 
 	// Anything still waiting could never be admitted (footprint larger
-	// than the whole cache): report as rejected.
-	for i := 0; i < inst.waiting.Len(); i++ {
-		s := inst.waiting.At(i)
+	// than the whole cache): report as rejected and reclaim the state —
+	// Result copies the request, so pooling is safe.
+	for inst.waiting.Len() > 0 {
+		s := inst.waiting.PopFront()
+		inst.load -= seqLoad(s)
 		inst.traceReject(eng.Now(), s)
 		results = append(results, Result{Req: s.req, Rejected: true})
+		pool.put(s)
 	}
 	rep := buildReport(results)
 	rep.PeakKVBlocks = inst.kv.PeakBlocks()

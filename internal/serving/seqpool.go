@@ -15,12 +15,19 @@ const seqSlab = 256
 
 // seqPool recycles seqStates within one run. Engines are
 // single-threaded, so the pool needs no locking; a sequence is released
-// exactly once, by instance.finish after its Result has been handed to
-// onFinish (crash-dropped sequences stay live — they travel to another
-// instance — and admission-impossible rejects are reported straight from
-// their request, never pooled).
+// exactly once — by instance.finish after its Result has been handed to
+// onFinish, or by the post-run drain loop after reporting it rejected
+// (crash-dropped and migrating sequences stay live in between: they
+// travel to another instance; admission-impossible rejects are reported
+// straight from their request, never pooled).
 type seqPool struct {
 	free []*seqState
+	// outstanding counts live sequences (gets minus puts). After a
+	// routed run drains — crashes, migrations, and all — it must be
+	// zero: every sequence either finished (pooled by instance.finish)
+	// or was reported rejected and pooled by the drain loop. The
+	// post-drain invariant test pins this alongside KV occupancy.
+	outstanding int
 }
 
 // get returns a zeroed seqState carrying req.
@@ -36,6 +43,7 @@ func (p *seqPool) get(req workload.Request) *seqState {
 	s := p.free[n-1]
 	p.free = p.free[:n-1]
 	s.req = req
+	p.outstanding++
 	return s
 }
 
@@ -47,6 +55,7 @@ func (p *seqPool) put(s *seqState) {
 	}
 	*s = seqState{}
 	p.free = append(p.free, s)
+	p.outstanding--
 }
 
 // seqRing is a growable ring deque of sequences — an instance's waiting

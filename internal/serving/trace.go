@@ -19,12 +19,17 @@ import (
 //     track) plus "crash"/"preempt"/"reject" instants;
 //   - "req/<ID>" tracks carry one CatRequest root span per request with
 //     nested phase children: queue → prefill → decode, re-entering queue
-//     after a preemption and passing through reroute after a crash. Roots
-//     terminate with reason "finish" or "reject";
+//     after a preemption and passing through reroute after a crash (or
+//     migrate during a live migration). Phases under one root never
+//     overlap — a sequence is resident in one place at a time, an
+//     invariant obs.Check enforces. Roots terminate with reason "finish"
+//     or "reject";
 //   - the registry gains, per instance: <track>/queue_depth,
 //     <track>/kv_used_blocks, <track>/kv_capacity_blocks,
-//     <track>/cache_saved_tokens, gpu<i>/breaker_state, and cluster-wide
-//     router/rerouted and router/crashes.
+//     <track>/cache_saved_tokens, <track>/ckpt_tokens,
+//     gpu<i>/breaker_state, and cluster-wide router/crashes plus the
+//     recovery counters router/reroute_crash, router/reroute_migration,
+//     and router/resume_from_checkpoint.
 
 // reqTrack names a request's lifecycle track.
 func reqTrack(r workload.Request) string { return "req/" + r.ID }

@@ -54,8 +54,8 @@ func TestRoutedSevereTracePassesInvariants(t *testing.T) {
 		t.Errorf("crash instants = %d, report says %d", crashes, rep.Crashes)
 	}
 	reg := tr.Registry()
-	if got := reg.Lookup("router/rerouted").Final(); got != float64(rep.Rerouted) {
-		t.Errorf("router/rerouted counter = %v, report says %d", got, rep.Rerouted)
+	if got := reg.Lookup("router/reroute_crash").Final(); got != float64(rep.Rerouted) {
+		t.Errorf("router/reroute_crash counter = %v, report says %d", got, rep.Rerouted)
 	}
 	if got := reg.Lookup("router/crashes").Final(); got != float64(rep.Crashes) {
 		t.Errorf("router/crashes counter = %v, report says %d", got, rep.Crashes)

@@ -48,6 +48,19 @@ func (g Grid) Value(dim, cell int) string {
 	return g.Dims[dim].Values[g.Coords(cell)[dim]]
 }
 
+// ValueNamed returns the value the given cell takes along the dimension
+// called name, or "" when no dimension has that name. Sweep callbacks
+// use it to read a cell's coordinates without hard-coding dimension
+// positions, so reordering a grid's axes cannot silently misread cells.
+func (g Grid) ValueNamed(name string, cell int) string {
+	for i, d := range g.Dims {
+		if d.Name == name {
+			return g.Value(i, cell)
+		}
+	}
+	return ""
+}
+
 // Label renders a cell as "name=value name=value ...", the header the
 // sweep runner prints above each cell's report.
 func (g Grid) Label(cell int) string {

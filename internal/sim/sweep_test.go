@@ -38,6 +38,15 @@ func TestGridCellsAndCoords(t *testing.T) {
 	if got := g.Value(1, 5); got != "severe" {
 		t.Errorf("Value(1, 5) = %q", got)
 	}
+	if got := g.ValueNamed("faults", 5); got != "severe" {
+		t.Errorf(`ValueNamed("faults", 5) = %q`, got)
+	}
+	if got := g.ValueNamed("load", 23); got != "240" {
+		t.Errorf(`ValueNamed("load", 23) = %q`, got)
+	}
+	if got := g.ValueNamed("nope", 5); got != "" {
+		t.Errorf(`ValueNamed("nope", 5) = %q, want ""`, got)
+	}
 	if (Grid{}).Cells() != 1 {
 		t.Error("empty grid should have one cell")
 	}

@@ -80,6 +80,21 @@ echo "== sim engine smoke (calendar queue beats the reference heap)"
 # itself under -race, so run it without the detector here.
 go test -short -run 'TestCalendarOutperformsHeap' -count=1 ./internal/sim
 
+echo "== recovery smoke (checkpoint + migration beats recompute-from-zero)"
+# The crash-survivable stack from the CLI: a correlated-domain severe run
+# with checkpoints and migration must strictly beat the same run that
+# recovers by re-prefilling from token zero. The simulator is
+# deterministic, so this is an exact comparison, not a flaky one.
+base_goodput=$(/tmp/dataai_servesim -policy routed -faults severe -domains 4 -n 300 -rate 70 \
+    -slo-ttft 1500 -slo-tbt 25 | awk '/goodput/ {print $NF}')
+ckpt_goodput=$(/tmp/dataai_servesim -policy routed -faults severe -domains 4 -n 300 -rate 70 \
+    -slo-ttft 1500 -slo-tbt 25 -ckpt-every 8 -migrate | awk '/goodput/ {print $NF}')
+awk -v a="$ckpt_goodput" -v b="$base_goodput" 'BEGIN {
+    if (a+0 > b+0) exit 0
+    printf "recovery smoke failed: ckpt+migrate goodput %s <= reroute-only %s\n", a, b
+    exit 1
+}'
+
 echo "== servesim sweep (grid runner, serial vs parallel-8 byte-identical)"
 # The sim.Sweep grid runner from the CLI: 27 router x faults x load
 # cells, each on its own engine. Serial and 8-worker runs must print the
@@ -97,7 +112,7 @@ echo "== benchall serial vs parallel (fast subset, byte-identical)"
 # (cmd/benchall/main_test.go); this end-to-end gate re-checks the built
 # binary on a fast experiment subset so a flag-wiring regression cannot
 # hide behind the in-process test.
-subset="E1 E2 E5 E8 E11 E17 E19 E22 E23"
+subset="E1 E2 E5 E8 E11 E17 E19 E22 E23 E24"
 go build -o /tmp/dataai_benchall ./cmd/benchall
 /tmp/dataai_benchall $subset > /tmp/dataai_benchall_serial.txt
 /tmp/dataai_benchall -parallel 8 $subset > /tmp/dataai_benchall_par.txt
