@@ -53,3 +53,4 @@ func BenchmarkE21Routing(b *testing.B)       { benchExperiment(b, "E21") }
 func BenchmarkE22Resilience(b *testing.B)    { benchExperiment(b, "E22") }
 func BenchmarkE23FaultRouting(b *testing.B)  { benchExperiment(b, "E23") }
 func BenchmarkE24CrashRecovery(b *testing.B) { benchExperiment(b, "E24") }
+func BenchmarkE25MultiTenant(b *testing.B)   { benchExperiment(b, "E25") }

@@ -8,6 +8,7 @@
 //	servesim -policy disagg -prefill 2 -decode 2
 //	servesim -policy static -batch 16
 //	servesim -policy routed -instances 4 -router breaker-aware -faults severe
+//	servesim -policy routed -spec multi-tenant -admission reject -sched priority
 //	servesim -policy routed -faults severe -trace out.json -parallel 8
 //	servesim -policy routed -faults severe -domains 4 -ckpt-every 8 -migrate
 //	servesim -sweep -parallel 8
@@ -26,6 +27,16 @@
 // runs N identical replicas concurrently and verifies their traces are
 // byte-identical — the simulator's determinism contract — before emitting
 // replica 0's bytes.
+//
+// -spec multi-tenant swaps the single anonymous stream for the canonical
+// three-tenant mix (workload.DefaultMultiTenant): an interactive "chat"
+// tenant plus two bursty batch tenants. -admission picks the router's
+// per-tenant token-bucket policy (none | reject | queue, buckets weighted
+// by each tenant's purchased rate fraction) and -sched the batch-formation
+// order (fcfs | priority | sjf; priority and sjf admit interactive
+// sequences first and may preempt a batch-class slot for them). With a
+// multi-tenant spec the report adds interactive-class latency, per-tenant
+// admission/service rows, and the weighted Jain fairness index.
 //
 // -sweep runs the routed configuration over the full router × fault-plan
 // × load grid (27 cells) via sim.Sweep and prints one labeled row per
@@ -69,6 +80,9 @@ func main() {
 	domains := flag.Int("domains", 0, "routed: rack size for correlated fault domains (0 = independent draws)")
 	migrate := flag.Bool("migrate", false, "routed: enable live session migration off distressed instances")
 	ckptEvery := flag.Int("ckpt-every", 0, "routed: checkpoint decode state every K mixed iterations (0 = off)")
+	spec := flag.String("spec", "", `workload spec: "" = single anonymous stream | multi-tenant`)
+	admission := flag.String("admission", "none", "routed: per-tenant token-bucket admission (none | reject | queue)")
+	sched := flag.String("sched", "fcfs", "batch formation order (fcfs | priority | sjf)")
 	ttftSLO := flag.Float64("slo-ttft", 1000, "TTFT SLO (ms)")
 	tbtSLO := flag.Float64("slo-tbt", 12, "TBT SLO (ms)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
@@ -84,9 +98,65 @@ func main() {
 		return
 	}
 
-	reqs, err := workload.Generate(workload.DefaultTrace(*seed, *n, *rate))
+	var reqs []workload.Request
+	var weights map[string]float64 // tenant → purchased rate fraction
+	var err error
+	switch *spec {
+	case "":
+		reqs, err = workload.Generate(workload.DefaultTrace(*seed, *n, *rate))
+	case "multi-tenant":
+		ws := workload.DefaultMultiTenant(*seed, *n, *rate)
+		weights = make(map[string]float64, len(ws.Clients))
+		for _, c := range ws.Clients {
+			weights[c.TenantID] = c.RateFraction
+		}
+		reqs, err = workload.GenerateSpec(ws)
+	default:
+		log.Fatalf("unknown spec %q (want \"\" or multi-tenant)", *spec)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var schedPol serving.SchedPolicy
+	switch *sched {
+	case "fcfs":
+		schedPol = serving.SchedFCFS
+	case "priority":
+		schedPol = serving.SchedPriority
+	case "sjf":
+		schedPol = serving.SchedSJF
+	default:
+		log.Fatalf("unknown sched %q (want fcfs, priority, or sjf)", *sched)
+	}
+	preempt := schedPol != serving.SchedFCFS
+	if preempt && (*policy == "static" || *policy == "disagg") {
+		log.Fatalf("-sched %s needs a continuous-batching policy (continuous, chunked, or routed)", *sched)
+	}
+
+	// The bucket charges prompt+output trace tokens; these demo allowances
+	// match E25 (a burst of ~half a second of cluster output, sustained
+	// refill just under the saturation rate), scaled per tenant by its
+	// purchased fraction.
+	adm := serving.AdmissionConfig{}
+	switch *admission {
+	case "none":
+	case "reject", "queue":
+		adm = serving.AdmissionConfig{
+			Policy:       serving.AdmitReject,
+			BurstTokens:  30000,
+			RefillPerSec: 36000,
+			Weights:      weights,
+		}
+		if *admission == "queue" {
+			adm.Policy = serving.AdmitQueue
+			adm.MaxQueueMS = 2000
+		}
+		if *policy != "routed" {
+			log.Fatalf("-admission %s needs -policy routed (admission lives at the router)", *admission)
+		}
+	default:
+		log.Fatalf("unknown admission %q (want none, reject, or queue)", *admission)
 	}
 	gpu := serving.DefaultGPU()
 
@@ -99,10 +169,12 @@ func main() {
 			rep, err := serving.RunStatic(gpu, reqs, *batch)
 			return rep, nil, err
 		case "continuous":
-			rep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{Trace: tr})
+			rep, err := serving.RunContinuous(gpu, reqs,
+				serving.ContinuousOpts{Sched: schedPol, PreemptBatch: preempt, Trace: tr})
 			return rep, nil, err
 		case "chunked":
-			rep, err := serving.RunContinuous(gpu, reqs, serving.ContinuousOpts{ChunkTokens: *chunk, Trace: tr})
+			rep, err := serving.RunContinuous(gpu, reqs,
+				serving.ContinuousOpts{ChunkTokens: *chunk, Sched: schedPol, PreemptBatch: preempt, Trace: tr})
 			return rep, nil, err
 		case "disagg":
 			rep, err := serving.RunDisaggregated(gpu, reqs, serving.DisaggOpts{
@@ -139,8 +211,9 @@ func main() {
 				plan.Correlate(*domains)
 			}
 			rec := serving.RecoveryConfig{CkptEveryIters: *ckptEvery, Migrate: *migrate}
-			routed, err := serving.RunRoutedRecovery(gpu, reqs, *instances, pol,
-				serving.ContinuousOpts{ChunkTokens: *chunk, Trace: tr}, plan, rec)
+			routed, err := serving.RunRoutedAdmission(gpu, reqs, *instances, pol,
+				serving.ContinuousOpts{ChunkTokens: *chunk, Sched: schedPol, PreemptBatch: preempt, Trace: tr},
+				plan, rec, adm)
 			if routed != nil {
 				return &routed.Report, routed, err
 			}
@@ -175,6 +248,12 @@ func main() {
 	t.AddRowf(fmt.Sprintf("goodput @ (%.0f, %.0f)ms", *ttftSLO, *tbtSLO), rep.Goodput(*ttftSLO, *tbtSLO))
 	t.AddRowf("peak KV blocks", rep.PeakKVBlocks)
 	t.AddRowf("rejected", rep.Rejected)
+	if *spec == "multi-tenant" {
+		inter := rep.ClassTTFT(workload.Interactive)
+		t.AddRowf("interactive p99 TTFT (ms)", inter.P99())
+		t.AddRowf(fmt.Sprintf("interactive attain @ %.0fms", *ttftSLO), inter.FractionBelow(*ttftSLO))
+		t.AddRowf("batch output tok", rep.ClassOutputTokens(workload.Batch))
+	}
 	if routed != nil {
 		t.AddRowf("preemptions", routed.Preemptions)
 		t.AddRowf("prefix hits/misses", fmt.Sprintf("%d/%d", routed.PrefixHits, routed.PrefixMisses))
@@ -184,6 +263,22 @@ func main() {
 			t.AddRowf("wasted recompute (tok)", routed.WastedRecomputeTokens)
 			t.AddRowf("resumed from ckpt", routed.ResumedFromCkpt)
 			t.AddRowf("migrations", routed.Migrations)
+		}
+		if adm.Policy != serving.AdmitAll {
+			t.AddRowf("adm rejected / delayed",
+				fmt.Sprintf("%d/%d", routed.AdmissionRejected, routed.AdmissionDelayed))
+		}
+		if len(routed.Tenants) > 0 {
+			xs := make([]float64, 0, len(routed.Tenants))
+			ws := make([]float64, 0, len(routed.Tenants))
+			for _, ts := range routed.Tenants {
+				t.AddRowf("tenant "+ts.Tenant, fmt.Sprintf(
+					"admitted %d rejected %d served %d output tok %d",
+					ts.Admitted, ts.AdmissionRejected, ts.Served, ts.OutputTokens))
+				xs = append(xs, float64(ts.OutputTokens))
+				ws = append(ws, weights[ts.Tenant])
+			}
+			t.AddRowf("jain (weighted by paid share)", metrics.JainWeighted(xs, ws))
 		}
 	}
 	if err := t.Render(os.Stdout); err != nil {

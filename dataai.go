@@ -36,6 +36,7 @@ import (
 	"dataai/internal/lake"
 	"dataai/internal/llm"
 	"dataai/internal/llm/ngram"
+	"dataai/internal/metrics"
 	"dataai/internal/obs"
 	"dataai/internal/prompting"
 	"dataai/internal/rag"
@@ -347,6 +348,41 @@ type (
 	PrefixCacheConfig = serving.PrefixCacheConfig
 )
 
+// Multi-tenant serving: workload specs with per-client tenants, SLO
+// classes and arrival processes; token-bucket admission at the router;
+// class-aware batch formation; per-tenant outcomes.
+type (
+	WorkloadSpec    = workload.WorkloadSpec
+	ClientSpec      = workload.ClientSpec
+	ArrivalSpec     = workload.ArrivalSpec
+	LengthSpec      = workload.LengthSpec
+	SLOClass        = workload.SLOClass
+	ArrivalProcess  = workload.ArrivalProcess
+	AdmissionConfig = serving.AdmissionConfig
+	AdmissionPolicy = serving.AdmissionPolicy
+	SchedPolicy     = serving.SchedPolicy
+	TenantStats     = serving.TenantStats
+)
+
+// Multi-tenant enums: SLO classes, arrival processes, admission
+// policies, and batch-formation orders.
+const (
+	SLOInteractive = workload.Interactive
+	SLOBatch       = workload.Batch
+
+	ArrivePoisson     = workload.Poisson
+	ArriveGammaBurst  = workload.GammaBurst
+	ArriveDiurnalRamp = workload.DiurnalRamp
+
+	AdmitAll    = serving.AdmitAll
+	AdmitReject = serving.AdmitReject
+	AdmitQueue  = serving.AdmitQueue
+
+	SchedFCFS     = serving.SchedFCFS
+	SchedPriority = serving.SchedPriority
+	SchedSJF      = serving.SchedSJF
+)
+
 // Routing policies for multi-instance serving.
 const (
 	RouteRoundRobin   = serving.RoundRobin
@@ -372,6 +408,14 @@ var (
 	NewTieredPrefixCache = serving.NewTieredPrefixCache
 	GenerateTrace        = workload.Generate
 	DefaultTrace         = workload.DefaultTrace
+	// RunRoutedAdmission is RunRoutedRecovery plus per-tenant
+	// token-bucket admission; the zero AdmissionConfig reproduces it
+	// exactly.
+	RunRoutedAdmission = serving.RunRoutedAdmission
+	GenerateSpec       = workload.GenerateSpec
+	DefaultMultiTenant = workload.DefaultMultiTenant
+	JainIndex          = metrics.Jain
+	JainWeighted       = metrics.JainWeighted
 )
 
 // Observability: logical-clock spans, a counter/gauge registry, and

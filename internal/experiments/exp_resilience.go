@@ -20,41 +20,6 @@ func init() {
 	register("E22", "Pipeline reliability under injected LLM faults (§2.2.1 robustness)", runE22)
 }
 
-// resilienceCorpus is a reduced corpus: E22 replays the same workload
-// nine times (three fault levels x three stacks), so it trades corpus
-// size for arm count.
-func resilienceCorpus(seed int64) (*corpus.Corpus, error) {
-	cfg := corpus.DefaultConfig(seed)
-	cfg.EntitiesPerDomain = 12
-	cfg.DocsPerDomainWeight = 20
-	cfg.QACount = 30
-	cfg.MultiHopQACount = 0
-	g, err := corpus.NewGenerator(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return g.Generate(), nil
-}
-
-// resilienceTable is the semantic-operator half of the E22 workload.
-func resilienceTable() (*relation.Table, error) {
-	tbl, err := relation.NewTable("docs", relation.Schema{
-		{Name: "id", Type: relation.Int},
-		{Name: "body", Type: relation.String},
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < 120; i++ {
-		body := fmt.Sprintf("memo %d reviews quarterly earnings in detail", i)
-		if i%3 == 0 {
-			body = fmt.Sprintf("memo %d announces a merger agreement", i)
-		}
-		tbl.MustInsert(relation.Row{int64(i), body})
-	}
-	return tbl, nil
-}
-
 // resilienceArm replays the shared E22 workload (RAG half + semop half)
 // through one stack under one fault plan and returns the metric cells
 // for its table row. Every arm builds a fresh base model + injector with

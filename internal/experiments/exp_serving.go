@@ -7,7 +7,6 @@ import (
 	"dataai/internal/obs"
 	"dataai/internal/serving"
 	"dataai/internal/sim"
-	"dataai/internal/workload"
 )
 
 func init() {
@@ -23,7 +22,7 @@ func init() {
 
 func runE11() (*metrics.Table, error) {
 	gpu := serving.DefaultGPU()
-	reqs, err := workload.Generate(workload.DefaultTrace(1101, 400, 40))
+	reqs, err := batchingWorkload()
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +53,7 @@ func runE11() (*metrics.Table, error) {
 
 func runE12() (*metrics.Table, error) {
 	gpu := serving.DefaultGPU()
-	reqs, err := workload.Generate(workload.DefaultTrace(1102, 400, 100))
+	reqs, err := overloadWorkload()
 	if err != nil {
 		return nil, err
 	}
@@ -87,11 +86,7 @@ func runE13() (*metrics.Table, error) {
 	t := metrics.NewTable("E13: KV allocation and prefix reuse",
 		"configuration", "max concurrent (256p+64o)", "makespan (ms)", "mean TTFT", "prefill tokens")
 
-	cfg := workload.DefaultTrace(1103, 250, 50)
-	cfg.SharedPrefixes = 2
-	cfg.SharedPrefixTokens = 512
-	cfg.SharedPrefixProb = 0.7
-	reqs, err := workload.Generate(cfg)
+	reqs, err := pagedKVWorkload()
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +127,7 @@ func runE13() (*metrics.Table, error) {
 
 func runE14() (*metrics.Table, error) {
 	gpu := serving.DefaultGPU()
-	reqs, err := workload.GenerateConversations(workload.DefaultConversations(1104))
+	reqs, err := conversationWorkload()
 	if err != nil {
 		return nil, err
 	}
@@ -194,11 +189,7 @@ func runE15() (*metrics.Table, error) {
 
 func runE21() (*metrics.Table, error) {
 	gpu := serving.DefaultGPU()
-	cfg := workload.DefaultTrace(1121, 400, 60)
-	cfg.SharedPrefixes = 8
-	cfg.SharedPrefixTokens = 512
-	cfg.SharedPrefixProb = 0.8
-	reqs, err := workload.Generate(cfg)
+	reqs, err := routingWorkload()
 	if err != nil {
 		return nil, err
 	}
@@ -224,11 +215,7 @@ func runE23() (*Output, error) {
 	// measure at SLO(TTFT<=1500ms, TBT<=25ms); faults are pure functions
 	// of (plan seed, instance, window), so every cell is reproducible.
 	gpu := serving.DefaultGPU()
-	cfg := workload.DefaultTrace(2301, 600, 60)
-	cfg.SharedPrefixes = 8
-	cfg.SharedPrefixTokens = 192
-	cfg.SharedPrefixProb = 0.6
-	reqs, err := workload.Generate(cfg)
+	reqs, err := faultWorkload()
 	if err != nil {
 		return nil, err
 	}
@@ -333,17 +320,6 @@ func e24Recovery(name string) serving.RecoveryConfig {
 	return rec
 }
 
-// e24Workload is the shared request trace: 600 requests at 80/s against
-// 8 instances, with shared prefixes so the tiered prefix cache has
-// something to demote and re-promote across crashes.
-func e24Workload() ([]workload.Request, error) {
-	cfg := workload.DefaultTrace(2401, 900, 75)
-	cfg.SharedPrefixes = 8
-	cfg.SharedPrefixTokens = 192
-	cfg.SharedPrefixProb = 0.6
-	return workload.Generate(cfg)
-}
-
 func runE24() (*Output, error) { return runE24Workers(3) }
 
 // runE24Workers runs the E24 grid on the given number of sweep workers.
@@ -352,7 +328,7 @@ func runE24() (*Output, error) { return runE24Workers(3) }
 // test pins.
 func runE24Workers(workers int) (*Output, error) {
 	gpu := serving.DefaultGPU()
-	reqs, err := e24Workload()
+	reqs, err := recoveryWorkload()
 	if err != nil {
 		return nil, err
 	}

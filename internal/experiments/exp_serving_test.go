@@ -13,7 +13,7 @@ import (
 // inequalities, not statistical ones — if a change flips either, the
 // recovery story regressed.
 func TestE24CheckpointMigrateDominates(t *testing.T) {
-	reqs, err := e24Workload()
+	reqs, err := recoveryWorkload()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dataai/internal/corpus"
+	"dataai/internal/relation"
+	"dataai/internal/workload"
+)
+
+// This file names every workload the experiment harnesses replay, so
+// E-code reads as workload names instead of magic seed/count/rate
+// triples, and two experiments that mean "the same traffic" provably
+// share it. Each helper is deterministic in its seed and returns a fresh
+// trace per call (runs mutate nothing, but aliasing across concurrent
+// sweep cells is cheaper to rule out than to reason about).
+
+// batchingWorkload is the E11 baseline: a single anonymous Poisson
+// stream at moderate load, where batching policy differences dominate.
+func batchingWorkload() ([]workload.Request, error) {
+	return workload.Generate(workload.DefaultTrace(1101, 400, 40))
+}
+
+// overloadWorkload is the E12 stress stream: the same shape at 100/s,
+// past what one GPU sustains — the disaggregation budget study.
+func overloadWorkload() ([]workload.Request, error) {
+	return workload.Generate(workload.DefaultTrace(1102, 400, 100))
+}
+
+// prefixTrace is a DefaultTrace with a shared-prefix population layered
+// on: prefixes distinct prompts of prefixTokens tokens, each request
+// drawing one with probability prob.
+func prefixTrace(seed int64, count int, rate float64, prefixes, prefixTokens int, prob float64) workload.TraceConfig {
+	cfg := workload.DefaultTrace(seed, count, rate)
+	cfg.SharedPrefixes = prefixes
+	cfg.SharedPrefixTokens = prefixTokens
+	cfg.SharedPrefixProb = prob
+	return cfg
+}
+
+// pagedKVWorkload is the E13 allocation study: few hot prefixes over a
+// small KV budget, where allocator discipline decides concurrency.
+func pagedKVWorkload() ([]workload.Request, error) {
+	return workload.Generate(prefixTrace(1103, 250, 50, 2, 512, 0.7))
+}
+
+// conversationWorkload is the E14 multi-turn trace (Zipf-skewed session
+// popularity, accumulated history tokens).
+func conversationWorkload() ([]workload.Request, error) {
+	return workload.GenerateConversations(workload.DefaultConversations(1104))
+}
+
+// routingWorkload is the E21 routing study: eight long shared prefixes,
+// high reuse probability — cache affinity is worth routing for.
+func routingWorkload() ([]workload.Request, error) {
+	return workload.Generate(prefixTrace(1121, 400, 60, 8, 512, 0.8))
+}
+
+// faultWorkload is the E23 fault-plan study: the routing shape with
+// shorter prefixes and a longer trace, so crash windows land mid-run.
+func faultWorkload() ([]workload.Request, error) {
+	return workload.Generate(prefixTrace(2301, 600, 60, 8, 192, 0.6))
+}
+
+// recoveryWorkload is the E24 crash-recovery trace: 900 requests at
+// 75/s against 8 instances, with shared prefixes so the tiered prefix
+// cache has something to demote and re-promote across crashes.
+func recoveryWorkload() ([]workload.Request, error) {
+	return workload.Generate(prefixTrace(2401, 900, 75, 8, 192, 0.6))
+}
+
+// multiTenantSpec is the E25 traffic mix — the canonical three-tenant
+// spec (see workload.DefaultMultiTenant for the shape).
+func multiTenantSpec(seed int64, count int, ratePerSec float64) workload.WorkloadSpec {
+	return workload.DefaultMultiTenant(seed, count, ratePerSec)
+}
+
+// resilienceCorpus is the reduced E22 corpus: E22 replays the same
+// workload nine times (three fault levels x three stacks), so it trades
+// corpus size for arm count.
+func resilienceCorpus(seed int64) (*corpus.Corpus, error) {
+	cfg := corpus.DefaultConfig(seed)
+	cfg.EntitiesPerDomain = 12
+	cfg.DocsPerDomainWeight = 20
+	cfg.QACount = 30
+	cfg.MultiHopQACount = 0
+	g, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(), nil
+}
+
+// resilienceTable is the semantic-operator half of the E22 workload.
+func resilienceTable() (*relation.Table, error) {
+	tbl, err := relation.NewTable("docs", relation.Schema{
+		{Name: "id", Type: relation.Int},
+		{Name: "body", Type: relation.String},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 120; i++ {
+		body := fmt.Sprintf("memo %d reviews quarterly earnings in detail", i)
+		if i%3 == 0 {
+			body = fmt.Sprintf("memo %d announces a merger agreement", i)
+		}
+		tbl.MustInsert(relation.Row{int64(i), body})
+	}
+	return tbl, nil
+}

@@ -344,3 +344,19 @@ func TestLoadModule(t *testing.T) {
 		t.Fatal("Load(./...) from internal/lint did not find dataai/internal/lint")
 	}
 }
+
+// TestMultitenantFixtureClean runs the ENTIRE analyzer suite over the
+// multitenant fixture — a distillation of the multi-tenant workload and
+// admission layers: per-client RNG streams seeded from (spec seed,
+// client ID), a largest-remainder count split with an exact-float
+// tie-break, logical-clock token buckets over lazily-populated tenant
+// maps, and sorted per-tenant stats rendering — under a seeded import
+// path ("fix/internal/workload"), and requires zero diagnostics. It
+// pins that the multi-tenant idioms stay expressible without
+// //lint:ignore suppressions.
+func TestMultitenantFixtureClean(t *testing.T) {
+	pkg := fixturePackage(t, "multitenant", "fix/internal/workload")
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.Analyzers()) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

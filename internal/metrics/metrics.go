@@ -232,6 +232,49 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Jain computes Jain's fairness index over per-party allocations:
+// (Σx)² / (n·Σx²). It is 1 when every party gets the same amount and
+// approaches 1/n as one party takes everything. Conventions: no parties
+// → 0 (nothing to be fair about); one party, or all-zero allocations
+// (everyone equally starved) → 1. Negative allocations are invalid and
+// clamp to 0.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// JainWeighted is Jain's index over normalized allocations x_i/w_i —
+// fairness relative to entitlements w (e.g. purchased rate fractions)
+// instead of absolute equality: it is 1 when every party receives in
+// proportion to its weight. Panics if the lengths differ; parties with
+// weight <= 0 are skipped (no entitlement, no fairness claim).
+func JainWeighted(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("metrics: JainWeighted lengths differ")
+	}
+	norm := make([]float64, 0, len(xs))
+	for i, x := range xs {
+		if ws[i] <= 0 {
+			continue
+		}
+		norm = append(norm, x/ws[i])
+	}
+	return Jain(norm)
+}
+
 // Ratio formats a/b as a "N.NNx" speedup string, guarding division by zero.
 func Ratio(a, b float64) string {
 	if b == 0 {

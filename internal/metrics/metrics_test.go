@@ -254,3 +254,49 @@ func TestFractionBelowNextafterBoundary(t *testing.T) {
 		t.Errorf("FractionBelow(-1) = %v, want 0", got)
 	}
 }
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 1},
+		{"all zero", []float64{0, 0, 0}, 1},
+		{"equal shares", []float64{5, 5, 5, 5}, 1},
+		{"one takes all", []float64{10, 0, 0, 0}, 0.25},
+		{"mixed", []float64{4, 2}, 0.9},
+	}
+	for _, tc := range cases {
+		if got := Jain(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Jain = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Negative allocations are invalid and clamp to zero rather than
+	// inflating the index.
+	if got, want := Jain([]float64{-3, 6}), Jain([]float64{0, 6}); got != want {
+		t.Errorf("negative clamp: %v != %v", got, want)
+	}
+}
+
+func TestJainWeighted(t *testing.T) {
+	// 60/30 split over 2:1 entitlements is perfectly fair.
+	if got := JainWeighted([]float64{60, 30}, []float64{2, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("proportional = %v, want 1", got)
+	}
+	// The same split over equal entitlements is not.
+	if got := JainWeighted([]float64{60, 30}, []float64{1, 1}); got >= 1 {
+		t.Errorf("disproportional = %v, want < 1", got)
+	}
+	// Zero-weight parties carry no fairness claim and are skipped.
+	if got := JainWeighted([]float64{60, 30, 99}, []float64{2, 1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("zero weight skipped = %v, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	JainWeighted([]float64{1}, []float64{1, 2})
+}

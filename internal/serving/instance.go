@@ -317,16 +317,28 @@ func (in *instance) step(now float64) {
 		return
 	}
 	for in.waiting.Len() > 0 {
-		s := in.waiting.Front()
+		// The scheduling policy picks the candidate (FCFS picks the head
+		// without scanning); it leaves the queue before the admission
+		// attempt so a slot preemption's PushFront cannot shift its index.
+		s := in.waiting.RemoveAt(in.nextWaiting())
 		// admit mutates saved/prefillLeft even when the KV allocation
 		// fails, so the load delta applies on both outcomes.
 		before := seqLoad(s)
 		ok := in.admit(now, s)
 		in.load += seqLoad(s) - before
+		if !ok && in.opts.PreemptBatch && s.req.SLOClass == workload.Interactive {
+			// Evict batch-class running sequences (most recent first)
+			// until the interactive candidate fits or none remain.
+			for !ok && in.preemptForSlot(now) {
+				before = seqLoad(s)
+				ok = in.admit(now, s)
+				in.load += seqLoad(s) - before
+			}
+		}
 		if !ok {
+			in.waiting.PushFront(s)
 			break
 		}
-		in.waiting.PopFront()
 		in.tracePhase(now, s, "prefill")
 		in.prefillQ.PushBack(s)
 	}

@@ -36,7 +36,7 @@ func TestPostDrainInvariants(t *testing.T) {
 	for planName, plan := range plans {
 		for armName, rec := range recoveryArms() {
 			rep, c, err := runRoutedCluster(DefaultGPU(), reqs, 4, BreakerAware,
-				ContinuousOpts{ChunkTokens: 256}, plan, rec)
+				ContinuousOpts{ChunkTokens: 256}, plan, rec, AdmissionConfig{})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", planName, armName, err)
 			}

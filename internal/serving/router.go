@@ -79,6 +79,14 @@ type RoutedReport struct {
 	// host-tier traffic (zero with the legacy unbounded caches).
 	PrefixCPUHits   int
 	PrefixDemotions int
+	// AdmissionRejected counts requests the per-tenant token bucket
+	// turned away at the router (a subset of Rejected);
+	// AdmissionDelayed counts AdmitQueue holds.
+	AdmissionRejected int
+	AdmissionDelayed  int
+	// Tenants summarizes per-tenant admission and service outcomes,
+	// sorted by tenant ID (empty for untenanted traces).
+	Tenants []TenantStats
 }
 
 // clusterTally tracks simultaneous KV occupancy across every instance of
@@ -155,6 +163,10 @@ type cluster struct {
 	// accounting); always non-nil for routed runs, inert when the
 	// RecoveryConfig is zero.
 	rec *recovery
+
+	// adm is the run's per-tenant admission controller; nil when the
+	// AdmissionConfig policy is AdmitAll (the historical path).
+	adm *admitter
 
 	// trace, when non-nil, records the cluster timeline; instances share
 	// it through their ContinuousOpts.
@@ -274,14 +286,25 @@ func RunRoutedFaults(gpu GPUConfig, reqs []workload.Request, n int, policy Route
 // cold prefixes to a crash-surviving CPU tier under pressure (see
 // RecoveryConfig). A zero rec reproduces RunRoutedFaults byte for byte.
 func RunRoutedRecovery(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts, plan *FaultPlan, rec RecoveryConfig) (*RoutedReport, error) {
-	rep, _, err := runRoutedCluster(gpu, reqs, n, policy, opts, plan, rec)
+	rep, _, err := runRoutedCluster(gpu, reqs, n, policy, opts, plan, rec, AdmissionConfig{})
+	return rep, err
+}
+
+// RunRoutedAdmission is RunRoutedRecovery with per-tenant token-bucket
+// admission control at the router: each tenant's trace-token demand
+// (prompt + output) is charged against a weighted bucket, and requests
+// the bucket cannot cover are rejected or held per adm.Policy before any
+// instance sees them. A zero adm reproduces RunRoutedRecovery byte for
+// byte.
+func RunRoutedAdmission(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts, plan *FaultPlan, rec RecoveryConfig, adm AdmissionConfig) (*RoutedReport, error) {
+	rep, _, err := runRoutedCluster(gpu, reqs, n, policy, opts, plan, rec, adm)
 	return rep, err
 }
 
 // runRoutedCluster is the routed entry points' shared engine room. It
 // returns the drained cluster alongside the report so invariant tests
 // can inspect post-run allocator and pool state.
-func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts, plan *FaultPlan, rec RecoveryConfig) (*RoutedReport, *cluster, error) {
+func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy RouterPolicy, opts ContinuousOpts, plan *FaultPlan, rec RecoveryConfig, adm AdmissionConfig) (*RoutedReport, *cluster, error) {
 	if err := gpu.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -307,6 +330,9 @@ func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy Rout
 		pending:  len(ordered),
 		trace:    opts.Trace,
 		rec:      newRecovery(rec),
+	}
+	if adm.Policy != AdmitAll {
+		c.adm = newAdmitter(adm, opts.Trace.Registry())
 	}
 	tally := &clusterTally{}
 	cooldown := 1000.0
@@ -370,6 +396,14 @@ func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy Rout
 	// the request's index in the ordered trace, so scheduling n arrivals
 	// allocates one closure instead of n.
 	capacityTokens := gpu.KVBlocks * gpu.BlockSize
+	// deliverHeld lands a request the admission controller reserved a
+	// refill window for; deliver runs first, at the arrival instant.
+	deliverHeld := func(now float64, idx uint64) {
+		r := ordered[idx]
+		c.adm.delivered(now, r.Tenant)
+		g := c.route(now, r, -1)
+		c.insts[g].arrive(now, c.pool.get(r))
+	}
 	deliver := func(now float64, idx uint64) {
 		r := ordered[idx]
 		footprint := r.PromptTokens + r.OutputTokens
@@ -378,6 +412,19 @@ func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy Rout
 			c.results = append(c.results, Result{Req: r, Rejected: true})
 			c.pending--
 			return
+		}
+		if c.adm != nil {
+			delay, ok := c.adm.decide(now, r)
+			if !ok {
+				traceRejectArrival(c.trace, now, r)
+				c.results = append(c.results, Result{Req: r, Rejected: true})
+				c.pending--
+				return
+			}
+			if delay > 0 {
+				c.eng.AtArg(now+delay, deliverHeld, idx)
+				return
+			}
 		}
 		g := c.route(now, r, -1)
 		c.insts[g].arrive(now, c.pool.get(r))
@@ -482,5 +529,16 @@ func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy Rout
 	out.RecoveryMS = c.rec.recoveryMS
 	out.PrefixCPUHits = cpuHits
 	out.PrefixDemotions = demotions
+	out.Tenants = tenantStats(c.adm, c.results)
+	if c.adm != nil {
+		for _, t := range out.Tenants {
+			out.AdmissionRejected += t.AdmissionRejected
+			out.AdmissionDelayed += t.Delayed
+		}
+		if tl, ok := c.adm.tallies[""]; ok {
+			out.AdmissionRejected += tl.rejected
+			out.AdmissionDelayed += tl.delayed
+		}
+	}
 	return out, c, nil
 }

@@ -141,6 +141,15 @@ type ContinuousOpts struct {
 	// SessionCache enables multi-turn KV reuse across a conversation
 	// (AttentionStore-style); see store.go.
 	SessionCache *SessionStore
+	// Sched selects batch-formation order across SLO classes at
+	// iteration boundaries (see SchedPolicy). The zero value is FCFS,
+	// the historical behavior.
+	Sched SchedPolicy
+	// PreemptBatch lets an interactive sequence that cannot be admitted
+	// evict the most recently admitted batch-class running sequence and
+	// take its slot; the victim recomputes later, as after any
+	// preemption. Only meaningful alongside a priority-aware Sched.
+	PreemptBatch bool
 	// OnDemand switches KV management to vLLM's actual discipline [28]:
 	// output lengths are unknown to the scheduler, admission reserves
 	// only the prompt (behind a watermark), blocks grow one step at a

@@ -114,6 +114,30 @@ func (q *seqRing) PushFront(s *seqState) {
 	q.n++
 }
 
+// RemoveAt removes and returns the i-th sequence from the front
+// (0 <= i < Len) — how a priority scheduler admits out of FCFS order.
+// The shorter side of the ring shifts to close the gap, so RemoveAt(0)
+// is PopFront and the worst case moves n/2 pointers; the vacated slot is
+// nilled like every pop so the queue never pins a finished sequence.
+func (q *seqRing) RemoveAt(i int) *seqState {
+	s := q.At(i)
+	mask := len(q.buf) - 1
+	if i < q.n-1-i {
+		for j := i; j > 0; j-- {
+			q.buf[(q.head+j)&mask] = q.buf[(q.head+j-1)&mask]
+		}
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) & mask
+	} else {
+		for j := i; j < q.n-1; j++ {
+			q.buf[(q.head+j)&mask] = q.buf[(q.head+j+1)&mask]
+		}
+		q.buf[(q.head+q.n-1)&mask] = nil
+	}
+	q.n--
+	return s
+}
+
 // PopFront removes and returns the head.
 func (q *seqRing) PopFront() *seqState {
 	s := q.buf[q.head]

@@ -157,6 +157,53 @@ func (r *Report) Goodput(ttftSLOms, tbtSLOms float64) float64 {
 	return float64(good) / float64(len(r.Results))
 }
 
+// ClassTTFT summarizes TTFT over served requests of one SLO class — the
+// per-class latency breakdown the multi-tenant experiments report. A
+// class with no served requests yields a zero Summary.
+func (r *Report) ClassTTFT(class workload.SLOClass) metrics.Summary {
+	var s metrics.Summary
+	for i := range r.Results {
+		res := &r.Results[i]
+		if !res.Rejected && res.Req.SLOClass == class {
+			s.Add(res.TTFTms)
+		}
+	}
+	return s
+}
+
+// ClassGoodput is Goodput restricted to one SLO class: the fraction of
+// that class's requests (rejected included) meeting both SLO bounds.
+func (r *Report) ClassGoodput(class workload.SLOClass, ttftSLOms, tbtSLOms float64) float64 {
+	total, good := 0, 0
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Req.SLOClass != class {
+			continue
+		}
+		total++
+		if !res.Rejected && res.TTFTms <= ttftSLOms && res.TBTms <= tbtSLOms {
+			good++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(good) / float64(total)
+}
+
+// ClassOutputTokens sums emitted tokens of served requests of one SLO
+// class — a class-level throughput numerator.
+func (r *Report) ClassOutputTokens(class workload.SLOClass) int {
+	sum := 0
+	for i := range r.Results {
+		res := &r.Results[i]
+		if !res.Rejected && res.Req.SLOClass == class {
+			sum += res.Req.OutputTokens
+		}
+	}
+	return sum
+}
+
 // buildReport assembles summaries from results.
 func buildReport(results []Result) *Report {
 	rep := &Report{Results: results}

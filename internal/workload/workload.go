@@ -34,6 +34,14 @@ type Request struct {
 	Session       string
 	Turn          int
 	HistoryTokens int
+	// Tenant and Client attribute the request to its WorkloadSpec
+	// stream ("" for legacy single-stream traces): Tenant is the
+	// admission-control and fairness identity, Client the generating
+	// stream. SLOClass is the request's latency class (Interactive is
+	// the zero value, so legacy traces default to it).
+	Tenant   string
+	Client   string
+	SLOClass SLOClass
 }
 
 // TraceConfig controls generation.
@@ -76,7 +84,10 @@ func DefaultTrace(seed int64, count int, ratePerSec float64) TraceConfig {
 	}
 }
 
-// Generate produces the trace, sorted by arrival time.
+// Generate produces the trace, sorted by arrival time. Since the
+// multi-tenant refactor it is the single-client special case of
+// GenerateSpec (see TraceConfig.Spec); the output is byte-identical to
+// the historical standalone loop, which the spec equivalence test pins.
 func Generate(cfg TraceConfig) ([]Request, error) {
 	if cfg.Count <= 0 {
 		return nil, fmt.Errorf("workload: count must be >= 1, got %d", cfg.Count)
@@ -84,29 +95,7 @@ func Generate(cfg TraceConfig) ([]Request, error) {
 	if cfg.RatePerSec <= 0 {
 		return nil, fmt.Errorf("workload: rate must be > 0, got %v", cfg.RatePerSec)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	reqs := make([]Request, cfg.Count)
-	clock := 0.0
-	for i := range reqs {
-		clock += rng.ExpFloat64() / cfg.RatePerSec * 1000
-		prompt := lognormal(rng, cfg.PromptMean, cfg.PromptSigma, 16, cfg.PromptMax)
-		output := lognormal(rng, cfg.OutputMean, cfg.OutputSigma, 4, cfg.OutputMax)
-		r := Request{
-			ID:           fmt.Sprintf("r%05d", i),
-			ArrivalMS:    clock,
-			PromptTokens: prompt,
-			OutputTokens: output,
-		}
-		if cfg.SharedPrefixes > 0 && rng.Float64() < cfg.SharedPrefixProb {
-			r.PrefixID = fmt.Sprintf("prefix-%d", rng.Intn(cfg.SharedPrefixes))
-			r.PrefixTokens = cfg.SharedPrefixTokens
-			if r.PrefixTokens >= r.PromptTokens {
-				r.PromptTokens = r.PrefixTokens + 16
-			}
-		}
-		reqs[i] = r
-	}
-	return reqs, nil
+	return GenerateSpec(cfg.Spec())
 }
 
 func lognormal(rng *rand.Rand, mu, sigma float64, min, max int) int {

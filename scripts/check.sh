@@ -73,6 +73,21 @@ diff /tmp/dataai_trace_serial.json /tmp/dataai_trace_par.json
 head -c 16 /tmp/dataai_trace_serial.json | grep -q '{"traceEvents"'
 rm -f /tmp/dataai_trace_serial.json /tmp/dataai_trace_par.json
 
+echo "== admission smoke (token bucket sheds 2x overload; FCFS queues it)"
+# The multi-tenant stack from the CLI: at ~2x the cluster's sustainable
+# rate, a token-bucket router must turn requests away while the
+# no-admission baseline admits everything (and pays in latency). The
+# simulator is deterministic, so these are exact counts.
+open_rej=$(/tmp/dataai_servesim -policy routed -spec multi-tenant -n 400 -rate 130 \
+    | awk -F'  +' '/adm rejected/ {print $2}')
+shed_rej=$(/tmp/dataai_servesim -policy routed -spec multi-tenant -n 400 -rate 130 \
+    -admission reject -sched priority | awk '/adm rejected/ {split($NF, a, "/"); print a[1]}')
+awk -v none="${open_rej:-0}" -v shed="${shed_rej:-0}" 'BEGIN {
+    if (none+0 == 0 && shed+0 > 0) exit 0
+    printf "admission smoke failed: no-admission rejected %s (want 0), token-bucket rejected %s (want > 0)\n", none, shed
+    exit 1
+}'
+
 echo "== sim engine smoke (calendar queue beats the reference heap)"
 # A 10^5-event clustered program timed against the container/heap
 # reference queue; the calendar queue must come out ahead (the full 2x
@@ -112,7 +127,7 @@ echo "== benchall serial vs parallel (fast subset, byte-identical)"
 # (cmd/benchall/main_test.go); this end-to-end gate re-checks the built
 # binary on a fast experiment subset so a flag-wiring regression cannot
 # hide behind the in-process test.
-subset="E1 E2 E5 E8 E11 E17 E19 E22 E23 E24"
+subset="E1 E2 E5 E8 E11 E17 E19 E22 E23 E24 E25"
 go build -o /tmp/dataai_benchall ./cmd/benchall
 /tmp/dataai_benchall $subset > /tmp/dataai_benchall_serial.txt
 /tmp/dataai_benchall -parallel 8 $subset > /tmp/dataai_benchall_par.txt
