@@ -11,6 +11,7 @@
 //	servesim -policy routed -spec multi-tenant -admission reject -sched priority
 //	servesim -policy routed -faults severe -trace out.json -parallel 8
 //	servesim -policy routed -faults severe -domains 4 -ckpt-every 8 -migrate
+//	servesim -policy routed -faults severe -decisions -counterfactual-k 2 -regret-top 5
 //	servesim -sweep -parallel 8
 //
 // The recovery flags drive the crash-survivable serving stack: -domains R
@@ -37,6 +38,16 @@
 // sequences first and may preempt a batch-class slot for them). With a
 // multi-tenant spec the report adds interactive-class latency, per-tenant
 // admission/service rows, and the weighted Jain fairness index.
+//
+// -decisions records the router's per-decision log (request, scored
+// candidates, chosen instance); with -trace it also annotates each
+// request's span with its decision seq and verifies the decision
+// invariants. -counterfactual-k K prices every decision by replaying the
+// identical run with that one decision forced to each rank in [2, K]
+// (all other decisions re-decided live) and reports per-decision regret:
+// the mean-TTFT and goodput delta the recorded choice saved. -regret-top
+// N bounds the printed most-expensive-decisions table; -parallel N fans
+// the replay batch over N workers with byte-identical output.
 //
 // -sweep runs the routed configuration over the full router × fault-plan
 // × load grid (27 cells) via sim.Sweep and prints one labeled row per
@@ -86,9 +97,22 @@ func main() {
 	ttftSLO := flag.Float64("slo-ttft", 1000, "TTFT SLO (ms)")
 	tbtSLO := flag.Float64("slo-tbt", 12, "TBT SLO (ms)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
-	replicas := flag.Int("parallel", 1, "with -trace: identical replicas to run concurrently for the byte-identity self-check; with -sweep: grid worker count")
+	replicas := flag.Int("parallel", 1, "with -trace: identical replicas to run concurrently for the byte-identity self-check; with -sweep: grid worker count; with -counterfactual-k: replay worker count")
 	sweep := flag.Bool("sweep", false, "run the routed router×faults×load grid instead of a single configuration")
+	decisions := flag.Bool("decisions", false, "routed: record the per-decision routing log (with -trace, annotate request spans and check the decision invariants)")
+	counterK := flag.Int("counterfactual-k", 0, "routed: price every routing decision by counterfactual replay against ranks 2..K (0 = off, minimum 2)")
+	regretTop := flag.Int("regret-top", 10, "with -counterfactual-k: list the N most expensive decisions")
 	flag.Parse()
+
+	if (*decisions || *counterK != 0) && *policy != "routed" {
+		log.Fatalf("-decisions and -counterfactual-k need -policy routed (decisions live at the router)")
+	}
+	if *counterK != 0 && *counterK < 2 {
+		log.Fatalf("-counterfactual-k %d: need at least 2 (rank 1 is the recorded choice)", *counterK)
+	}
+	if *counterK != 0 && *tracePath != "" {
+		log.Fatal("-counterfactual-k does not combine with -trace (the replay batch runs untraced)")
+	}
 
 	if *sweep {
 		if err := runSweep(os.Stdout, *seed, *n, *instances, *chunk, *faultSeed,
@@ -160,7 +184,7 @@ func main() {
 	}
 	gpu := serving.DefaultGPU()
 
-	runOnce := func(tr *obs.Tracer) (*serving.Report, *serving.RoutedReport, error) {
+	runOnce := func(tr *obs.Tracer, dl *obs.DecisionLog, force *serving.ForcedChoice) (*serving.Report, *serving.RoutedReport, error) {
 		switch *policy {
 		case "static":
 			if tr != nil {
@@ -212,7 +236,8 @@ func main() {
 			}
 			rec := serving.RecoveryConfig{CkptEveryIters: *ckptEvery, Migrate: *migrate}
 			routed, err := serving.RunRoutedAdmission(gpu, reqs, *instances, pol,
-				serving.ContinuousOpts{ChunkTokens: *chunk, Sched: schedPol, PreemptBatch: preempt, Trace: tr},
+				serving.ContinuousOpts{ChunkTokens: *chunk, Sched: schedPol, PreemptBatch: preempt,
+					Trace: tr, Decisions: dl, Force: force},
 				plan, rec, adm)
 			if routed != nil {
 				return &routed.Report, routed, err
@@ -225,13 +250,33 @@ func main() {
 
 	var rep *serving.Report
 	var routed *serving.RoutedReport
-	if *tracePath == "" {
-		rep, routed, err = runOnce(nil)
+	var dlog *obs.DecisionLog
+	switch {
+	case *counterK >= 2:
+		// Counterfactual pricing: the baseline run records the decision
+		// log, then every decision is replayed forced to each rank in
+		// [2, K] and priced against the baseline (see serving.ReplayRegret).
+		routed, err = serving.ReplayRegret(
+			func(dl *obs.DecisionLog, force *serving.ForcedChoice) (*serving.RoutedReport, error) {
+				_, r, err := runOnce(nil, dl, force)
+				return r, err
+			},
+			serving.ReplayConfig{MaxRank: *counterK, Workers: *replicas,
+				TTFTSLOms: *ttftSLO, TBTSLOms: *tbtSLO, TopN: *regretTop})
 		if err != nil {
 			log.Fatal(err)
 		}
-	} else {
-		rep, routed, err = runTraced(runOnce, *tracePath, *replicas)
+		rep = &routed.Report
+	case *tracePath == "":
+		if *decisions {
+			dlog = obs.NewDecisionLog()
+		}
+		rep, routed, err = runOnce(nil, dlog, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		rep, routed, err = runTraced(runOnce, *tracePath, *replicas, *decisions)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -253,6 +298,9 @@ func main() {
 		t.AddRowf("interactive p99 TTFT (ms)", inter.P99())
 		t.AddRowf(fmt.Sprintf("interactive attain @ %.0fms", *ttftSLO), inter.FractionBelow(*ttftSLO))
 		t.AddRowf("batch output tok", rep.ClassOutputTokens(workload.Batch))
+	}
+	if dlog != nil {
+		t.AddRowf("decisions recorded", dlog.Len())
 	}
 	if routed != nil {
 		t.AddRowf("preemptions", routed.Preemptions)
@@ -284,6 +332,43 @@ func main() {
 	if err := t.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+	if routed != nil && routed.Regret != nil {
+		if err := renderRegret(os.Stdout, routed.Regret); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// renderRegret prints the counterfactual-replay summary and the
+// most-expensive-decisions table. Both are pure functions of the regret
+// summary, which ReplayRegret guarantees is identical at every
+// -parallel count.
+func renderRegret(w io.Writer, reg *serving.RegretSummary) error {
+	t := metrics.NewTable(
+		fmt.Sprintf("decision regret (counterfactual replay, ranks 2..%d)", reg.MaxRank),
+		"metric", "value")
+	t.AddRowf("decisions / replays", fmt.Sprintf("%d/%d", reg.Decisions, reg.Replays))
+	t.AddRowf("total regret (mean-TTFT ms)", reg.TotalRegretMS)
+	rerouteShare := 0.0
+	if reg.TotalRegretMS > 0 {
+		rerouteShare = reg.RerouteRegretMS / reg.TotalRegretMS
+	}
+	t.AddRowf("reroute-decision share", rerouteShare)
+	t.AddRowf(fmt.Sprintf("goodput regret @ (%.0f, %.0f)ms", reg.TTFTSLOms, reg.TBTSLOms),
+		reg.TotalGoodputRegret)
+	t.AddRowf("improvable decisions", reg.Improvable)
+	t.AddRowf("top-10% regret share", reg.TopShare)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	top := metrics.NewTable(fmt.Sprintf("top %d decisions by regret", len(reg.Top)),
+		"seq", "t (ms)", "kind", "request", "chosen", "regret (ms)", "best Δ (ms)", "goodput Δ")
+	for _, dr := range reg.Top {
+		d := dr.Decision
+		top.AddRowf(d.Seq, d.AtMS, d.Kind, d.ReqID, d.Chosen,
+			dr.RegretMS, dr.BestDeltaMS, dr.GoodputRegret)
+	}
+	return top.Render(w)
 }
 
 // runSweep runs the routed configuration over every cell of the
@@ -353,8 +438,10 @@ func runSweep(w io.Writer, seed int64, n, instances, chunk int, faultSeed uint64
 // runTraced runs `replicas` identical traced replicas concurrently,
 // verifies every replica exported byte-identical trace JSON and that the
 // trace passes the structural invariant checker, then writes replica 0's
-// bytes to path.
-func runTraced(runOnce func(*obs.Tracer) (*serving.Report, *serving.RoutedReport, error), path string, replicas int) (*serving.Report, *serving.RoutedReport, error) {
+// bytes to path. With decisions on, every replica records its own
+// decision log, which the tracer attachment folds into both the span
+// args and the invariant check.
+func runTraced(runOnce func(*obs.Tracer, *obs.DecisionLog, *serving.ForcedChoice) (*serving.Report, *serving.RoutedReport, error), path string, replicas int, decisions bool) (*serving.Report, *serving.RoutedReport, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -366,7 +453,11 @@ func runTraced(runOnce func(*obs.Tracer) (*serving.Report, *serving.RoutedReport
 	}
 	runs := par.Map(replicas, replicas, func(i int) replica {
 		tr := obs.NewTracer()
-		rep, routed, err := runOnce(tr)
+		var dl *obs.DecisionLog
+		if decisions {
+			dl = obs.NewDecisionLog()
+		}
+		rep, routed, err := runOnce(tr, dl, nil)
 		if err != nil {
 			return replica{err: err}
 		}

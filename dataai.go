@@ -426,12 +426,21 @@ type (
 	Tracer      = obs.Tracer
 	TraceSpan   = obs.Span
 	TraceMetric = obs.Metric
+	// DecisionLog records every routing decision of a routed run
+	// (attach via ContinuousOpts.Decisions); ReplayRegret prices each
+	// recorded decision by counterfactual replay.
+	DecisionLog     = obs.DecisionLog
+	RoutingDecision = obs.Decision
+	ForcedChoice    = serving.ForcedChoice
+	ReplayConfig    = serving.ReplayConfig
+	RegretSummary   = serving.RegretSummary
 )
 
 // Observability entry points.
 var (
 	NewTracer      = obs.NewTracer
 	PhaseBreakdown = obs.PhaseBreakdown
+	ReplayRegret   = serving.ReplayRegret
 )
 
 // --- Core orchestration (package core) ---

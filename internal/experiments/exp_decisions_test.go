@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"dataai/internal/obs"
+)
+
+// TestE26RegretConcentration pins the E26 acceptance claims: under the
+// severe plan a small fraction of decisions carries most of the regret
+// (the top-10% share dominates), and crash-reroute decisions carry a
+// regret share under severe faults that the fault-free plan cannot have
+// (it makes no reroute decisions at all). Deterministic simulation, so
+// these are exact checks.
+func TestE26RegretConcentration(t *testing.T) {
+	byPlan := map[string]float64{} // plan → reroute share of total regret
+	for _, pc := range e26Plans {
+		rep, err := e26Regret(pc.plan, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := rep.Regret
+		if reg == nil || reg.Decisions == 0 {
+			t.Fatalf("%s plan: no decisions priced", pc.name)
+		}
+		if reg.Replays != reg.Decisions {
+			t.Fatalf("%s plan: %d replays for %d decisions at rank 2",
+				pc.name, reg.Replays, reg.Decisions)
+		}
+		reroutes := 0
+		for _, dr := range reg.Top {
+			if dr.Decision.Kind == obs.DecisionReroute {
+				reroutes++
+			}
+		}
+		share := 0.0
+		if reg.TotalRegretMS > 0 {
+			share = reg.RerouteRegretMS / reg.TotalRegretMS
+		}
+		byPlan[pc.name] = share
+		if pc.name == "none" && share != 0 {
+			t.Errorf("fault-free plan has reroute regret share %.3f", share)
+		}
+		if pc.name == "severe" {
+			// Concentration: the top decile of decisions carries several
+			// times its proportional (0.10) share of total regret.
+			if reg.TopShare <= 0.3 {
+				t.Errorf("severe plan: top-10%% of decisions carries only %.3f of regret — expected concentration", reg.TopShare)
+			}
+			if share == 0 {
+				t.Error("severe plan: reroute decisions carry no regret despite crashes")
+			}
+		}
+	}
+	if byPlan["severe"] <= byPlan["none"] {
+		t.Errorf("reroute regret share did not grow with fault severity: %v", byPlan)
+	}
+}
+
+// TestE26WorkerCountInvariance pins the replay determinism contract: the
+// E26 tables rendered with one replay worker are byte-identical to the
+// same tables rendered with eight.
+func TestE26WorkerCountInvariance(t *testing.T) {
+	serial, err := runE26Workers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runE26Workers(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Tables) != len(parallel.Tables) {
+		t.Fatalf("table count differs: %d vs %d", len(serial.Tables), len(parallel.Tables))
+	}
+	for i := range serial.Tables {
+		a, b := serial.Tables[i].String(), parallel.Tables[i].String()
+		if a != b {
+			t.Errorf("table %d differs between 1 and 8 replay workers:\n--- serial ---\n%s\n--- parallel ---\n%s", i, a, b)
+		}
+	}
+}

@@ -7,8 +7,8 @@ import "testing"
 // by the owning packages' tests; this guards the harness wiring.
 func TestAllExperimentsRun(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 25 {
-		t.Fatalf("registered experiments = %d, want 25: %v", len(ids), ids)
+	if len(ids) != 26 {
+		t.Fatalf("registered experiments = %d, want 26: %v", len(ids), ids)
 	}
 	for _, id := range ids {
 		id := id

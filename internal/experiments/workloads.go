@@ -62,6 +62,15 @@ func faultWorkload() ([]workload.Request, error) {
 	return workload.Generate(prefixTrace(2301, 600, 60, 8, 192, 0.6))
 }
 
+// decisionWorkload is the E26 counterfactual-replay study: the E23
+// routing shape on a shorter trace — every routing decision is replayed
+// once per forced alternative, so trace length multiplies directly into
+// the replay bill. Severe-plan crash windows still land mid-run at this
+// length (the E26 tests pin that reroute decisions exist).
+func decisionWorkload() ([]workload.Request, error) {
+	return workload.Generate(prefixTrace(2601, 240, 60, 8, 192, 0.6))
+}
+
 // recoveryWorkload is the E24 crash-recovery trace: 900 requests at
 // 75/s against 8 instances, with shared prefixes so the tiered prefix
 // cache has something to demote and re-promote across crashes.

@@ -308,6 +308,22 @@ func TestObstraceFixtureClean(t *testing.T) {
 	}
 }
 
+// TestDecisiontraceFixtureClean runs the ENTIRE analyzer suite over the
+// decisiontrace fixture — a distillation of the counterfactual-replay
+// stack: a nil-safe mutex-guarded decision log, the strict-less scored
+// argmin with an exact-float tie-break in the rank comparator, fan-out
+// replay committing into per-slot results with loop indexes passed as
+// arguments, and sorted regret rendering with checked writes — under a
+// seeded import path ("fix/internal/serving"), and requires zero
+// diagnostics. It pins that the decision-tracing idioms stay
+// expressible without //lint:ignore suppressions.
+func TestDecisiontraceFixtureClean(t *testing.T) {
+	pkg := fixturePackage(t, "decisiontrace", "fix/internal/serving")
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.Analyzers()) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
 // TestSuiteRegistered pins the analyzer roster: removing a check from the
 // suite should be a deliberate, visible act.
 func TestSuiteRegistered(t *testing.T) {

@@ -1,0 +1,139 @@
+// Fixture distilling the decision-tracing patterns the routed serving
+// stack relies on, type-checked under a seeded import path so every
+// analyzer in the suite runs over it. It carries zero `// want`
+// comments on purpose: the test asserts the whole file is clean,
+// pinning that the counterfactual-replay idioms — a nil-safe
+// mutex-guarded decision log, a strict-less scored argmin with an
+// exact-float tie-break in the rank comparator, fan-out replay with
+// per-slot commits and index arguments, and sorted regret-table
+// rendering with checked writes — survive all checks without
+// //lint:ignore suppressions.
+package serving
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// decision is one recorded routing choice: the per-candidate scores and
+// the argmin the policy picked at a logical-clock instant. Time is a
+// caller-supplied logical value, never a wall-clock read.
+type decision struct {
+	seq    uint64
+	atMS   float64
+	scores []float64
+	chosen int
+}
+
+// decisionLog is an append-only decision record. Every method is
+// nil-safe, mirroring the production contract: a run without an
+// attached log pays nothing for the instrumentation.
+type decisionLog struct {
+	mu   sync.Mutex
+	decs []decision
+}
+
+// record appends d, stamps its 1-based sequence number, and returns it.
+func (l *decisionLog) record(d decision) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d.seq = uint64(len(l.decs)) + 1
+	l.decs = append(l.decs, d)
+	return d.seq
+}
+
+// snapshot returns a copy of the recorded decisions.
+func (l *decisionLog) snapshot() []decision {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]decision(nil), l.decs...)
+}
+
+// argmin is the routing tie-break discipline: strict less, so equal
+// scores resolve to the lowest candidate index. Scores are
+// deterministic functions of the logical clock, so the exact float
+// comparison is the contract, not an accident.
+func argmin(scores []float64) int {
+	best := 0
+	for i, s := range scores {
+		if s < scores[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ranked orders candidate indexes by (score, index). The != guard keeps
+// the comparator total on exact ties without an epsilon, the same
+// pattern the trace exporter uses for its (time, seq) sort.
+func ranked(scores []float64) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// replay prices each decision's forced alternative concurrently: every
+// goroutine receives its index as an argument and commits into its own
+// slot, so the result is identical at any interleaving and the serial
+// aggregation can walk the slots in decision order.
+func replay(decs []decision, run func(seq uint64, rank int) float64) []float64 {
+	out := make([]float64, len(decs))
+	var wg sync.WaitGroup
+	for i := range decs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = run(decs[i].seq, 2)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// render writes the per-decision regret table with map iteration pinned
+// to sorted keys and every write error checked.
+func render(w io.Writer, regret map[string]float64) error {
+	keys := make([]string, 0, len(regret))
+	for k := range regret {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %.3f\n", k, regret[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// priceRun wires the pieces together the way the production replay
+// harness does: record a baseline, fan out one forced replay per
+// decision, and fold the deltas into a rendered table.
+func priceRun(w io.Writer, base func(*decisionLog) float64, forced func(seq uint64, rank int) float64) error {
+	dl := &decisionLog{}
+	baseTTFT := base(dl)
+	decs := dl.snapshot()
+	alts := replay(decs, forced)
+	regret := make(map[string]float64, len(decs))
+	for i, d := range decs {
+		regret[fmt.Sprintf("d%04d", d.seq)] = alts[i] - baseTTFT
+	}
+	return render(w, regret)
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"strings"
 )
@@ -11,6 +12,15 @@ import (
 const (
 	KVUsedSuffix     = "/kv_used_blocks"
 	KVCapacitySuffix = "/kv_capacity_blocks"
+)
+
+// Span attribute keys the decision invariants pair with an attached
+// DecisionLog: a span carrying DecisionSeqKey is the queue phase a
+// routing decision delivered, and its DecisionInstKey value is the
+// instance that decision chose.
+const (
+	DecisionSeqKey  = "decision"
+	DecisionInstKey = "inst"
 )
 
 // Terminal reasons a request-root span may close with. "finish" is a
@@ -37,7 +47,14 @@ var terminalReasons = map[string]bool{"finish": true, "reject": true, "drop": tr
 //     abut, never coincide (double residency would mean the same GPU
 //     state was live in two places);
 //   - no "<x>/kv_used_blocks" gauge ever exceeds the final value of its
-//     "<x>/kv_capacity_blocks" gauge.
+//     "<x>/kv_capacity_blocks" gauge;
+//   - when a DecisionLog is attached (AttachDecisions), the decisions
+//     and the timeline agree: every decision annotates exactly one
+//     span (attrs "decision"/"inst"), on the deciding request's track,
+//     whose "inst" attr matches the chosen instance; every candidate
+//     score is finite; no request gets more than one arrival decision;
+//     and every finished request root has exactly one — a routed
+//     (non-rejected) request was decided exactly once.
 //
 // Tests call this on whole simulation runs, turning the timeline itself
 // into an assertion rather than spot-checking a few aggregates.
@@ -145,6 +162,84 @@ func (t *Tracer) Check() error {
 		if used, capacity := reg.Lookup(name).Max(), capMetric.Final(); used > capacity {
 			return errf("gauge %s peaks at %.0f blocks, over capacity %.0f (%s)",
 				name, used, capacity, capName)
+		}
+	}
+
+	if dl := t.Decisions(); dl != nil {
+		if err := checkDecisions(spans, dl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkDecisions verifies an attached DecisionLog against the span
+// timeline (the decision invariants listed on Check).
+func checkDecisions(spans []Span, dl *DecisionLog) error {
+	decs := dl.Decisions()
+
+	// Spans annotated with a decision seq, one per decision.
+	bySeq := make(map[uint64]Span, len(decs))
+	for _, s := range spans {
+		a, ok := s.Attr(DecisionSeqKey)
+		if !ok {
+			continue
+		}
+		seq := uint64(a.Int)
+		if a.Int < 1 || seq > uint64(len(decs)) {
+			return errf("span %d (%q on %s) references unknown decision %d (log has %d)",
+				s.ID, s.Name, s.Track, a.Int, len(decs))
+		}
+		if dup, found := bySeq[seq]; found {
+			return errf("decision %d annotates spans %d and %d — a decision delivers once",
+				seq, dup.ID, s.ID)
+		}
+		bySeq[seq] = s
+	}
+
+	arrivals := map[string]int{}     // request → arrival decisions
+	rootArrivals := map[uint64]int{} // request root span ID → arrival decisions
+	for _, d := range decs {
+		if len(d.Candidates) == 0 {
+			return errf("decision %d (req %s) recorded no candidates", d.Seq, d.ReqID)
+		}
+		if d.Chosen < 0 || d.Chosen >= len(d.Candidates) {
+			return errf("decision %d (req %s) chose instance %d of %d candidates",
+				d.Seq, d.ReqID, d.Chosen, len(d.Candidates))
+		}
+		for _, c := range d.Candidates {
+			if math.IsNaN(c.Score) || math.IsInf(c.Score, 0) {
+				return errf("decision %d (req %s): candidate %d has non-finite score",
+					d.Seq, d.ReqID, c.Instance)
+			}
+		}
+		s, ok := bySeq[d.Seq]
+		if !ok {
+			return errf("decision %d (req %s) has no annotated span on the timeline", d.Seq, d.ReqID)
+		}
+		if !strings.HasSuffix(s.Track, "/"+d.ReqID) {
+			return errf("decision %d routed req %s but annotates track %s", d.Seq, d.ReqID, s.Track)
+		}
+		if inst, ok := s.Attr(DecisionInstKey); !ok || int(inst.Int) != d.Chosen {
+			return errf("decision %d (req %s) chose instance %d but span %d records a different delivery",
+				d.Seq, d.ReqID, d.Chosen, s.ID)
+		}
+		if d.Kind == DecisionArrival {
+			arrivals[d.ReqID]++
+			if arrivals[d.ReqID] > 1 {
+				return errf("req %s has %d arrival decisions — a request arrives once",
+					d.ReqID, arrivals[d.ReqID])
+			}
+			rootArrivals[s.Parent]++
+		}
+	}
+
+	// Every finished request root was routed exactly once: its phase
+	// children carry exactly one arrival decision.
+	for _, s := range spans {
+		if s.Cat == CatRequest && s.Parent == 0 && s.Reason == "finish" && rootArrivals[s.ID] != 1 {
+			return errf("finished request root %d (%s) has %d arrival decisions, want exactly 1",
+				s.ID, s.Track, rootArrivals[s.ID])
 		}
 	}
 	return nil

@@ -18,7 +18,10 @@ import (
 //     nestable async "b"/"e" pairs keyed by the request track, so the
 //     queue/prefill/decode/reroute phases nest under the request root;
 //   - instants ("crash", "preempt", "reroute") as "i" events;
-//   - every registry metric as a "C" counter track.
+//   - every registry metric as a "C" counter track;
+//   - span/instant attributes — and the terminal reason, as key
+//     "reason" — as a key-sorted "args" object on the carrying event
+//     (request-span attrs ride the "b" event, the reason the "e").
 //
 // Output bytes are a pure function of the recorded trace: events are
 // sorted by (logical time, seq, begin-before-end), numbers render via
@@ -148,12 +151,35 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		dst = append(dst, `,"pid":1,"tid":`...)
 		return strconv.AppendInt(dst, int64(tid[track]), 10)
 	}
-	reason := func(dst []byte, s *Span) []byte {
-		if s.Reason == "" {
+	// args renders an event's attribute set (plus the optional terminal
+	// reason, which participates as key "reason") as a key-sorted JSON
+	// object. The scratch is reused across events, so attribute-free
+	// traces render through the exact historical path and byte count.
+	attrScratch := make([]Attr, 0, 8)
+	args := func(dst []byte, attrs []Attr, reasonStr string) []byte {
+		if len(attrs) == 0 && reasonStr == "" {
 			return dst
 		}
-		dst = append(dst, `,"args":{"reason":`...)
-		dst = appendStr(dst, s.Reason)
+		attrScratch = append(attrScratch[:0], attrs...)
+		if reasonStr != "" {
+			attrScratch = append(attrScratch, S("reason", reasonStr))
+		}
+		// Insertion sort by key: attribute sets are tiny, and a stable
+		// in-place sort keeps the writer allocation-free per event.
+		for i := 1; i < len(attrScratch); i++ {
+			for j := i; j > 0 && attrScratch[j].Key < attrScratch[j-1].Key; j-- {
+				attrScratch[j], attrScratch[j-1] = attrScratch[j-1], attrScratch[j]
+			}
+		}
+		dst = append(dst, `,"args":{`...)
+		for i, a := range attrScratch {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendStr(dst, a.Key)
+			dst = append(dst, ':')
+			dst = a.appendValue(dst)
+		}
 		return append(dst, '}')
 	}
 	head := func(dst []byte, s *Span) []byte {
@@ -196,11 +222,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 				if e.kind == kindBegin {
 					buf = append(buf, `"ph":"b",`...)
 					buf = common(buf, s.Track, s.StartMS)
+					buf = args(buf, s.Attrs, "")
 					buf = append(buf, '}')
 				} else {
 					buf = append(buf, `"ph":"e",`...)
 					buf = common(buf, s.Track, endMS)
-					buf = reason(buf, s)
+					buf = args(buf, nil, s.Reason)
 					buf = append(buf, '}')
 				}
 				break
@@ -210,7 +237,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			buf = common(buf, s.Track, s.StartMS)
 			buf = append(buf, `,"dur":`...)
 			buf = appendNum(buf, (endMS-s.StartMS)*1000)
-			buf = reason(buf, s)
+			buf = args(buf, s.Attrs, s.Reason)
 			buf = append(buf, '}')
 		case kindInstant:
 			in := &instants[e.idx]
@@ -218,6 +245,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			buf = appendStr(buf, in.Name)
 			buf = append(buf, `,"ph":"i","s":"t",`...)
 			buf = common(buf, in.Track, in.AtMS)
+			buf = args(buf, in.Attrs, "")
 			buf = append(buf, '}')
 		case kindCounter:
 			c := &cpoints[e.idx]
@@ -239,6 +267,11 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 // stable across runs and platforms, unlike %g's exponent thresholds.
 func appendNum(dst []byte, v float64) []byte {
 	return strconv.AppendFloat(dst, v, 'f', -1, 64)
+}
+
+// appendInt renders an integer in decimal.
+func appendInt(dst []byte, v int64) []byte {
+	return strconv.AppendInt(dst, v, 10)
 }
 
 // num is appendNum as a string (kept for tests and small call sites).

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Candidate is one instance's standing in a routing decision: the raw
+// signals the policy scored (live queue load, cache affinity, breaker
+// state, crash status) and the score it produced. The router picks the
+// strict-less argmin over Score, so ties always break to the lowest
+// Instance index.
+type Candidate struct {
+	// Instance is the candidate's index in the cluster.
+	Instance int
+	// QueueLoad is the instance's outstanding token load (the router's
+	// live-load signal) at decision time.
+	QueueLoad int
+	// Affinity marks the instance the request's prefix or session
+	// hashes to.
+	Affinity bool
+	// Breaker is the circuit-breaker state the policy consulted
+	// (0 closed, 1 open, 2 half-open), or -1 when the policy did not
+	// consult this instance's breaker (non-breaker-aware policies, and
+	// the excluded instance, whose breaker read would perturb its lazy
+	// state transitions).
+	Breaker int
+	// Down marks an instance inside a crash window at decision time.
+	Down bool
+	// Excluded marks the instance a re-routed sequence was just dropped
+	// by; it is scored past every healthy candidate rather than
+	// skipped, so it still appears in the record and ranks last.
+	Excluded bool
+	// Score is the policy's figure of merit (lower is better).
+	Score float64
+}
+
+// Decision is one recorded routing decision: a cluster.route call with
+// its full candidate score vector, stamped with the logical clock.
+type Decision struct {
+	// Seq is the 1-based decision sequence number, in engine order —
+	// the coordinate a counterfactual replay forces by.
+	Seq uint64
+	// AtMS is the logical decision time.
+	AtMS float64
+	// ReqID names the routed request.
+	ReqID string
+	// Kind is "arrival" for fresh arrivals and "reroute" for
+	// crash-dropped sequences re-routed after the detection delay.
+	Kind string
+	// Held marks an arrival the admission controller delayed before it
+	// reached the router (AdmitQueue refill windows).
+	Held bool
+	// Chosen is the instance index the router picked.
+	Chosen int
+	// Candidates holds one entry per instance, in instance order.
+	Candidates []Candidate
+}
+
+// Decision kinds.
+const (
+	DecisionArrival = "arrival"
+	DecisionReroute = "reroute"
+)
+
+// Ranked returns the candidates' instance indices best-first: ascending
+// Score, ties to the lowest instance index — the router's own argmin
+// discipline. For a decision recorded from an unforced run,
+// Ranked()[0] == Chosen, and Ranked()[k-1] is the rank-k alternative a
+// counterfactual replay forces.
+func (d Decision) Ranked() []int {
+	order := make([]int, len(d.Candidates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := d.Candidates[order[a]].Score, d.Candidates[order[b]].Score
+		if sa != sb {
+			return sa < sb
+		}
+		return d.Candidates[order[a]].Instance < d.Candidates[order[b]].Instance
+	})
+	for i := range order {
+		order[i] = d.Candidates[order[i]].Instance
+	}
+	return order
+}
+
+// DecisionLog is an append-only record of routing decisions. It is
+// safe for concurrent use, nil-safe (every method on a nil log
+// no-ops), and pure function of the run that filled it: replaying the
+// same trace, fault plan, and seed fills an identical log.
+type DecisionLog struct {
+	mu   sync.Mutex
+	decs []Decision
+}
+
+// NewDecisionLog returns an empty log.
+func NewDecisionLog() *DecisionLog { return &DecisionLog{} }
+
+// Record appends d, stamping it with the next 1-based sequence number,
+// and returns that number (0 on a nil log).
+func (l *DecisionLog) Record(d Decision) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	d.Seq = uint64(len(l.decs) + 1)
+	l.decs = append(l.decs, d)
+	seq := d.Seq
+	l.mu.Unlock()
+	return seq
+}
+
+// Len reports the number of recorded decisions.
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.decs)
+}
+
+// Decisions returns a copy of every recorded decision in sequence
+// order.
+func (l *DecisionLog) Decisions() []Decision {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Decision(nil), l.decs...)
+}
+
+// At returns the decision with the given 1-based sequence number.
+func (l *DecisionLog) At(seq uint64) (Decision, bool) {
+	if l == nil {
+		return Decision{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq == 0 || seq > uint64(len(l.decs)) {
+		return Decision{}, false
+	}
+	return l.decs[seq-1], true
+}

@@ -73,6 +73,9 @@ type Span struct {
 	// Reason is the optional terminal annotation ("finish", "reject",
 	// "crash") set by EndReason.
 	Reason string
+	// Attrs are typed annotations set at Begin or via SpanAttrs; the
+	// exporter renders them key-sorted into the event's args.
+	Attrs []Attr
 	// Closed reports whether End was called.
 	Closed bool
 }
@@ -82,6 +85,8 @@ type Instant struct {
 	Track, Name string
 	AtMS        float64
 	Seq         uint64
+	// Attrs are typed annotations recorded with the instant.
+	Attrs []Attr
 }
 
 // Tracer records spans and instants and owns a metric Registry. The zero
@@ -93,6 +98,7 @@ type Tracer struct {
 	spans    []Span
 	instants []Instant
 	reg      *Registry
+	dlog     *DecisionLog
 }
 
 // NewTracer returns an empty tracer with an empty registry.
@@ -110,8 +116,8 @@ func (t *Tracer) Registry() *Registry {
 }
 
 // Begin opens a span at logical time now. parent nests the span (0 for a
-// root). It returns 0 on a nil tracer.
-func (t *Tracer) Begin(now float64, track, cat, name string, parent SpanRef) SpanRef {
+// root); attrs, if any, annotate the span. It returns 0 on a nil tracer.
+func (t *Tracer) Begin(now float64, track, cat, name string, parent SpanRef, attrs ...Attr) SpanRef {
 	if t == nil {
 		return 0
 	}
@@ -125,10 +131,28 @@ func (t *Tracer) Begin(now float64, track, cat, name string, parent SpanRef) Spa
 		Cat:      cat,
 		StartMS:  now,
 		StartSeq: t.seq,
+		Attrs:    append([]Attr(nil), attrs...),
 	})
 	ref := SpanRef(len(t.spans))
 	t.mu.Unlock()
 	return ref
+}
+
+// SpanAttrs appends typed attributes to a recorded span (open or
+// closed). The exporter renders them key-sorted into the span's args,
+// merged with any terminal reason. Annotating the zero ref or a nil
+// tracer is a no-op, so callers thread refs through untraced paths
+// without guards.
+func (t *Tracer) SpanAttrs(ref SpanRef, attrs ...Attr) {
+	if t == nil || ref == 0 || len(attrs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	if int(ref) <= len(t.spans) {
+		s := &t.spans[ref-1]
+		s.Attrs = append(s.Attrs, attrs...)
+	}
+	t.mu.Unlock()
 }
 
 // End closes the span at logical time now. Ending the zero ref, on a nil
@@ -156,15 +180,42 @@ func (t *Tracer) EndReason(now float64, ref SpanRef, reason string) {
 	t.mu.Unlock()
 }
 
-// Instant records a point event on a track.
-func (t *Tracer) Instant(now float64, track, name string) {
+// Instant records a point event on a track; attrs, if any, annotate it.
+func (t *Tracer) Instant(now float64, track, name string, attrs ...Attr) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.seq++
-	t.instants = append(t.instants, Instant{Track: track, Name: name, AtMS: now, Seq: t.seq})
+	t.instants = append(t.instants, Instant{
+		Track: track, Name: name, AtMS: now, Seq: t.seq,
+		Attrs: append([]Attr(nil), attrs...),
+	})
 	t.mu.Unlock()
+}
+
+// AttachDecisions links a routing DecisionLog to the tracer, so Check
+// verifies the recorded decisions against the span timeline (see the
+// decision invariants in Check). Attaching nil detaches. No-op on a
+// nil tracer.
+func (t *Tracer) AttachDecisions(dl *DecisionLog) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dlog = dl
+	t.mu.Unlock()
+}
+
+// Decisions returns the attached DecisionLog (nil when none, and on a
+// nil tracer).
+func (t *Tracer) Decisions() *DecisionLog {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dlog
 }
 
 // Spans returns a copy of every recorded span in recording order.

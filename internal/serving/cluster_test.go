@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"dataai/internal/par"
-	"dataai/internal/resilient"
 	"dataai/internal/sim"
 	"dataai/internal/workload"
 )
@@ -71,15 +70,6 @@ func TestRouterDeterministicAcrossInstanceAndWorkerCounts(t *testing.T) {
 func TestRouterTieBreakAtEqualScores(t *testing.T) {
 	// With identical live state (fresh idle instances) every policy must
 	// break ties deterministically toward the lowest eligible index.
-	newCluster := func(policy RouterPolicy) *cluster {
-		eng := sim.NewEngine()
-		c := &cluster{eng: eng, policy: policy}
-		for i := 0; i < 4; i++ {
-			c.insts = append(c.insts, newInstance(i, DefaultGPU(), ContinuousOpts{}, eng, &c.pool, func(float64, Result) {}))
-			c.breakers = append(c.breakers, resilient.NewBreaker(resilient.BreakerPolicy{FailureThreshold: 2}))
-		}
-		return c
-	}
 	noAffinity := workload.Request{ID: "r", PromptTokens: 100, OutputTokens: 10}
 	cases := []struct {
 		policy  RouterPolicy
@@ -92,27 +82,27 @@ func TestRouterTieBreakAtEqualScores(t *testing.T) {
 		{BreakerAware, 0, 1},
 	}
 	for _, tc := range cases {
-		c := newCluster(tc.policy)
-		if g := c.route(0, noAffinity, tc.exclude); g != tc.want {
+		c := newBareCluster(tc.policy, 4)
+		if g := c.route(0, noAffinity, tc.exclude, false); g != tc.want {
 			t.Errorf("%v exclude=%d picked %d, want %d", tc.policy, tc.exclude, g, tc.want)
 		}
 	}
 	// RoundRobin rotates regardless of state.
-	c := newCluster(RoundRobin)
+	c := newBareCluster(RoundRobin, 4)
 	got := []int{}
 	for i := 0; i < 5; i++ {
-		got = append(got, c.route(0, noAffinity, -1))
+		got = append(got, c.route(0, noAffinity, -1, false))
 	}
 	if want := []int{0, 1, 2, 3, 0}; !reflect.DeepEqual(got, want) {
 		t.Errorf("round-robin order = %v, want %v", got, want)
 	}
 	// An open breaker pushes an otherwise-idle instance out of the
 	// breaker-aware choice.
-	c = newCluster(BreakerAware)
+	c = newBareCluster(BreakerAware, 4)
 	for i := 0; i < 2; i++ {
 		c.breakers[0].OnFailure(0)
 	}
-	if g := c.route(0, noAffinity, -1); g != 1 {
+	if g := c.route(0, noAffinity, -1, false); g != 1 {
 		t.Errorf("breaker-aware with instance 0 open picked %d, want 1", g)
 	}
 }

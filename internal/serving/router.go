@@ -87,6 +87,9 @@ type RoutedReport struct {
 	// Tenants summarizes per-tenant admission and service outcomes,
 	// sorted by tenant ID (empty for untenanted traces).
 	Tenants []TenantStats
+	// Regret, when the run was priced by ReplayRegret, summarizes
+	// per-decision counterfactual regret (nil otherwise).
+	Regret *RegretSummary
 }
 
 // clusterTally tracks simultaneous KV occupancy across every instance of
@@ -141,6 +144,13 @@ const (
 	affinityFactor  = 0.5
 )
 
+// excludedPenalty pushes the instance a re-routed sequence was just
+// dropped by past every real score: it stays a scored candidate (so
+// decisions record it and replays can force it — it ranks last) but
+// never wins against any live instance, reproducing the historical
+// skip exactly. 1e18 dwarfs openPenalty plus any achievable token load.
+const excludedPenalty = 1e18
+
 // cluster is a routed serving run in flight: n instances on one engine,
 // a router making per-arrival decisions from live state, and optional
 // fault windows.
@@ -171,6 +181,36 @@ type cluster struct {
 	// trace, when non-nil, records the cluster timeline; instances share
 	// it through their ContinuousOpts.
 	trace *obs.Tracer
+
+	// scores is the router's per-decision scratch (one slot per
+	// instance), reused across decisions so scoring allocates nothing
+	// on the route path.
+	scores []candScore
+	// routeCalls counts route() invocations — the 1-based decision
+	// sequence a ForcedChoice matches against, kept whether or not a
+	// log records the decisions.
+	routeCalls uint64
+	// dlog, when non-nil, records every routing decision (see
+	// ContinuousOpts.Decisions).
+	dlog *obs.DecisionLog
+	// force, when non-nil, overrides one decision (see
+	// ContinuousOpts.Force).
+	force *ForcedChoice
+	// rankBuf is scratch for ranking candidates under forcing,
+	// allocated on first use (forced replays only).
+	rankBuf []int
+}
+
+// candScore is one instance's standing in a single routing decision:
+// the raw signals alongside the policy's score. route fills the
+// cluster's scratch slice, recordDecision copies it into the log.
+type candScore struct {
+	load     int
+	affinity bool
+	breaker  int // breaker state BreakerAware consulted, -1 otherwise
+	down     bool
+	excluded bool
+	score    float64
 }
 
 // traceBreaker mirrors instance i's breaker state into its gauge
@@ -199,7 +239,10 @@ func (c *cluster) affinity(r workload.Request) int {
 }
 
 // leastLoaded returns the instance with the smallest live outstanding
-// token load, skipping exclude (ties break to the lowest index).
+// token load, skipping exclude (ties break to the lowest index). The
+// live router now picks through the scored path (scoreInstances);
+// this direct argmin survives as the reference the scored CacheAware
+// fallback is differentially tested against.
 func (c *cluster) leastLoaded(exclude int) int {
 	best := -1
 	for i, in := range c.insts {
@@ -216,45 +259,185 @@ func (c *cluster) leastLoaded(exclude int) int {
 // route picks the instance for a request arriving now. exclude is the
 // instance a re-routed sequence was just dropped by (-1 for fresh
 // arrivals): sending it straight back would race its own recovery.
-func (c *cluster) route(now float64, r workload.Request, exclude int) int {
+// held marks an arrival the admission controller delayed first.
+//
+// Every policy is expressed as a candidate score vector with the
+// winner the strict-less argmin, so ties always break to the lowest
+// instance index (TestRouterTieBreakAtEqualScores pins this). That
+// single discipline
+// — shared with obs.Decision.Ranked — is what lets a counterfactual
+// replay force rank-k alternatives without ever disagreeing with live
+// routing on ties.
+func (c *cluster) route(now float64, r workload.Request, exclude int, held bool) int {
+	c.scoreInstances(now, r, exclude)
+	chosen := 0
+	for i := 1; i < len(c.scores); i++ {
+		if c.scores[i].score < c.scores[chosen].score {
+			chosen = i
+		}
+	}
+	c.routeCalls++
+	if c.force != nil && c.force.Decision == c.routeCalls {
+		chosen = c.rankedInstance(c.force.Rank)
+	}
+	c.recordDecision(now, r, exclude, held, chosen)
+	return chosen
+}
+
+// scoreInstances fills c.scores for one routing decision. Each policy's
+// scoring reproduces its historical direct-pick behavior choice for
+// choice:
+//
+//   - RoundRobin scores rotation distance from the current counter and
+//     advances the counter exactly as the direct implementation did
+//     (one step, plus one more when the first pick was excluded);
+//   - CacheAware scores the affinity instance below any possible load
+//     (-1) and everything else by live queue load;
+//   - BreakerAware keeps its load × affinity × breaker-penalty formula
+//     with identical float operation order.
+//
+// The excluded instance is scored past every real candidate with
+// excludedPenalty rather than skipped (see that constant). BreakerAware
+// deliberately does not consult the excluded instance's breaker:
+// StateAt applies the lazy open→half-open transition, so an extra call
+// the historical path never made would perturb breaker accounting. Its
+// Breaker field records -1, unconsulted — as does every candidate's
+// under the policies that never read breakers.
+func (c *cluster) scoreInstances(now float64, r workload.Request, exclude int) {
 	n := len(c.insts)
 	switch c.policy {
 	case CacheAware:
-		if g := c.affinity(r); g >= 0 && (g != exclude || n == 1) {
-			return g
+		aff := c.affinity(r)
+		for i, in := range c.insts {
+			cs := &c.scores[i]
+			*cs = candScore{load: in.queueLoad(), breaker: -1, down: in.down}
+			cs.score = float64(cs.load)
+			if i == aff {
+				cs.affinity = true
+				cs.score = -1
+			}
+			if i == exclude && n > 1 {
+				cs.excluded = true
+				cs.score += excludedPenalty
+			}
 		}
-		return c.leastLoaded(exclude)
 	case BreakerAware:
 		aff := c.affinity(r)
-		best, bestScore := -1, 0.0
 		for i, in := range c.insts {
-			if i == exclude && n > 1 {
-				continue
-			}
-			score := float64(in.queueLoad())
+			cs := &c.scores[i]
+			*cs = candScore{load: in.queueLoad(), breaker: -1, down: in.down}
+			score := float64(cs.load)
 			if i == aff {
+				cs.affinity = true
 				score *= affinityFactor
 			}
-			switch c.breakers[i].StateAt(now) {
-			case resilient.BreakerOpen:
-				score += openPenalty
-			case resilient.BreakerHalfOpen:
-				score += halfOpenPenalty
+			if i == exclude && n > 1 {
+				cs.excluded = true
+				score += excludedPenalty
+			} else {
+				st := c.breakers[i].StateAt(now)
+				cs.breaker = int(st)
+				switch st {
+				case resilient.BreakerOpen:
+					score += openPenalty
+				case resilient.BreakerHalfOpen:
+					score += halfOpenPenalty
+				}
 			}
-			if best < 0 || score < bestScore {
-				best, bestScore = i, score
-			}
+			cs.score = score
 		}
-		return best
 	default: // RoundRobin
-		g := c.rr % n
+		base := c.rr % n
 		c.rr++
-		if g == exclude && n > 1 {
-			g = c.rr % n
+		if base == exclude && n > 1 {
 			c.rr++
 		}
-		return g
+		for i, in := range c.insts {
+			cs := &c.scores[i]
+			*cs = candScore{load: in.queueLoad(), breaker: -1, down: in.down}
+			cs.score = float64((i - base + n) % n)
+			if i == exclude && n > 1 {
+				cs.excluded = true
+				cs.score += excludedPenalty
+			}
+		}
 	}
+}
+
+// rankedInstance returns the instance at 1-based rank k of the current
+// score vector: rank 1 is the argmin (the live choice), ties order by
+// instance index, and k past the instance count clamps to the worst
+// candidate. Called only on the forced decision of a replay.
+func (c *cluster) rankedInstance(k int) int {
+	n := len(c.scores)
+	if c.rankBuf == nil {
+		c.rankBuf = make([]int, n)
+	}
+	buf := c.rankBuf
+	for i := range buf {
+		buf[i] = i
+	}
+	sort.Slice(buf, func(a, b int) bool {
+		if c.scores[buf[a]].score != c.scores[buf[b]].score {
+			return c.scores[buf[a]].score < c.scores[buf[b]].score
+		}
+		return buf[a] < buf[b]
+	})
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return buf[k-1]
+}
+
+// recordDecision copies the score vector into the decision log (no-op
+// without one). chosen is the instance actually routed to — under
+// forcing, the forced alternative.
+func (c *cluster) recordDecision(now float64, r workload.Request, exclude int, held bool, chosen int) {
+	if c.dlog == nil {
+		return
+	}
+	kind := obs.DecisionArrival
+	if exclude >= 0 {
+		kind = obs.DecisionReroute
+	}
+	cands := make([]obs.Candidate, len(c.scores))
+	for i, cs := range c.scores {
+		cands[i] = obs.Candidate{
+			Instance: i, QueueLoad: cs.load, Affinity: cs.affinity,
+			Breaker: cs.breaker, Down: cs.down, Excluded: cs.excluded,
+			Score: cs.score,
+		}
+	}
+	c.dlog.Record(obs.Decision{
+		AtMS: now, ReqID: r.ID, Kind: kind, Held: held, Chosen: chosen, Candidates: cands,
+	})
+}
+
+// traceDecision ties the queue span a routed delivery just opened to
+// its decision-log entry: obs.Check matches the "decision" and "inst"
+// attrs against the log. Only route() outcomes are annotated —
+// migration hops call arrive directly and carry no decision — and only
+// when both a tracer and a decision log are on, so decision-free
+// traces keep their historical bytes.
+func (c *cluster) traceDecision(s *seqState, chosen int) {
+	if c.trace == nil || c.dlog == nil {
+		return
+	}
+	c.trace.SpanAttrs(s.phase,
+		obs.I(obs.DecisionSeqKey, int64(c.routeCalls)),
+		obs.I(obs.DecisionInstKey, int64(chosen)))
+}
+
+// rerouteAttrs annotates the reroute instant with the hop when decision
+// recording is on (attr-free otherwise, preserving historical bytes).
+func (c *cluster) rerouteAttrs(from, to int) []obs.Attr {
+	if c.dlog == nil {
+		return nil
+	}
+	return []obs.Attr{obs.I("from", int64(from)), obs.I("to", int64(to))}
 }
 
 // RunRouted serves the trace on n instances behind an online router:
@@ -330,7 +513,13 @@ func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy Rout
 		pending:  len(ordered),
 		trace:    opts.Trace,
 		rec:      newRecovery(rec),
+		scores:   make([]candScore, n),
+		dlog:     opts.Decisions,
+		force:    opts.Force,
 	}
+	// Attach the log so Tracer.Check verifies decisions against the
+	// timeline (nil-safe both ways).
+	c.trace.AttachDecisions(c.dlog)
 	if adm.Policy != AdmitAll {
 		c.adm = newAdmitter(adm, opts.Trace.Registry())
 	}
@@ -382,12 +571,13 @@ func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy Rout
 				c.breakers[i].OnFailure(t)
 				c.traceBreaker(t, i)
 				c.rerouted++
+				g := c.route(t, s.req, i, false)
 				if c.trace != nil {
-					c.trace.Instant(t, "router", "reroute")
+					c.trace.Instant(t, "router", "reroute", c.rerouteAttrs(i, g)...)
 					c.trace.Registry().Counter("router/reroute_crash").Add(t, 1)
 				}
-				g := c.route(t, s.req, i)
 				c.insts[g].arrive(t, s)
+				c.traceDecision(s, g)
 			})
 		}
 	}
@@ -401,8 +591,10 @@ func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy Rout
 	deliverHeld := func(now float64, idx uint64) {
 		r := ordered[idx]
 		c.adm.delivered(now, r.Tenant)
-		g := c.route(now, r, -1)
-		c.insts[g].arrive(now, c.pool.get(r))
+		g := c.route(now, r, -1, true)
+		s := c.pool.get(r)
+		c.insts[g].arrive(now, s)
+		c.traceDecision(s, g)
 	}
 	deliver := func(now float64, idx uint64) {
 		r := ordered[idx]
@@ -426,8 +618,10 @@ func runRoutedCluster(gpu GPUConfig, reqs []workload.Request, n int, policy Rout
 				return
 			}
 		}
-		g := c.route(now, r, -1)
-		c.insts[g].arrive(now, c.pool.get(r))
+		g := c.route(now, r, -1, false)
+		s := c.pool.get(r)
+		c.insts[g].arrive(now, s)
+		c.traceDecision(s, g)
 	}
 	for i := range ordered {
 		c.eng.AtArg(ordered[i].ArrivalMS, deliver, uint64(i))

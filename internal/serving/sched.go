@@ -165,6 +165,21 @@ type ContinuousOpts struct {
 	// observes the simulation: a nil Trace (the default) changes nothing
 	// and costs nothing.
 	Trace *obs.Tracer
+	// Decisions, when non-nil, appends one obs.Decision per routing
+	// decision of a routed run (fresh arrivals and crash reroutes): the
+	// scored candidate vector, the chosen instance, and the logical
+	// decision time — the record ReplayRegret replays against. When a
+	// Trace is also set, the log is attached to it, so obs.Check
+	// verifies decisions against the timeline. Nil (the default)
+	// records nothing and adds nothing to the route path. Ignored
+	// outside the RunRouted* entry points.
+	Decisions *obs.DecisionLog
+	// Force, when non-nil, overrides one routing decision during a
+	// counterfactual replay: the Force.Decision-th route call returns
+	// its Force.Rank-th scored alternative instead of the argmin, with
+	// every other decision re-decided live by the policy. Ignored
+	// outside the RunRouted* entry points.
+	Force *ForcedChoice
 }
 
 // admissionWatermark is the occupancy fraction above which OnDemand mode

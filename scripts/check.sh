@@ -56,22 +56,41 @@ go build -o /tmp/dataai_servesim ./cmd/servesim
 /tmp/dataai_servesim -policy routed -instances 4 -router breaker-aware -faults severe -n 200 -rate 60 > /dev/null
 
 echo "== servesim trace (invariants + serial vs parallel-8 byte-identical)"
-# The same severe routed run with -trace: servesim runs the structural
-# invariant checker (internal/obs Check) over the recorded timeline and
-# refuses to write a malformed trace; running it again at -parallel 8
-# (eight concurrent replicas, traces compared in-process, replica 0
-# emitted) and diffing the two files pins the observability layer's
-# byte-identical determinism contract end to end.
+# The same severe routed run with -trace -decisions: servesim runs the
+# structural invariant checker (internal/obs Check) over the recorded
+# timeline — including the decision invariants, since -decisions attaches
+# the routing log to the tracer — and refuses to write a malformed trace;
+# running it again at -parallel 8 (eight concurrent replicas, each with
+# its own decision log, traces compared in-process, replica 0 emitted)
+# and diffing the two files pins the observability layer's byte-identical
+# determinism contract end to end.
 /tmp/dataai_servesim -policy routed -instances 4 -router breaker-aware -faults severe -n 200 -rate 60 \
-    -trace /tmp/dataai_trace_serial.json > /dev/null 2>/dev/null
+    -decisions -trace /tmp/dataai_trace_serial.json > /dev/null 2>/dev/null
 /tmp/dataai_servesim -policy routed -instances 4 -router breaker-aware -faults severe -n 200 -rate 60 \
-    -trace /tmp/dataai_trace_par.json -parallel 8 > /dev/null 2>/dev/null
+    -decisions -trace /tmp/dataai_trace_par.json -parallel 8 > /dev/null 2>/dev/null
 diff /tmp/dataai_trace_serial.json /tmp/dataai_trace_par.json
+# The decision annotations actually reached the trace: request spans
+# carry the decision seq / chosen instance args.
+grep -q '"decision":' /tmp/dataai_trace_serial.json
+grep -q '"inst":' /tmp/dataai_trace_serial.json
 # A trace is non-trivial and well-formed: it opens the Chrome trace-event
 # envelope and carries events (full JSON validity is pinned by the unit
 # tests in internal/obs and cmd/benchall).
 head -c 16 /tmp/dataai_trace_serial.json | grep -q '{"traceEvents"'
 rm -f /tmp/dataai_trace_serial.json /tmp/dataai_trace_par.json
+
+echo "== decision replay smoke (counterfactual regret from the CLI)"
+# The decision-tracing stack end to end: record every routing decision of
+# a severe routed run, replay each forced to its first runner-up at 8
+# workers, and print the regret tables. Exact output checks: the replay
+# count must equal the decision count (rank-2 forcing only), and the
+# regret tables must render.
+/tmp/dataai_servesim -policy routed -instances 4 -router breaker-aware -faults severe -n 160 -rate 60 \
+    -decisions -counterfactual-k 2 -regret-top 5 -parallel 8 > /tmp/dataai_decisions.txt
+grep -q 'decision regret (counterfactual replay' /tmp/dataai_decisions.txt
+grep -q 'top 5 decisions by regret' /tmp/dataai_decisions.txt
+awk -F'  +' '/decisions \/ replays/ {split($2, a, "/"); if (a[1] != a[2] || a[1]+0 == 0) exit 1}' /tmp/dataai_decisions.txt
+rm -f /tmp/dataai_decisions.txt
 
 echo "== admission smoke (token bucket sheds 2x overload; FCFS queues it)"
 # The multi-tenant stack from the CLI: at ~2x the cluster's sustainable
@@ -127,7 +146,7 @@ echo "== benchall serial vs parallel (fast subset, byte-identical)"
 # (cmd/benchall/main_test.go); this end-to-end gate re-checks the built
 # binary on a fast experiment subset so a flag-wiring regression cannot
 # hide behind the in-process test.
-subset="E1 E2 E5 E8 E11 E17 E19 E22 E23 E24 E25"
+subset="E1 E2 E5 E8 E11 E17 E19 E22 E23 E24 E25 E26"
 go build -o /tmp/dataai_benchall ./cmd/benchall
 /tmp/dataai_benchall $subset > /tmp/dataai_benchall_serial.txt
 /tmp/dataai_benchall -parallel 8 $subset > /tmp/dataai_benchall_par.txt
